@@ -1,0 +1,236 @@
+// Command figures regenerates the paper's Figures 1-5 as ASCII space-time
+// diagrams and re-derives every fact the paper states about them, printing
+// PASS/FAIL per fact. Run with -fig N for a single figure or no flag for
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+
+	rdt "repro"
+	"repro/internal/ccp"
+	"repro/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1-5); 0 = all")
+	dot := flag.Bool("dot", false, "emit the figure(s) as Graphviz digraphs instead of ASCII + facts")
+	flag.Parse()
+
+	if *dot {
+		emitDOT(*fig)
+		return
+	}
+
+	ok := true
+	figs := []func() bool{fig1, fig2, fig3, fig4, fig5}
+	if *fig != 0 {
+		if *fig < 1 || *fig > len(figs) {
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (have 1-%d)\n", *fig, len(figs))
+			os.Exit(2)
+		}
+		ok = figs[*fig-1]()
+	} else {
+		for _, f := range figs {
+			if !f() {
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// emitDOT prints Graphviz for the requested figure (0 = all); pipe through
+// `dot -Tsvg` to render space-time diagrams.
+func emitDOT(fig int) {
+	figs := []struct {
+		title  string
+		script ccp.Script
+	}{
+		{"Figure 1 - example CCP", rdt.Figure1(true)},
+		{"Figure 2 - domino effect", rdt.Figure2()},
+		{"Figure 3 - recovery line", fig3Script()},
+		{"Figure 4 - RDT-LGC execution", rdt.Figure4()},
+		{"Figure 5 - worst case (n=4)", rdt.WorstCase(4)},
+	}
+	for i, f := range figs {
+		if fig != 0 && fig != i+1 {
+			continue
+		}
+		fmt.Println(trace.DOT(f.script, f.title))
+	}
+}
+
+func fig3Script() ccp.Script {
+	s, _ := rdt.Figure3()
+	return s
+}
+
+func check(ok *bool, cond bool, fact string) {
+	status := "PASS"
+	if !cond {
+		status = "FAIL"
+		*ok = false
+	}
+	fmt.Printf("  [%s] %s\n", status, fact)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func fig1() bool {
+	ok := true
+	header("Figure 1 — example CCP (C-paths, Z-paths, RDT)")
+	f := ccp.NewFig1(true)
+	fmt.Println(trace.Render(f.Script))
+	c := f.Script.BuildCCP()
+	s01 := ccp.CheckpointID{Process: 0, Index: 0}
+	s11 := ccp.CheckpointID{Process: 0, Index: 1}
+	s13 := ccp.CheckpointID{Process: 2, Index: 1}
+	s23 := ccp.CheckpointID{Process: 2, Index: 2}
+	check(&ok, c.IsCausalPath([]int{f.M1, f.M2}, s01, s13), "[m1,m2] is a C-path")
+	check(&ok, c.IsCausalPath([]int{f.M1, f.M4}, s01, s23), "[m1,m4] is a C-path")
+	check(&ok, c.IsZigzagPath([]int{f.M5, f.M4}, s11, s23) &&
+		!c.IsCausalPath([]int{f.M5, f.M4}, s11, s23), "[m5,m4] is a Z-path (non-causal)")
+	check(&ok, c.IsRDT(), "CCP is RD-trackable")
+
+	w := ccp.NewFig1(false)
+	cw := w.Script.BuildCCP()
+	check(&ok, !cw.IsRDT(), "without m3 the CCP is not RD-trackable")
+	check(&ok, cw.ZigzagReachable(s11, s23) && !cw.CausallyPrecedes(s11, s23),
+		"without m3: s_1^1 ⤳ s_3^2 but s_1^1 ↛ s_3^2")
+	return ok
+}
+
+func fig2() bool {
+	ok := true
+	header("Figure 2 — useless checkpoints and the domino effect")
+	f := ccp.NewFig2()
+	fmt.Println(trace.Render(f.Script))
+	c := f.Script.BuildCCP()
+	s11 := ccp.CheckpointID{Process: 0, Index: 1}
+	check(&ok, c.IsZigzagPath([]int{f.M2, f.M1}, s11, s11), "[m2,m1] is a zigzag cycle through s_1^1")
+	useless := c.UselessCheckpoints()
+	check(&ok, len(useless) == 3, fmt.Sprintf("all %d non-initial stable checkpoints are useless", len(useless)))
+	check(&ok, c.IsConsistentGlobal([]int{0, 0}), "the only stable consistent global checkpoint is {s_1^0, s_2^0}")
+	return ok
+}
+
+func fig3() bool {
+	ok := true
+	header("Figure 3 — recovery line for F = {p2, p3}")
+	f := ccp.NewFig3()
+	fmt.Println(trace.Render(f.Script))
+	c := f.Script.BuildCCP()
+	line := c.RecoveryLine(f.Faulty)
+	fmt.Printf("  recovery line (local indices): %v\n", line)
+	check(&ok, c.IsConsistentGlobal(line), "recovery line is a consistent global checkpoint")
+	check(&ok, c.CausallyPrecedes(
+		ccp.CheckpointID{Process: 1, Index: 3}, ccp.CheckpointID{Process: 2, Index: 3}),
+		"s_2^last → s_3^last, so s_3^last is excluded from the line")
+	check(&ok, line[2] == 2, "p3's component is s_3^{last-1}")
+	got := c.ObsoleteSet()
+	want := f.PaperObsolete()
+	sortIDs(got)
+	sortIDs(want)
+	check(&ok, reflect.DeepEqual(got, want),
+		fmt.Sprintf("exactly five obsolete checkpoints: %v (paper: c_2^7, c_2^9, c_3^8, c_4^6, c_4^8)", got))
+	return ok
+}
+
+func fig4() bool {
+	ok := true
+	header("Figure 4 — execution of RDT-LGC")
+	script := rdt.Figure4()
+	fmt.Println(trace.Render(script))
+	sys, err := rdt.New(3)
+	if err != nil {
+		fmt.Println("  error:", err)
+		return false
+	}
+	if err := sys.Run(script); err != nil {
+		fmt.Println("  error:", err)
+		return false
+	}
+	oracle := sys.Oracle()
+	lastS := make([]int, 3)
+	stored := make([][]int, 3)
+	for p := 0; p < 3; p++ {
+		lastS[p] = oracle.LastStable(p)
+		stored[p] = sys.Retained(p)
+	}
+	fmt.Println(trace.RenderStores(lastS, stored))
+	fmt.Println("  " + trace.Legend())
+	check(&ok, !contains(stored[1], 2), "s_2^2 was eliminated")
+	check(&ok, !contains(stored[2], 1), "s_3^1 was eliminated")
+	check(&ok, !contains(stored[2], 2), "s_3^2 was eliminated")
+	check(&ok, contains(stored[1], 1) && oracle.Obsolete(1, 1),
+		"s_2^1 is obsolete but retained — the only one causal knowledge cannot identify")
+	return ok
+}
+
+func fig5() bool {
+	ok := true
+	header("Figure 5 — worst-case scenario (n = 4)")
+	const n = 4
+	sys, err := rdt.New(n)
+	if err != nil {
+		fmt.Println("  error:", err)
+		return false
+	}
+	if err := sys.Run(rdt.WorstCase(n)); err != nil {
+		fmt.Println("  error:", err)
+		return false
+	}
+	oracle := sys.Oracle()
+	lastS := make([]int, n)
+	stored := make([][]int, n)
+	total := 0
+	for p := 0; p < n; p++ {
+		lastS[p] = oracle.LastStable(p)
+		stored[p] = sys.Retained(p)
+		total += len(stored[p])
+	}
+	fmt.Println(trace.RenderStores(lastS, stored))
+	check(&ok, total == n*n, fmt.Sprintf("steady state stores n^2 = %d checkpoints (got %d)", n*n, total))
+	var wave rdt.Script
+	wave.N = n
+	for q := 0; q < n; q++ {
+		wave.Checkpoint(q)
+	}
+	if err := sys.Run(wave); err != nil {
+		fmt.Println("  error:", err)
+		return false
+	}
+	peak := 0
+	for p := 0; p < n; p++ {
+		peak += sys.StorageStats(p).Peak
+	}
+	check(&ok, peak == n*(n+1), fmt.Sprintf("simultaneous checkpoint wave peaks at n(n+1) = %d (got %d)", n*(n+1), peak))
+	return ok
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortIDs(ids []ccp.CheckpointID) {
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Process != ids[b].Process {
+			return ids[a].Process < ids[b].Process
+		}
+		return ids[a].Index < ids[b].Index
+	})
+}

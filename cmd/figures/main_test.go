@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestAllFigureFactsPass executes every figure regeneration exactly as the
+// CLI does and fails if any stated paper fact stops holding.
+func TestAllFigureFactsPass(t *testing.T) {
+	for i, f := range []func() bool{fig1, fig2, fig3, fig4, fig5} {
+		if !f() {
+			t.Errorf("figure %d facts failed", i+1)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	rdt "repro"
+	"repro/internal/workload"
+)
+
+func TestParseWorkload(t *testing.T) {
+	for _, k := range workload.Kinds() {
+		got, err := parseWorkload(k.String())
+		if err != nil || got != k {
+			t.Errorf("parseWorkload(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if got, err := parseWorkload("UNIFORM"); err != nil || got != workload.Uniform {
+		t.Errorf("case-insensitive parse failed: %v, %v", got, err)
+	}
+	if _, err := parseWorkload("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for _, p := range []rdt.Protocol{rdt.FDAS, rdt.FDI, rdt.CBR, rdt.Russell, rdt.BCS, rdt.NoProtocol} {
+		got, err := parseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("parseProtocol(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := parseProtocol("paxos"); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+}
+
+func TestParseCollector(t *testing.T) {
+	for _, c := range []rdt.Collector{rdt.RDTLGC, rdt.NoGC, rdt.SyncOptimal, rdt.RecoveryLineGC} {
+		got, err := parseCollector(c.String())
+		if err != nil || got != c {
+			t.Errorf("parseCollector(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := parseCollector("mark-sweep"); err == nil {
+		t.Error("unknown collector should fail")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(1, 2) != 0.5 || ratio(0, 0) != 0 || ratio(3, 0) != 1 {
+		t.Error("ratio edge cases wrong")
+	}
+}

@@ -1,0 +1,219 @@
+// Command sweep runs the experiment grids of EXPERIMENTS.md — the
+// "evaluation in a practical environment" the paper lists as future work.
+// Two tables are available:
+//
+//	-table collectors   every workload × collector × size: steady-state
+//	                    retained checkpoints and collection ratios (E1)
+//	-table protocols    every workload × protocol × size: forced-checkpoint
+//	                    overhead of the RDT protocol hierarchy
+//	-table rollback     every workload × protocol × size: rollback
+//	                    propagation after crashes (Agbaria et al. axis)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		ops    = flag.Int("ops", 3000, "operations per run")
+		seeds  = flag.Int("seeds", 3, "seeds averaged per cell")
+		sizes  = flag.String("sizes", "4,8,16", "comma-separated process counts")
+		pcheck = flag.Float64("pcheckpoint", 0.2, "basic checkpoint probability")
+		every  = flag.Int("globalevery", 1, "events between control-message rounds for the global collectors (sync-opt, rl-gc)")
+		table  = flag.String("table", "collectors", "table to produce: collectors|protocols")
+	)
+	flag.Parse()
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if *table == "protocols" {
+		protocolTable(w, ns, *ops, *seeds, *pcheck)
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *table == "rollback" {
+		rollbackTable(w, ns, *ops, *seeds, *pcheck)
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *table != "collectors" {
+		fmt.Fprintf(os.Stderr, "sweep: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	fmt.Fprintln(w, "workload\tn\tcollector\tretained/proc mean\tretained/proc max\tglobal peak\tcollect ratio\tforced ckpts")
+	for _, kind := range workload.Kinds() {
+		for _, n := range ns {
+			for _, col := range metrics.CollectorKinds() {
+				var mean, ratio float64
+				var max, peak, forced int
+				for s := 0; s < *seeds; s++ {
+					script := workload.Generate(kind, workload.Options{
+						N: n, Ops: *ops, Seed: int64(1000*s + n), PCheckpoint: *pcheck,
+					})
+					rep, err := metrics.Measure(metrics.MeasureOptions{
+						N: n, Collector: col, Script: script, GlobalEvery: *every,
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					mean += rep.PerProcRetained.Mean()
+					ratio += rep.CollectionRatio()
+					if rep.PerProcRetained.Max() > max {
+						max = rep.PerProcRetained.Max()
+					}
+					if rep.GlobalRetained.Max() > peak {
+						peak = rep.GlobalRetained.Max()
+					}
+					forced += rep.Forced
+				}
+				k := float64(*seeds)
+				fmt.Fprintf(w, "%s\t%d\t%s\t%.2f\t%d\t%d\t%.4f\t%d\n",
+					kind, n, col, mean/k, max, peak, ratio/k, forced / *seeds)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// protocolTable reports the forced-checkpoint overhead of each protocol:
+// the price of the RDT guarantee, per workload and system size.
+func protocolTable(w *tabwriter.Writer, ns []int, ops, seeds int, pcheck float64) {
+	factories := []struct {
+		name string
+		mk   func() protocol.Protocol
+		rdt  bool
+	}{
+		{"CBR", func() protocol.Protocol { return protocol.NewCBR() }, true},
+		{"Russell", func() protocol.Protocol { return protocol.NewRussell() }, true},
+		{"FDI", func() protocol.Protocol { return protocol.NewFDI() }, true},
+		{"FDAS", func() protocol.Protocol { return protocol.NewFDAS() }, true},
+		{"BCS", func() protocol.Protocol { return protocol.NewBCS() }, false},
+		{"none", func() protocol.Protocol { return protocol.NewNone() }, false},
+	}
+	fmt.Fprintln(w, "workload\tn\tprotocol\tRDT\tbasic\tforced\tforced/basic\tretained/proc mean")
+	for _, kind := range workload.Kinds() {
+		for _, n := range ns {
+			for _, pf := range factories {
+				var basic, forced int
+				var mean float64
+				for s := 0; s < seeds; s++ {
+					script := workload.Generate(kind, workload.Options{
+						N: n, Ops: ops, Seed: int64(1000*s + n), PCheckpoint: pcheck,
+					})
+					mk := pf.mk
+					rep, err := metrics.Measure(metrics.MeasureOptions{
+						N: n, Collector: metrics.RDTLGC, Script: script,
+						Protocol: func(int) protocol.Protocol { return mk() },
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					basic += rep.Basic
+					forced += rep.Forced
+					mean += rep.PerProcRetained.Mean()
+				}
+				ratio := 0.0
+				if basic > 0 {
+					ratio = float64(forced) / float64(basic)
+				}
+				fmt.Fprintf(w, "%s\t%d\t%s\t%v\t%d\t%d\t%.2f\t%.2f\n",
+					kind, n, pf.name, pf.rdt, basic/seeds, forced/seeds, ratio, mean/float64(seeds))
+			}
+		}
+	}
+}
+
+// rollbackTable reports rollback propagation per protocol: mean and max
+// stable checkpoints a crash drags non-faulty processes back.
+func rollbackTable(w *tabwriter.Writer, ns []int, ops, seeds int, pcheck float64) {
+	factories := []struct {
+		name string
+		mk   func() protocol.Protocol
+	}{
+		{"FDAS", func() protocol.Protocol { return protocol.NewFDAS() }},
+		{"FDI", func() protocol.Protocol { return protocol.NewFDI() }},
+		{"CBR", func() protocol.Protocol { return protocol.NewCBR() }},
+		{"Russell", func() protocol.Protocol { return protocol.NewRussell() }},
+		{"BCS", func() protocol.Protocol { return protocol.NewBCS() }},
+		{"none", func() protocol.Protocol { return protocol.NewNone() }},
+	}
+	fmt.Fprintln(w, "workload\tn\tprotocol\tmean rolled\tmax rolled\tvolatile lost\tdomino-to-start")
+	for _, kind := range workload.Kinds() {
+		for _, n := range ns {
+			for _, pf := range factories {
+				var mean float64
+				var max, lost, domino, crashes int
+				for s := 0; s < seeds; s++ {
+					script := workload.Generate(kind, workload.Options{
+						N: n, Ops: ops, Seed: int64(1000*s + n), PCheckpoint: pcheck,
+					})
+					mk := pf.mk
+					rep, err := metrics.MeasureRollback(metrics.RollbackOptions{
+						N: n, Script: script,
+						Protocol: func(int) protocol.Protocol { return mk() },
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					mean += rep.StableRolled.Mean()
+					if rep.StableRolled.Max() > max {
+						max = rep.StableRolled.Max()
+					}
+					lost += rep.VolatileLost
+					domino += rep.DominoToStart
+					crashes += rep.Crashes
+				}
+				fmt.Fprintf(w, "%s\t%d\t%s\t%.3f\t%d\t%.2f%%\t%d\n",
+					kind, n, pf.name, mean/float64(seeds), max,
+					100*float64(lost)/float64(crashes*(n-1)), domino)
+			}
+		}
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	var cur int
+	seen := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if !seen {
+				return nil, fmt.Errorf("sweep: bad -sizes %q", s)
+			}
+			out = append(out, cur)
+			cur, seen = 0, false
+			continue
+		}
+		if s[i] < '0' || s[i] > '9' {
+			return nil, fmt.Errorf("sweep: bad -sizes %q", s)
+		}
+		cur = cur*10 + int(s[i]-'0')
+		seen = true
+	}
+	return out, nil
+}

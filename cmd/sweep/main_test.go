@@ -1,0 +1,26 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	good := map[string][]int{
+		"4":       {4},
+		"4,8,16":  {4, 8, 16},
+		"128":     {128},
+		"2,2,2,2": {2, 2, 2, 2},
+	}
+	for in, want := range good {
+		got, err := parseSizes(in)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("parseSizes(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "4,", ",4", "a", "4,b", "4,,8"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package app
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVBasics(t *testing.T) {
+	kv := NewKV()
+	kv.Set("x", 5)
+	kv.Add("x", 2)
+	kv.Add("y", 1)
+	if v, ok := kv.Get("x"); !ok || v != 7 {
+		t.Fatalf("Get(x) = %d,%v want 7,true", v, ok)
+	}
+	if _, ok := kv.Get("absent"); ok {
+		t.Fatal("absent key should not resolve")
+	}
+	if kv.Ops() != 3 || kv.Len() != 2 {
+		t.Fatalf("Ops=%d Len=%d, want 3, 2", kv.Ops(), kv.Len())
+	}
+}
+
+func TestKVSnapshotRestoreRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kv := NewKV()
+		for i := 0; i < rng.Intn(40); i++ {
+			key := string(rune('a' + rng.Intn(10)))
+			if rng.Intn(2) == 0 {
+				kv.Set(key, rng.Int63n(1000))
+			} else {
+				kv.Add(key, rng.Int63n(100)-50)
+			}
+		}
+		snap := kv.Snapshot()
+		re := NewKV()
+		if err := re.Restore(snap); err != nil {
+			return false
+		}
+		return re.Equal(kv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVRestoreDiscardsLaterState(t *testing.T) {
+	kv := NewKV()
+	kv.Set("a", 1)
+	snap := kv.Snapshot()
+	kv.Set("a", 99)
+	kv.Set("b", 2)
+	if err := kv.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := kv.Get("a"); v != 1 {
+		t.Fatalf("a = %d after restore, want 1", v)
+	}
+	if _, ok := kv.Get("b"); ok {
+		t.Fatal("b should be gone after restore")
+	}
+	if kv.Ops() != 1 {
+		t.Fatalf("Ops = %d after restore, want 1", kv.Ops())
+	}
+}
+
+func TestKVRestoreRejectsGarbage(t *testing.T) {
+	kv := NewKV()
+	if err := kv.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage snapshot should be rejected")
+	}
+	if err := kv.Restore(nil); err == nil {
+		t.Fatal("empty snapshot should be rejected")
+	}
+}
+
+func TestKVEmptySnapshot(t *testing.T) {
+	kv := NewKV()
+	re := NewKV()
+	re.Set("x", 1)
+	if err := re.Restore(kv.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 0 || re.Ops() != 0 {
+		t.Fatal("restore of empty snapshot should empty the store")
+	}
+}

@@ -1,0 +1,182 @@
+package ccp
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Builder constructs a CCP by replaying a distributed execution as a script.
+// Operations are applied in script order, which guarantees the execution is
+// realizable (a message can only be received after it was sent). Every
+// process implicitly takes its initial stable checkpoint s^0 on creation, as
+// required by the model of Section 2.2.
+//
+// The builder propagates transitive dependency vectors exactly as an RDT
+// checkpointing middleware would, so the resulting CCP carries, for every
+// checkpoint, the dependency vector the protocol would have stored with it.
+type Builder struct {
+	n      int
+	dv     []vclock.DV   // running vector per process
+	lastS  []int         // stable checkpoints taken so far per process
+	stored [][]vclock.DV // stored[i][γ] = vector saved with s_i^γ
+
+	seq []int // local event counter per process
+
+	msgs    []Message
+	sendDV  []vclock.DV // piggybacked vector per sent message, by message ID
+	sent    []bool      // message IDs issued
+	recved  []bool      // message IDs delivered
+	sender  []int
+	sendItv []int
+	sendSeq []int
+}
+
+// NewBuilder returns a builder for an n-process pattern. Every process has
+// already taken s^0 and is executing in checkpoint interval 1.
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic("ccp: builder needs at least one process")
+	}
+	b := &Builder{
+		n:      n,
+		dv:     make([]vclock.DV, n),
+		lastS:  make([]int, n),
+		stored: make([][]vclock.DV, n),
+		seq:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		b.dv[i] = vclock.New(n)
+		// Initial checkpoint s_i^0 stores the zero vector, after which
+		// DV[i] is incremented (Algorithm 2, "on taking checkpoint").
+		b.stored[i] = []vclock.DV{b.dv[i].Clone()}
+		b.dv[i][i] = 1
+		b.seq[i] = 1 // event 0 was taking s^0
+	}
+	return b
+}
+
+// N returns the number of processes.
+func (b *Builder) N() int { return b.n }
+
+// Checkpoint has process p take a stable checkpoint and returns its index.
+func (b *Builder) Checkpoint(p int) int {
+	b.checkProc(p)
+	b.stored[p] = append(b.stored[p], b.dv[p].Clone())
+	b.lastS[p]++
+	b.dv[p][p]++
+	b.seq[p]++
+	return b.lastS[p]
+}
+
+// Send has process p send a message and returns its ID. The message is
+// in-transit until Receive delivers it; undelivered messages are excluded
+// from the built CCP, matching the model (lost and in-transit messages do
+// not create dependencies).
+func (b *Builder) Send(p int) int {
+	b.checkProc(p)
+	id := len(b.sent)
+	b.sent = append(b.sent, true)
+	b.recved = append(b.recved, false)
+	b.sendDV = append(b.sendDV, b.dv[p].Clone())
+	b.sender = append(b.sender, p)
+	b.sendItv = append(b.sendItv, b.dv[p][p])
+	b.sendSeq = append(b.sendSeq, b.seq[p])
+	b.seq[p]++
+	return id
+}
+
+// Receive delivers message id to process p, merging the piggybacked vector.
+func (b *Builder) Receive(p, id int) {
+	b.checkProc(p)
+	if id < 0 || id >= len(b.sent) {
+		panic(fmt.Sprintf("ccp: receive of unknown message %d", id))
+	}
+	if b.recved[id] {
+		panic(fmt.Sprintf("ccp: message %d delivered twice", id))
+	}
+	if b.sender[id] == p {
+		panic(fmt.Sprintf("ccp: process %d receiving its own message %d", p, id))
+	}
+	b.recved[id] = true
+	b.dv[p].Merge(b.sendDV[id])
+	b.msgs = append(b.msgs, Message{
+		ID:           id,
+		From:         b.sender[id],
+		To:           p,
+		SendInterval: b.sendItv[id],
+		RecvInterval: b.dv[p][p],
+		SendSeq:      b.sendSeq[id],
+		RecvSeq:      b.seq[p],
+	})
+	b.seq[p]++
+}
+
+// Message is a convenience for an immediate send from one process and
+// receive at another; it returns the message ID.
+func (b *Builder) Message(from, to int) int {
+	id := b.Send(from)
+	b.Receive(to, id)
+	return id
+}
+
+// CurrentDV returns a copy of process p's running dependency vector.
+func (b *Builder) CurrentDV(p int) vclock.DV {
+	b.checkProc(p)
+	return b.dv[p].Clone()
+}
+
+// LastStable returns the index of the last stable checkpoint process p has
+// taken so far.
+func (b *Builder) LastStable(p int) int {
+	b.checkProc(p)
+	return b.lastS[p]
+}
+
+func (b *Builder) checkProc(p int) {
+	if p < 0 || p >= b.n {
+		panic(fmt.Sprintf("ccp: process %d out of range [0,%d)", p, b.n))
+	}
+}
+
+// Build freezes the pattern at the current cut and returns the CCP. The
+// builder remains usable; Build may be called repeatedly to snapshot
+// successive cuts of the same execution.
+func (b *Builder) Build() *CCP {
+	c := &CCP{
+		n:     b.n,
+		lastS: append([]int(nil), b.lastS...),
+	}
+	c.dvs = make([][]vclock.DV, b.n)
+	for i := 0; i < b.n; i++ {
+		c.dvs[i] = make([]vclock.DV, 0, len(b.stored[i])+1)
+		for _, dv := range b.stored[i] {
+			c.dvs[i] = append(c.dvs[i], dv.Clone())
+		}
+		c.dvs[i] = append(c.dvs[i], b.dv[i].Clone()) // volatile state
+	}
+	c.messages = make([]Message, len(b.msgs))
+	copy(c.messages, b.msgs)
+	c.index()
+	return c
+}
+
+// index precomputes the send lists and the zigzag successor relation.
+func (c *CCP) index() {
+	c.outBy = make([][]int, c.n)
+	c.byID = make(map[int]int, len(c.messages))
+	for k, m := range c.messages {
+		c.outBy[m.From] = append(c.outBy[m.From], k)
+		c.byID[m.ID] = k
+	}
+	c.zzNext = make([][]int, len(c.messages))
+	for k, m := range c.messages {
+		// m' can follow m on a zigzag path iff m' is sent by m's receiver
+		// in the same or a later checkpoint interval (Definition 3, ii).
+		for _, k2 := range c.outBy[m.To] {
+			if c.messages[k2].SendInterval >= m.RecvInterval {
+				c.zzNext[k] = append(c.zzNext[k], k2)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package ccp models Checkpoint and Communication Patterns (CCPs): the set
+// of checkpoints taken by every process in a consistent cut of a distributed
+// computation together with the dependency relation created by the messages
+// exchanged (Section 2.2 of the paper).
+//
+// The package is the ground-truth oracle of the repository. It computes
+// causal precedence between checkpoints (Definition 1 lifted to checkpoints,
+// via Equation 2), zigzag-path reachability (Netzer and Xu, Definition 3),
+// the rollback-dependency-trackability predicate (Definition 4), recovery
+// lines (Lemma 1), and the obsolete-checkpoint characterization (Theorem 1
+// and the brute-force Definition 7). The garbage collectors in
+// internal/core and internal/gc are validated against these oracles.
+package ccp
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// CheckpointID identifies one general checkpoint of a CCP: stable checkpoints
+// have Index in [0, LastStable(Process)], and Index = LastStable(Process)+1
+// denotes the volatile checkpoint of the process (Equation 1).
+type CheckpointID struct {
+	Process int
+	Index   int
+}
+
+func (c CheckpointID) String() string {
+	return fmt.Sprintf("c_%d^%d", c.Process, c.Index)
+}
+
+// Message is one delivered application message of the pattern. Intervals are
+// checkpoint-interval indices: a message sent in interval γ was sent after
+// checkpoint γ−1 and before checkpoint γ of the sender; a message received in
+// interval δ was received before checkpoint δ of the receiver. SendSeq and
+// RecvSeq are the positions of the send and receive events in the local event
+// order of the sender and receiver; they let path queries distinguish causal
+// paths (receive precedes next send) from non-causal zigzag paths.
+type Message struct {
+	ID           int
+	From, To     int
+	SendInterval int
+	RecvInterval int
+	SendSeq      int
+	RecvSeq      int
+}
+
+// CCP is an immutable checkpoint-and-communication pattern produced by a
+// Builder. All query methods are safe for concurrent use.
+type CCP struct {
+	n        int
+	lastS    []int         // last stable checkpoint index per process
+	dvs      [][]vclock.DV // dvs[i][γ] = dependency vector stored with c_i^γ; last entry is the volatile state's vector
+	messages []Message
+
+	// outBy[p] lists indices into messages of messages sent by p, in
+	// ascending SendInterval order (builder order).
+	outBy [][]int
+
+	// byID maps a builder-assigned message ID to its index in messages.
+	byID map[int]int
+
+	// zzNext[m] lists message indices m' such that m' can directly follow m
+	// on a zigzag path: sender(m') == receiver(m) and
+	// SendInterval(m') >= RecvInterval(m) (Definition 3, condition ii).
+	zzNext [][]int
+}
+
+// N returns the number of processes.
+func (c *CCP) N() int { return c.n }
+
+// LastStable returns last_s(i): the index of the last stable checkpoint of
+// process i in the pattern.
+func (c *CCP) LastStable(i int) int { return c.lastS[i] }
+
+// VolatileIndex returns the index that denotes the volatile checkpoint of
+// process i, i.e. LastStable(i)+1.
+func (c *CCP) VolatileIndex(i int) int { return c.lastS[i] + 1 }
+
+// NumCheckpoints returns the number of general checkpoints of process i
+// including the volatile one.
+func (c *CCP) NumCheckpoints(i int) int { return c.lastS[i] + 2 }
+
+// Messages returns the delivered messages of the pattern.
+// The returned slice is a copy.
+func (c *CCP) Messages() []Message {
+	out := make([]Message, len(c.messages))
+	copy(out, c.messages)
+	return out
+}
+
+// DV returns the dependency vector stored with checkpoint id (or the
+// volatile state's current vector when id denotes a volatile checkpoint).
+// The returned vector is a copy.
+func (c *CCP) DV(id CheckpointID) vclock.DV {
+	c.check(id)
+	return c.dvs[id.Process][id.Index].Clone()
+}
+
+// Stable reports whether id denotes a stable checkpoint of the pattern.
+func (c *CCP) Stable(id CheckpointID) bool {
+	return id.Index >= 0 && id.Index <= c.lastS[id.Process]
+}
+
+func (c *CCP) check(id CheckpointID) {
+	if id.Process < 0 || id.Process >= c.n {
+		panic(fmt.Sprintf("ccp: process %d out of range [0,%d)", id.Process, c.n))
+	}
+	if id.Index < 0 || id.Index > c.lastS[id.Process]+1 {
+		panic(fmt.Sprintf("ccp: checkpoint index %d of p_%d out of range [0,%d]",
+			id.Index, id.Process, c.lastS[id.Process]+1))
+	}
+}
+
+// CausallyPrecedes reports whether checkpoint a causally precedes checkpoint
+// b. Causal precedence between checkpoints is computed from the stored
+// dependency vectors via Equation 2: c_a^α → c_b^β ⟺ α < DV(c_b^β)[a].
+// For same-process checkpoints this degenerates to index order.
+func (c *CCP) CausallyPrecedes(a, b CheckpointID) bool {
+	c.check(a)
+	c.check(b)
+	if a.Process == b.Process {
+		return a.Index < b.Index
+	}
+	return vclock.PrecedesCheckpoint(a.Process, a.Index, c.dvs[b.Process][b.Index])
+}
+
+// Consistent reports whether the two checkpoints are consistent, i.e. not
+// causally related in either direction (Section 2.2).
+func (c *CCP) Consistent(a, b CheckpointID) bool {
+	return !c.CausallyPrecedes(a, b) && !c.CausallyPrecedes(b, a)
+}
+
+// IsConsistentGlobal reports whether the global checkpoint formed by taking
+// checkpoint line[i] of each process i is consistent, i.e. all its members
+// are pairwise consistent.
+func (c *CCP) IsConsistentGlobal(line []int) bool {
+	if len(line) != c.n {
+		panic(fmt.Sprintf("ccp: global checkpoint has %d entries, want %d", len(line), c.n))
+	}
+	for i := 0; i < c.n; i++ {
+		for j := i + 1; j < c.n; j++ {
+			a := CheckpointID{Process: i, Index: line[i]}
+			b := CheckpointID{Process: j, Index: line[j]}
+			if !c.Consistent(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}

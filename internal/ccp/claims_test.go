@@ -1,0 +1,126 @@
+package ccp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClaim1NeedlessIsStable verifies Claim 1 of Lemma 3's proof: once a
+// stable checkpoint is needless in a cut, it stays needless in every future
+// cut. The test walks the prefix cuts of random RDT executions and checks
+// obsolescence (= needlessness, by the Theorem 1 oracle already
+// cross-checked against Definition 7) never reverts from true to false.
+func TestClaim1NeedlessIsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(3)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 20 + rng.Intn(25)})
+		s = ForceRDT(s)
+		prefixes := s.Prefixes()
+
+		type key struct{ p, g int }
+		needless := map[key]int{} // first prefix where it became needless
+		for k, c := range prefixes {
+			for p := 0; p < n; p++ {
+				for g := 0; g <= c.LastStable(p); g++ {
+					id := key{p, g}
+					if c.Obsolete(p, g) {
+						if _, seen := needless[id]; !seen {
+							needless[id] = k
+						}
+					} else if firstK, seen := needless[id]; seen {
+						t.Fatalf("trial %d: s_%d^%d needless at prefix %d but needed again at prefix %d",
+							trial, p, g, firstK, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClaim2NeedlessSurvivesRollback verifies Claim 2: a needless
+// checkpoint is either rolled back or still needless in the pattern defined
+// by any recovery line. The test truncates random RDT executions at random
+// recovery lines and re-evaluates obsolescence in the truncated pattern.
+func TestClaim2NeedlessSurvivesRollback(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(3)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 25 + rng.Intn(25)})
+		s = ForceRDT(s)
+		c := s.BuildCCP()
+
+		var faulty []int
+		for f := 0; f < n; f++ {
+			if rng.Intn(2) == 0 {
+				faulty = append(faulty, f)
+			}
+		}
+		if len(faulty) == 0 {
+			faulty = []int{rng.Intn(n)}
+		}
+		line := c.RecoveryLine(faulty)
+
+		// Truncate the script at the line (stable components only).
+		cut := make([]int, n)
+		for p := 0; p < n; p++ {
+			if line[p] > c.LastStable(p) {
+				cut[p] = -1
+			} else {
+				cut[p] = line[p]
+			}
+		}
+		truncated, _ := Truncate(s, cut)
+		after := truncated.BuildCCP()
+
+		for p := 0; p < n; p++ {
+			for g := 0; g <= c.LastStable(p); g++ {
+				if !c.Obsolete(p, g) {
+					continue
+				}
+				if g > after.LastStable(p) {
+					continue // rolled back: "nonexistent" per Claim 2
+				}
+				if !after.Obsolete(p, g) {
+					t.Fatalf("trial %d: s_%d^%d needless before rollback at line %v but needed after",
+						trial, p, g, line)
+				}
+			}
+		}
+	}
+}
+
+// TestObsoleteNeverInFutureRecoveryLine is the operational meaning of
+// Definition 6 checked end to end: a checkpoint obsolete at some prefix
+// never appears in a recovery line computed at any later prefix.
+func TestObsoleteNeverInFutureRecoveryLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(613))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(2)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 20 + rng.Intn(20)})
+		s = ForceRDT(s)
+		prefixes := s.Prefixes()
+
+		type key struct{ p, g int }
+		obsoleteAt := map[key]bool{}
+		for _, c := range prefixes {
+			// Check every single-fault recovery line (Lemma 2 says that is
+			// enough) against everything already obsolete.
+			for f := 0; f < n; f++ {
+				line := c.RecoveryLine([]int{f})
+				for p := 0; p < n; p++ {
+					if line[p] <= c.LastStable(p) && obsoleteAt[key{p, line[p]}] {
+						t.Fatalf("trial %d: obsolete s_%d^%d re-entered R_{p%d}", trial, p, line[p], f)
+					}
+				}
+			}
+			for p := 0; p < n; p++ {
+				for g := 0; g <= c.LastStable(p); g++ {
+					if c.Obsolete(p, g) {
+						obsoleteAt[key{p, g}] = true
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package ccp
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectPanic runs f and checks it panics with a message containing want.
+func expectPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg, ok := r.(string); ok && !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func fig1CCP() *CCP {
+	f := NewFig1(true)
+	return f.Script.BuildCCP()
+}
+
+func TestCCPAccessorValidation(t *testing.T) {
+	c := fig1CCP()
+	expectPanic(t, "out of range", func() { c.DV(CheckpointID{Process: 9, Index: 0}) })
+	expectPanic(t, "out of range", func() { c.DV(CheckpointID{Process: 0, Index: 99}) })
+	expectPanic(t, "out of range", func() { c.CausallyPrecedes(CheckpointID{Process: -1}, CheckpointID{}) })
+	expectPanic(t, "entries", func() { c.IsConsistentGlobal([]int{0}) })
+	expectPanic(t, "out of range", func() { c.RecoveryLine([]int{7}) })
+	expectPanic(t, "volatile", func() { c.Obsolete(0, c.VolatileIndex(0)) })
+	expectPanic(t, "volatile", func() { c.NeedlessBruteForce(0, c.VolatileIndex(0)) })
+}
+
+func TestCCPBasicAccessors(t *testing.T) {
+	c := fig1CCP()
+	if c.N() != 3 {
+		t.Errorf("N = %d, want 3", c.N())
+	}
+	if got := c.NumCheckpoints(2); got != 4 { // s0,s1,s2 + volatile
+		t.Errorf("NumCheckpoints(p3) = %d, want 4", got)
+	}
+	if !c.Stable(CheckpointID{Process: 0, Index: 1}) {
+		t.Error("s_1^1 should be stable")
+	}
+	if c.Stable(CheckpointID{Process: 0, Index: c.VolatileIndex(0)}) {
+		t.Error("volatile checkpoint should not be stable")
+	}
+	msgs := c.Messages()
+	if len(msgs) != 5 {
+		t.Fatalf("Messages() = %d, want 5", len(msgs))
+	}
+	msgs[0].From = 99 // returned slice must be a copy
+	if c.Messages()[0].From == 99 {
+		t.Error("Messages() aliases internal state")
+	}
+	dv := c.DV(CheckpointID{Process: 0, Index: 0})
+	dv[0] = 99
+	if c.DV(CheckpointID{Process: 0, Index: 0})[0] == 99 {
+		t.Error("DV() aliases internal state")
+	}
+}
+
+func TestCheckpointIDString(t *testing.T) {
+	id := CheckpointID{Process: 1, Index: 3}
+	if got := id.String(); got != "c_1^3" {
+		t.Errorf("String() = %q, want c_1^3", got)
+	}
+}
+
+func TestRDTViolationString(t *testing.T) {
+	v := RDTViolation{
+		From: CheckpointID{Process: 0, Index: 1},
+		To:   CheckpointID{Process: 2, Index: 2},
+	}
+	s := v.String()
+	if !strings.Contains(s, "c_0^1") || !strings.Contains(s, "c_2^2") {
+		t.Errorf("violation string %q lacks the endpoints", s)
+	}
+}
+
+func TestSingleProcessCCP(t *testing.T) {
+	var s Script
+	s.N = 1
+	s.Checkpoint(0)
+	s.Checkpoint(0)
+	c := s.BuildCCP()
+	if c.LastStable(0) != 2 {
+		t.Fatalf("lastS = %d, want 2", c.LastStable(0))
+	}
+	if !c.IsRDT() {
+		t.Error("a communication-free pattern is trivially RDT")
+	}
+	// Without peers, only the last stable checkpoint is non-obsolete.
+	for g := 0; g <= 1; g++ {
+		if !c.Obsolete(0, g) {
+			t.Errorf("s^%d should be obsolete in a single-process pattern", g)
+		}
+	}
+	if c.Obsolete(0, 2) {
+		t.Error("s^last should not be obsolete")
+	}
+	line := c.RecoveryLine([]int{0})
+	if line[0] != 2 {
+		t.Errorf("single-fault line = %v, want [2]", line)
+	}
+}
+
+func TestMaxConsistentBelowValidation(t *testing.T) {
+	c := fig1CCP()
+	expectPanic(t, "bounds", func() { c.MaxConsistentBelow([]int{0}) })
+	expectPanic(t, "out of range", func() { c.MaxConsistentBelow([]int{99, 0, 0}) })
+}
+
+func TestForceRDTPreservesApplicationOps(t *testing.T) {
+	var s Script
+	s.N = 2
+	m := s.Message(0, 1)
+	s.Checkpoint(1)
+	out := ForceRDT(s)
+	// Every original op survives in order; only checkpoints are inserted.
+	var kinds []OpKind
+	for _, op := range out.Ops {
+		if op.Kind != OpCheckpoint {
+			kinds = append(kinds, op.Kind)
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != OpSend || kinds[1] != OpRecv {
+		t.Fatalf("application ops not preserved: %v", out.Ops)
+	}
+	_ = m
+}

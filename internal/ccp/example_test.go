@@ -1,0 +1,38 @@
+package ccp_test
+
+import (
+	"fmt"
+
+	"repro/internal/ccp"
+)
+
+// Example_buildAndQuery constructs a small pattern and runs the core
+// oracle queries on it.
+func Example_buildAndQuery() {
+	var s ccp.Script
+	s.N = 2
+	m := s.Message(0, 1) // p1 → p2
+	s.Checkpoint(1)      // s_2^1 depends on p1's first interval
+	c := s.BuildCCP()
+
+	s10 := ccp.CheckpointID{Process: 0, Index: 0}
+	s21 := ccp.CheckpointID{Process: 1, Index: 1}
+	fmt.Println("s_1^0 → s_2^1:", c.CausallyPrecedes(s10, s21))
+	fmt.Println("zigzag path [m0]:", c.IsZigzagPath([]int{m}, s10, s21))
+	fmt.Println("RD-trackable:", c.IsRDT())
+	fmt.Println("recovery line if p1 fails:", c.RecoveryLine([]int{0}))
+	// Output:
+	// s_1^0 → s_2^1: true
+	// zigzag path [m0]: true
+	// RD-trackable: true
+	// recovery line if p1 fails: [0 0]
+}
+
+// Example_obsolete evaluates Theorem 1 on the paper's Figure 3 pattern.
+func Example_obsolete() {
+	f := ccp.NewFig3()
+	c := f.Script.BuildCCP()
+	fmt.Println("obsolete checkpoints:", c.ObsoleteSet())
+	// Output:
+	// obsolete checkpoints: [c_1^0 c_1^2 c_2^1 c_3^0 c_3^2]
+}

@@ -1,0 +1,194 @@
+package ccp
+
+// This file reconstructs the worked scenarios of the paper's Figures 1-5 as
+// execution scripts. The paper prints the figures as space-time diagrams; the
+// reconstructions below were derived from every fact the text states about
+// each figure and the figure tests assert all of those facts. Process p_k of
+// the paper is process k-1 here (0-indexed).
+
+// Fig1 is the example CCP of Figure 1: three processes, five messages.
+// Stated facts (all asserted in fig_test.go):
+//
+//   - [m1,m2] and [m1,m4] are C-paths; [m5,m4] is a Z-path;
+//   - {v1, s_2^1, s_3^1} is consistent; {s_1^0, s_2^1, s_3^1} is not,
+//     because s_1^0 → s_2^1;
+//   - the CCP is RD-trackable;
+//   - without m3 it is not: [m5,m4] is a Z-path from s_1^1 to s_3^2 and
+//     s_1^1 ⤳ s_3^2 but s_1^1 ↛ s_3^2.
+type Fig1 struct {
+	Script             Script
+	M1, M2, M3, M4, M5 int
+}
+
+// NewFig1 builds the Figure 1 scenario. If withM3 is false, message m3 is
+// omitted (the RDT-breaking variant discussed in Section 2.3); the returned
+// M3 is then -1 and later message numbers shift accordingly.
+func NewFig1(withM3 bool) Fig1 {
+	var f Fig1
+	s := &f.Script
+	s.N = 3
+	f.M1 = s.Message(0, 1) // m1: p1 → p2, both in interval 1
+	f.M2 = s.Message(1, 2) // m2: p2 → p3 after receiving m1 (so [m1,m2] is causal)
+	s.Checkpoint(2)        // s_3^1
+	s.Checkpoint(0)        // s_1^1
+	f.M3 = -1
+	if withM3 {
+		f.M3 = s.Message(0, 2) // m3: p1 → p3, doubles the Z-path [m5,m4]
+	}
+	s.Checkpoint(1)  // s_2^1
+	f.M4 = s.Send(1) // m4: p2 → p3, sent in interval 2 of p2
+	f.M5 = s.Send(0) // m5: p1 → p2, sent after s_1^1
+	s.Recv(1, f.M5)  // p2 receives m5 after sending m4: [m5,m4] is non-causal
+	s.Recv(2, f.M4)  // p3 receives m4 in interval 2
+	s.Checkpoint(2)  // s_3^2
+	return f
+}
+
+// Fig2 is the domino-effect scenario of Figure 2: two processes whose
+// messages cross around every checkpoint, so every stable checkpoint except
+// the initial ones lies on a zigzag cycle ([m2,m1] connects s_1^1 to itself)
+// and the only consistent global checkpoint is {s_1^0, s_2^0}.
+type Fig2 struct {
+	Script         Script
+	M1, M2, M3, M4 int
+}
+
+// NewFig2 builds the Figure 2 scenario.
+func NewFig2() Fig2 {
+	var f Fig2
+	s := &f.Script
+	s.N = 2
+	f.M1 = s.Send(1) // m1: p2 → p1
+	s.Recv(0, f.M1)
+	s.Checkpoint(0)  // s_1^1
+	f.M2 = s.Send(0) // m2: p1 → p2, crosses m1's interval
+	s.Recv(1, f.M2)
+	s.Checkpoint(1)  // s_2^1
+	f.M3 = s.Send(1) // m3: p2 → p1
+	s.Recv(0, f.M3)
+	s.Checkpoint(0)  // s_1^2
+	f.M4 = s.Send(0) // m4: p1 → p2
+	s.Recv(1, f.M4)
+	return f
+}
+
+// Fig3 is the recovery-line scenario of Figure 3: four processes,
+// F = {p2, p3}. The paper displays checkpoint indices starting at c_1^8,
+// c_2^7, c_3^7, c_4^6; the reconstruction re-indexes each process from 0 and
+// Offsets records the per-process shift back to the paper's labels.
+// Stated facts (asserted in fig_test.go):
+//
+//   - the recovery line for F = {p2,p3} is {v1, s_2^last, s_3^{last-1}, c_4^9}
+//     (paper labels), with s_3^last excluded because s_2^last → s_3^last;
+//   - the pattern has exactly five obsolete checkpoints:
+//     {c_2^7, c_2^9, c_3^8, c_4^6, c_4^8}.
+type Fig3 struct {
+	Script  Script
+	Offsets [4]int // paper index = local index + offset, per process
+	Faulty  []int  // F = {p2, p3}, 0-indexed
+}
+
+// NewFig3 builds the Figure 3 scenario.
+func NewFig3() Fig3 {
+	f := Fig3{
+		Offsets: [4]int{8, 7, 7, 6},
+		Faulty:  []int{1, 2},
+	}
+	s := &f.Script
+	s.N = 4
+	// p1 (process 0) sends three early messages and never checkpoints again,
+	// so s_1^last = s_1^0 (paper: c_1^8).
+	sa := s.Send(0)
+	sb := s.Send(0)
+	sc := s.Send(0)
+	s.Checkpoint(1) // s_2^1 (c_2^8)
+	s.Recv(1, sa)   // arrives in interval 2 of p2: s_1^0 → s_2^2, ↛ s_2^1
+	s.Recv(2, sb)   // arrives in interval 1 of p3: s_1^0 → s_3^1
+	s.Checkpoint(2) // s_3^1 (c_3^8)
+	s.Checkpoint(3) // s_4^1 (c_4^7)
+	s.Recv(3, sc)   // arrives in interval 2 of p4: s_1^0 → s_4^2, ↛ s_4^1
+	s.Checkpoint(1) // s_2^2 (c_2^9)
+	s.Checkpoint(1) // s_2^3 = s_2^last (c_2^10)
+	s.Checkpoint(2) // s_3^2 (c_3^9)
+	m1 := s.Send(1) // p2 → p3 after s_2^last ...
+	s.Recv(2, m1)   // ... before s_3^3: s_2^last → s_3^last, ↛ s_3^2
+	s.Checkpoint(2) // s_3^3 = s_3^last (c_3^10)
+	s.Checkpoint(3) // s_4^2 (c_4^8)
+	s.Checkpoint(3) // s_4^3 (c_4^9)
+	m2 := s.Send(2) // p3 → p4 after s_3^last ...
+	s.Recv(3, m2)   // ... in interval 4 of p4
+	m3 := s.Send(1) // p2 → p4 after s_2^last ...
+	s.Recv(3, m3)   // ... in interval 4 of p4: both lasts → s_4^4, ↛ s_4^3
+	s.Checkpoint(3) // s_4^4 = s_4^last (c_4^10)
+	return f
+}
+
+// PaperObsolete lists Figure 3's five obsolete checkpoints in local
+// (0-indexed, re-indexed) coordinates. In paper labels these are
+// c_2^7, c_2^9, c_3^8, c_4^6 and c_4^8.
+func (f Fig3) PaperObsolete() []CheckpointID {
+	return []CheckpointID{
+		{Process: 1, Index: 0}, // c_2^7
+		{Process: 1, Index: 2}, // c_2^9
+		{Process: 2, Index: 1}, // c_3^8
+		{Process: 3, Index: 0}, // c_4^6
+		{Process: 3, Index: 2}, // c_4^8
+	}
+}
+
+// Fig4 is the RDT-LGC execution of Figure 4: three processes whose DV and UC
+// contents are printed at every event. The trace facts (asserted in
+// internal/core/fig4_test.go against the real collector):
+//
+//   - s_2^2, s_3^1 and s_3^2 are eliminated during the run;
+//   - s_2^1 is the one obsolete checkpoint RDT-LGC cannot identify, because
+//     p2 never learns that p3 checkpointed after s_3^1;
+//   - final vectors: p2 has DV = (1,4,2), UC = (0,3,1); p3 has
+//     DV = (1,4,4), UC = (0,3,3).
+type Fig4 struct {
+	Script Script
+}
+
+// NewFig4 builds the Figure 4 execution.
+func NewFig4() Fig4 {
+	var f Fig4
+	s := &f.Script
+	s.N = 3
+	s.Message(0, 1) // p1 → p2: p2's DV = (1,1,0), UC = (0,0,*)
+	s.Message(1, 2) // p2 → p3: p3's DV = (1,1,1), UC = (0,0,0)
+	s.Checkpoint(1) // s_2^1 stores (1,1,0); UC = (0,1,*)
+	s.Checkpoint(2) // s_3^1 stores (1,1,1); UC = (0,0,1)
+	s.Message(2, 1) // p3 → p2: p2's DV = (1,2,2), UC = (0,1,1)
+	s.Checkpoint(2) // s_3^2 stores (1,1,2); collects s_3^1; UC = (0,0,2)
+	s.Checkpoint(1) // s_2^2 stores (1,2,2); UC = (0,2,1)
+	s.Message(1, 2) // p2 → p3: p3's DV = (1,3,3), UC = (0,2,2)
+	s.Checkpoint(2) // s_3^3 stores (1,3,3); UC = (0,2,3)
+	s.Checkpoint(1) // s_2^3 stores (1,3,2); collects s_2^2; UC = (0,3,1)
+	s.Message(1, 2) // p2 → p3: p3's DV = (1,4,4); collects s_3^2; UC = (0,3,3)
+	return f
+}
+
+// WorstCase builds the Figure 5 family generalized to n processes: an
+// execution after which every process retains exactly n stable checkpoints
+// under RDT-LGC — the least upper bound of Section 4.5. In round r, process
+// p_r broadcasts to everyone and then every process takes a basic
+// checkpoint; each receiver links UC[r] to a distinct local checkpoint, so
+// after n rounds all n UC entries of every process reference distinct
+// checkpoints. Process q's only collected checkpoint is s_q^q.
+func WorstCase(n int) Script {
+	var s Script
+	s.N = n
+	for r := 0; r < n; r++ {
+		for q := 0; q < n; q++ {
+			if q == r {
+				continue
+			}
+			m := s.Send(r)
+			s.Recv(q, m)
+		}
+		for q := 0; q < n; q++ {
+			s.Checkpoint(q)
+		}
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package ccp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMaxConsistentBelowDomino checks rollback propagation exhibits the
+// domino effect on the Figure 2 pattern: crashing p1 (volatile lost, last
+// stable available) dominoes both processes to their initial checkpoints.
+func TestMaxConsistentBelowDomino(t *testing.T) {
+	f := NewFig2()
+	c := f.Script.BuildCCP()
+	avail := []int{c.LastStable(0), c.VolatileIndex(1)}
+	line := c.MaxConsistentBelow(avail)
+	if !reflect.DeepEqual(line, []int{0, 0}) {
+		t.Fatalf("domino line = %v, want [0 0]", line)
+	}
+	if !c.IsConsistentGlobal(line) {
+		t.Fatal("domino line not consistent")
+	}
+}
+
+// TestMaxConsistentBelowMatchesLemma1OnRDT checks the two recovery-line
+// computations coincide on RD-trackable patterns: Lemma 1's closed form
+// equals generic rollback propagation.
+func TestMaxConsistentBelowMatchesLemma1OnRDT(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		c := randomRDT(rng, n, 20+rng.Intn(30))
+		var faulty []int
+		avail := make([]int, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				faulty = append(faulty, i)
+				avail[i] = c.LastStable(i)
+			} else {
+				avail[i] = c.VolatileIndex(i)
+			}
+		}
+		want := c.RecoveryLine(faulty)
+		got := c.MaxConsistentBelow(avail)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: propagation %v != Lemma 1 %v (faulty %v)", trial, got, want, faulty)
+		}
+	}
+}
+
+// TestMaxConsistentBelowIsMaximal checks no component can be advanced
+// without breaking consistency, on arbitrary (non-RDT) random patterns.
+func TestMaxConsistentBelowIsMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 25})
+		c := s.BuildCCP()
+		avail := make([]int, n)
+		for i := range avail {
+			avail[i] = c.VolatileIndex(i)
+			if rng.Intn(3) == 0 {
+				avail[i] = c.LastStable(i)
+			}
+		}
+		line := c.MaxConsistentBelow(avail)
+		if !c.IsConsistentGlobal(line) {
+			t.Fatalf("trial %d: line %v not consistent", trial, line)
+		}
+		// Maximality among complete lines: bumping any single component by
+		// one (within avail) must break pairwise consistency with some
+		// other component at or below its avail bound. We verify the
+		// stronger lattice fact by brute force on small patterns: no
+		// consistent line ≤ avail dominates this one anywhere.
+		var rec func(p int, cand []int)
+		rec = func(p int, cand []int) {
+			if p == n {
+				if c.IsConsistentGlobal(cand) {
+					for q := 0; q < n; q++ {
+						if cand[q] > line[q] {
+							t.Fatalf("trial %d: consistent line %v exceeds %v at p%d", trial, cand, line, q)
+						}
+					}
+				}
+				return
+			}
+			for k := 0; k <= avail[p]; k++ {
+				cand[p] = k
+				rec(p+1, cand)
+			}
+		}
+		if total := lines(c, avail); total <= 4096 {
+			rec(0, make([]int, n))
+		}
+	}
+}
+
+func lines(c *CCP, avail []int) int {
+	t := 1
+	for _, a := range avail {
+		t *= a + 1
+		if t > 1<<20 {
+			return t
+		}
+	}
+	return t
+}

@@ -1,0 +1,194 @@
+package ccp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRDT builds a random RD-trackable CCP.
+func randomRDT(rng *rand.Rand, n, ops int) *CCP {
+	s := RandomScript(rng, RandomOptions{N: n, Ops: ops, PLoss: 0.05})
+	s = ForceRDT(s)
+	return s.BuildCCP()
+}
+
+// TestForceRDTProducesRDT checks the FDAS transformation always yields
+// RD-trackable patterns.
+func TestForceRDTProducesRDT(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(4)
+		c := randomRDT(rng, n, 20+rng.Intn(40))
+		if v, bad := c.FirstRDTViolation(); bad {
+			t.Fatalf("trial %d: FDAS-forced CCP not RDT: %v", trial, v)
+		}
+		if u := c.UselessCheckpoints(); len(u) != 0 {
+			t.Fatalf("trial %d: RDT CCP has useless checkpoints %v", trial, u)
+		}
+	}
+}
+
+// TestRandomScriptsOftenViolateRDT sanity-checks the generator: without the
+// FDAS discipline, random basic checkpointing does produce non-RDT patterns
+// (otherwise the RDT tests above would be vacuous).
+func TestRandomScriptsOftenViolateRDT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	violations := 0
+	for trial := 0; trial < 60; trial++ {
+		s := RandomScript(rng, RandomOptions{N: 4, Ops: 60})
+		c := s.BuildCCP()
+		if !c.IsRDT() {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Fatal("no random pattern violated RDT; generator too tame for the oracle tests")
+	}
+}
+
+// TestTheorem1MatchesBruteForce cross-checks Theorem 1's characterization of
+// obsolete checkpoints against the literal Definition 7 evaluation over all
+// 2^n faulty sets, on random RDT patterns (Lemma 3 links the two).
+func TestTheorem1MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		c := randomRDT(rng, n, 15+rng.Intn(30))
+		for i := 0; i < n; i++ {
+			for g := 0; g <= c.LastStable(i); g++ {
+				th := c.Obsolete(i, g)
+				bf := c.NeedlessBruteForce(i, g)
+				if th != bf {
+					t.Fatalf("trial %d: s_%d^%d: Theorem1=%v bruteforce=%v", trial, i, g, th, bf)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma2SingleFaultReduction checks that membership in some recovery
+// line reduces to membership in a single-fault recovery line (Lemma 2).
+func TestLemma2SingleFaultReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		c := randomRDT(rng, n, 15+rng.Intn(30))
+		for i := 0; i < n; i++ {
+			for g := 0; g <= c.LastStable(i); g++ {
+				all := c.NeedlessBruteForce(i, g)
+				single := c.NeedlessSingleFault(i, g)
+				if all != single {
+					t.Fatalf("trial %d: s_%d^%d: allsets=%v singlefault=%v", trial, i, g, all, single)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryLineProperties checks Lemma 1's three claims on random RDT
+// patterns and random faulty sets: the line is well-defined, consistent, and
+// maximal (no faulty process's volatile state included; every later
+// checkpoint of any process is preceded by some faulty last checkpoint).
+func TestRecoveryLineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(4)
+		c := randomRDT(rng, n, 15+rng.Intn(40))
+		var faulty []int
+		for f := 0; f < n; f++ {
+			if rng.Intn(2) == 0 {
+				faulty = append(faulty, f)
+			}
+		}
+		line := c.RecoveryLine(faulty)
+		if !c.IsConsistentGlobal(line) {
+			t.Fatalf("trial %d: recovery line %v not consistent", trial, line)
+		}
+		for _, f := range faulty {
+			if line[f] > c.LastStable(f) {
+				t.Fatalf("trial %d: faulty p%d assigned volatile checkpoint", trial, f)
+			}
+		}
+		// Maximality: any checkpoint beyond the line is causally preceded by
+		// the last stable checkpoint of some faulty process.
+		for i := 0; i < n; i++ {
+			for g := line[i] + 1; g <= c.VolatileIndex(i); g++ {
+				if !c.precededByAnyLast(faulty, CheckpointID{Process: i, Index: g}) {
+					t.Fatalf("trial %d: c_%d^%d beyond line %v but not preceded by a faulty last",
+						trial, i, g, line)
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyFaultySetRecoveryLine checks R_∅ is the all-volatile line.
+func TestEmptyFaultySetRecoveryLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c := randomRDT(rng, 3, 30)
+	line := c.RecoveryLine(nil)
+	for i := 0; i < 3; i++ {
+		if line[i] != c.VolatileIndex(i) {
+			t.Fatalf("R_∅[%d] = %d, want volatile %d", i, line[i], c.VolatileIndex(i))
+		}
+	}
+}
+
+// TestZigzagIncludesCausal verifies that causal precedence between
+// checkpoints of different processes implies zigzag reachability (every
+// C-path is a zigzag path).
+func TestZigzagIncludesCausal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(3)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 30})
+		c := s.BuildCCP()
+		for i := 0; i < n; i++ {
+			for g := 0; g <= c.VolatileIndex(i); g++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					for h := 0; h <= c.VolatileIndex(j); h++ {
+						a := CheckpointID{Process: i, Index: g}
+						b := CheckpointID{Process: j, Index: h}
+						if c.CausallyPrecedes(a, b) && !c.ZigzagReachable(a, b) {
+							t.Fatalf("trial %d: %v → %v but not ⤳", trial, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVolatileNeverObsoleteLast checks that the last stable checkpoint of a
+// process is never obsolete (paper: s_i^last → v_i and s_i^last ↛ s_i^last).
+func TestLastStableNeverObsolete(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		c := randomRDT(rng, n, 20+rng.Intn(30))
+		for i := 0; i < n; i++ {
+			if c.Obsolete(i, c.LastStable(i)) {
+				t.Fatalf("trial %d: s_%d^last reported obsolete", trial, i)
+			}
+		}
+	}
+}
+
+// TestBuilderDVMatchesEquation2 cross-checks the stored dependency vectors
+// against direct zigzag-free causal reasoning on a hand-built scenario.
+func TestBuilderDVMatchesEquation2(t *testing.T) {
+	f := NewFig1(true)
+	c := f.Script.BuildCCP()
+	// In Figure 1, m3 carries p1's interval-2 state to p3 before s_3^2, so
+	// DV(s_3^2)[0] = 2 and Equation 2 says s_1^1 → s_3^2.
+	dv := c.DV(CheckpointID{Process: 2, Index: 2})
+	if dv[0] != 2 {
+		t.Fatalf("DV(s_3^2)[p1] = %d, want 2", dv[0])
+	}
+	if !c.CausallyPrecedes(CheckpointID{Process: 0, Index: 1}, CheckpointID{Process: 2, Index: 2}) {
+		t.Fatal("Equation 2 should give s_1^1 → s_3^2")
+	}
+}

@@ -1,0 +1,84 @@
+package ccp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickTruncateAlwaysValid: truncating any random script at any cut
+// vector yields a well-formed script whose per-process checkpoint counts
+// respect the cuts.
+func TestQuickTruncateAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 20 + rng.Intn(30), PLoss: 0.1})
+		cut := make([]int, n)
+		for i := range cut {
+			cut[i] = rng.Intn(8) - 1 // -1 = keep whole
+		}
+		out, _ := Truncate(s, cut)
+		if err := out.Validate(); err != nil {
+			return false
+		}
+		counts := make([]int, n)
+		for _, op := range out.Ops {
+			if op.Kind == OpCheckpoint {
+				counts[op.P]++
+			}
+		}
+		for i := range cut {
+			if cut[i] >= 0 && counts[i] > cut[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickForceRDTIdempotent: applying the FDAS transformation to an
+// already-transformed script inserts no further checkpoints.
+func TestQuickForceRDTIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 15 + rng.Intn(25)})
+		once := ForceRDT(s)
+		twice := ForceRDT(once)
+		return len(twice.Ops) == len(once.Ops)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrefixCutsMonotone: along the prefixes of any script, last-stable
+// indices never decrease and the volatile vectors only grow.
+func TestQuickPrefixCutsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		s := RandomScript(rng, RandomOptions{N: n, Ops: 15 + rng.Intn(20)})
+		prefixes := s.Prefixes()
+		for k := 1; k < len(prefixes); k++ {
+			for p := 0; p < n; p++ {
+				if prefixes[k].LastStable(p) < prefixes[k-1].LastStable(p) {
+					return false
+				}
+				cur := prefixes[k].DV(CheckpointID{Process: p, Index: prefixes[k].VolatileIndex(p)})
+				prev := prefixes[k-1].DV(CheckpointID{Process: p, Index: prefixes[k-1].VolatileIndex(p)})
+				if !cur.Dominates(prev) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

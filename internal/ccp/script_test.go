@@ -1,0 +1,223 @@
+package ccp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScriptValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Script
+		want string
+	}{
+		{"process out of range", Script{N: 2, Ops: []Op{{Kind: OpCheckpoint, P: 5}}}, "out of range"},
+		{"recv before send", Script{N: 2, Ops: []Op{{Kind: OpRecv, P: 0, Msg: 0}}}, "receive before send"},
+		{"bad send numbering", Script{N: 2, Ops: []Op{{Kind: OpSend, P: 0, Msg: 3}}}, "numbered"},
+		{"duplicate delivery", Script{N: 2, Ops: []Op{
+			{Kind: OpSend, P: 0, Msg: 0},
+			{Kind: OpRecv, P: 1, Msg: 0},
+			{Kind: OpRecv, P: 1, Msg: 0},
+		}}, "duplicate"},
+		{"self delivery", Script{N: 2, Ops: []Op{
+			{Kind: OpSend, P: 0, Msg: 0},
+			{Kind: OpRecv, P: 0, Msg: 0},
+		}}, "self"},
+		{"unknown kind", Script{N: 2, Ops: []Op{{Kind: OpKind(99), P: 0}}}, "unknown kind"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestScriptValidateOK(t *testing.T) {
+	var s Script
+	s.N = 3
+	s.Checkpoint(0)
+	m := s.Send(1)
+	s.Recv(2, m)
+	s.Send(2) // in transit, never delivered — still valid
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[string]Op{
+		"ckpt(p1)":     {Kind: OpCheckpoint, P: 1},
+		"send(p0, m2)": {Kind: OpSend, P: 0, Msg: 2},
+		"recv(p2, m0)": {Kind: OpRecv, P: 2, Msg: 0},
+		"op(42)":       {Kind: OpKind(42)},
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestBuildCCPPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildCCP of invalid script should panic")
+		}
+	}()
+	s := Script{N: 1, Ops: []Op{{Kind: OpRecv, P: 0, Msg: 0}}}
+	s.BuildCCP()
+}
+
+func TestTruncateDropsCutSendsAndRenumbers(t *testing.T) {
+	var s Script
+	s.N = 2
+	m0 := s.Message(0, 1) // survives
+	s.Checkpoint(0)       // p0's cut point (index 1)
+	m1 := s.Send(0)       // cut away with p0's later history
+	s.Recv(1, m1)
+	s.Checkpoint(1)
+	m2 := s.Message(1, 0) // p1 survives whole; receive by p0 is cut
+
+	out, remap := Truncate(s, []int{1, -1})
+	if err := out.Validate(); err != nil {
+		t.Fatalf("truncated script invalid: %v", err)
+	}
+	if _, ok := remap[m1]; ok {
+		t.Error("cut send m1 should not be remapped")
+	}
+	if _, ok := remap[m0]; !ok {
+		t.Error("surviving send m0 should be remapped")
+	}
+	if _, ok := remap[m2]; !ok {
+		t.Error("p1's send m2 should survive (in transit after the cut)")
+	}
+	// p0 keeps: send m0, ckpt; p1 keeps: recv m0, ckpt, send m2.
+	wantKinds := []OpKind{OpSend, OpRecv, OpCheckpoint, OpCheckpoint, OpSend}
+	var gotKinds []OpKind
+	for _, op := range out.Ops {
+		gotKinds = append(gotKinds, op.Kind)
+	}
+	if !reflect.DeepEqual(gotKinds, wantKinds) {
+		t.Fatalf("truncated ops %v, want kinds %v", out.Ops, wantKinds)
+	}
+}
+
+func TestTruncateLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Truncate(Script{N: 2}, []int{0})
+}
+
+func TestPrefixesCount(t *testing.T) {
+	f := NewFig1(true)
+	prefixes := f.Script.Prefixes()
+	if got, want := len(prefixes), len(f.Script.Ops)+1; got != want {
+		t.Fatalf("len(Prefixes) = %d, want %d", got, want)
+	}
+	// The empty prefix has only the initial checkpoints.
+	first := prefixes[0]
+	for p := 0; p < 3; p++ {
+		if first.LastStable(p) != 0 {
+			t.Errorf("empty prefix lastS(p%d) = %d, want 0", p, first.LastStable(p))
+		}
+	}
+	// The last prefix equals the full build.
+	full := f.Script.BuildCCP()
+	last := prefixes[len(prefixes)-1]
+	for p := 0; p < 3; p++ {
+		if last.LastStable(p) != full.LastStable(p) {
+			t.Errorf("final prefix lastS(p%d) = %d, full %d", p, last.LastStable(p), full.LastStable(p))
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := map[string]func(b *Builder){
+		"bad process checkpoint": func(b *Builder) { b.Checkpoint(7) },
+		"receive unknown":        func(b *Builder) { b.Receive(0, 99) },
+		"double receive": func(b *Builder) {
+			m := b.Send(0)
+			b.Receive(1, m)
+			b.Receive(1, m)
+		},
+		"self receive": func(b *Builder) {
+			m := b.Send(0)
+			b.Receive(0, m)
+		},
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f(NewBuilder(2))
+		})
+	}
+	if NewBuilder(2).N() != 2 {
+		t.Error("N() wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuilder(0) should panic")
+		}
+	}()
+	NewBuilder(0)
+}
+
+func TestBuilderCurrentDVAndLastStable(t *testing.T) {
+	b := NewBuilder(2)
+	if got := b.CurrentDV(0).String(); got != "(1, 0)" {
+		t.Errorf("initial DV = %s, want (1, 0)", got)
+	}
+	if b.LastStable(0) != 0 {
+		t.Errorf("initial lastS = %d, want 0", b.LastStable(0))
+	}
+	if idx := b.Checkpoint(0); idx != 1 {
+		t.Errorf("Checkpoint returned %d, want 1", idx)
+	}
+	if got := b.CurrentDV(0).String(); got != "(2, 0)" {
+		t.Errorf("DV after checkpoint = %s, want (2, 0)", got)
+	}
+	m := b.Send(0)
+	b.Receive(1, m)
+	if got := b.CurrentDV(1).String(); got != "(2, 1)" {
+		t.Errorf("receiver DV = %s, want (2, 1)", got)
+	}
+}
+
+func TestMessageByID(t *testing.T) {
+	f := NewFig1(true)
+	c := f.Script.BuildCCP()
+	if m, ok := c.MessageByID(f.M1); !ok || m.From != 0 || m.To != 1 {
+		t.Errorf("MessageByID(m1) = %+v, %v", m, ok)
+	}
+	if _, ok := c.MessageByID(999); ok {
+		t.Error("unknown message ID should not resolve")
+	}
+}
+
+func TestZigzagPathRejectsMalformed(t *testing.T) {
+	f := NewFig1(true)
+	c := f.Script.BuildCCP()
+	a := CheckpointID{Process: 0, Index: 0}
+	b := CheckpointID{Process: 2, Index: 1}
+	if c.IsZigzagPath(nil, a, b) {
+		t.Error("empty path is not a zigzag path")
+	}
+	if c.IsZigzagPath([]int{999}, a, b) {
+		t.Error("unknown message is not a zigzag path")
+	}
+	// m2 starts at p2, not p1: condition (i) fails.
+	if c.IsZigzagPath([]int{f.M2}, a, b) {
+		t.Error("path not starting at a's process must be rejected")
+	}
+}

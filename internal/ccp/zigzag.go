@@ -1,0 +1,169 @@
+package ccp
+
+import "fmt"
+
+// This file implements the Netzer–Xu zigzag-path theory (Definition 3) and
+// the rollback-dependency-trackability predicate (Definition 4).
+
+// MessageByID returns the delivered message with the given builder ID.
+func (c *CCP) MessageByID(id int) (Message, bool) {
+	k, ok := c.byID[id]
+	if !ok {
+		return Message{}, false
+	}
+	return c.messages[k], true
+}
+
+// IsZigzagPath reports whether the message sequence path (builder IDs)
+// forms a zigzag path from checkpoint a to checkpoint b per Definition 3:
+//
+//	(i)  a's process sends the first message after a;
+//	(ii) each following message is sent by the previous receiver in the same
+//	     or a later checkpoint interval;
+//	(iii) b's process receives the last message before b.
+func (c *CCP) IsZigzagPath(path []int, a, b CheckpointID) bool {
+	c.check(a)
+	c.check(b)
+	if len(path) == 0 {
+		return false
+	}
+	msgs := make([]Message, len(path))
+	for i, id := range path {
+		m, ok := c.MessageByID(id)
+		if !ok {
+			return false
+		}
+		msgs[i] = m
+	}
+	first, last := msgs[0], msgs[len(msgs)-1]
+	if first.From != a.Process || first.SendInterval < a.Index+1 {
+		return false // condition (i)
+	}
+	for i := 0; i+1 < len(msgs); i++ {
+		if msgs[i+1].From != msgs[i].To || msgs[i+1].SendInterval < msgs[i].RecvInterval {
+			return false // condition (ii)
+		}
+	}
+	return last.To == b.Process && last.RecvInterval <= b.Index // condition (iii)
+}
+
+// IsCausalPath reports whether path is a causal zigzag path (C-path) from a
+// to b: a zigzag path in which the receipt of each message but the last
+// causally precedes the send of the next, i.e. each hop's receive event
+// happens before the following send event in the shared process.
+func (c *CCP) IsCausalPath(path []int, a, b CheckpointID) bool {
+	if !c.IsZigzagPath(path, a, b) {
+		return false
+	}
+	for i := 0; i+1 < len(path); i++ {
+		prev, _ := c.MessageByID(path[i])
+		next, _ := c.MessageByID(path[i+1])
+		if prev.RecvSeq >= next.SendSeq {
+			return false
+		}
+	}
+	return true
+}
+
+// ZigzagReachable reports whether a zigzag path connects checkpoint a to
+// checkpoint b (a ⤳ b). It runs a breadth-first search over the message
+// graph whose edges are "can follow on a zigzag path".
+func (c *CCP) ZigzagReachable(a, b CheckpointID) bool {
+	c.check(a)
+	c.check(b)
+	reach := c.zigzagFrontier(a)
+	for _, k := range reach {
+		m := c.messages[k]
+		if m.To == b.Process && m.RecvInterval <= b.Index {
+			return true
+		}
+	}
+	return false
+}
+
+// zigzagFrontier returns the indices of all messages reachable on zigzag
+// paths starting after checkpoint a (including the initial sends).
+func (c *CCP) zigzagFrontier(a CheckpointID) []int {
+	visited := make([]bool, len(c.messages))
+	var queue, out []int
+	for _, k := range c.outBy[a.Process] {
+		if c.messages[k].SendInterval >= a.Index+1 && !visited[k] {
+			visited[k] = true
+			queue = append(queue, k)
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		out = append(out, k)
+		for _, k2 := range c.zzNext[k] {
+			if !visited[k2] {
+				visited[k2] = true
+				queue = append(queue, k2)
+			}
+		}
+	}
+	return out
+}
+
+// IsUseless reports whether checkpoint id lies on a zigzag cycle
+// (id ⤳ id), which precludes it from every consistent global checkpoint.
+func (c *CCP) IsUseless(id CheckpointID) bool {
+	return c.ZigzagReachable(id, id)
+}
+
+// UselessCheckpoints returns all useless general checkpoints of the pattern.
+func (c *CCP) UselessCheckpoints() []CheckpointID {
+	var out []CheckpointID
+	for i := 0; i < c.n; i++ {
+		for g := 0; g <= c.VolatileIndex(i); g++ {
+			id := CheckpointID{Process: i, Index: g}
+			if c.IsUseless(id) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// RDTViolation describes a pair of checkpoints witnessing that a pattern is
+// not RD-trackable: From ⤳ To holds but From → To does not.
+type RDTViolation struct {
+	From, To CheckpointID
+}
+
+func (v RDTViolation) String() string {
+	return fmt.Sprintf("%v ⤳ %v but %v ↛ %v", v.From, v.To, v.From, v.To)
+}
+
+// FirstRDTViolation returns a witness pair violating Definition 4, if any.
+func (c *CCP) FirstRDTViolation() (RDTViolation, bool) {
+	for i := 0; i < c.n; i++ {
+		for g := 0; g <= c.VolatileIndex(i); g++ {
+			from := CheckpointID{Process: i, Index: g}
+			for _, k := range c.zigzagFrontier(from) {
+				m := c.messages[k]
+				// The earliest checkpoint of m.To this zigzag path can
+				// reach is the one closing interval RecvInterval; causal
+				// precedence is upward-closed in the index, so checking
+				// the earliest suffices.
+				to := CheckpointID{Process: m.To, Index: m.RecvInterval}
+				if to.Index > c.VolatileIndex(m.To) {
+					continue
+				}
+				if !c.CausallyPrecedes(from, to) {
+					return RDTViolation{From: from, To: to}, true
+				}
+			}
+		}
+	}
+	return RDTViolation{}, false
+}
+
+// IsRDT reports whether the pattern satisfies rollback-dependency
+// trackability (Definition 4): every zigzag path is matched by causal
+// precedence between its endpoint checkpoints.
+func (c *CCP) IsRDT() bool {
+	_, bad := c.FirstRDTViolation()
+	return !bad
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// TestTheoremsUnderCompression re-runs the Theorem 3/4/5 suite with the
+// Singhal–Kshemkalyani incremental piggyback enabled: the collector's
+// guarantees must be completely insensitive to how the vectors travel.
+func TestTheoremsUnderCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	kinds := []workload.Kind{workload.Ring, workload.ClientServer, workload.Bursty, workload.AllToAll}
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		kind := kinds[rng.Intn(len(kinds))]
+		var r *sim.Runner
+		cfg := sim.Config{
+			N:        n,
+			Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+			LocalGC: func(self, n int, st storage.Store) gc.Local {
+				return core.New(self, n, st)
+			},
+			Compress: true,
+			AfterEvent: func() error {
+				oracle := r.Oracle()
+				if err := checkTheorem3Invariant(r, oracle); err != nil {
+					return err
+				}
+				if err := checkTheorem4Safety(r, oracle); err != nil {
+					return err
+				}
+				if err := checkTheorem5Optimality(r, oracle); err != nil {
+					return err
+				}
+				return checkBound(r, n)
+			},
+		}
+		var err error
+		r, err = sim.NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script := workload.Generate(kind, workload.Options{
+			N: n, Ops: 50 + rng.Intn(50), Seed: rng.Int63(),
+		})
+		if err := r.Run(script); err != nil {
+			t.Fatalf("trial %d (%s, n=%d): %v", trial, kind, n, err)
+		}
+		if v, bad := r.Oracle().FirstRDTViolation(); bad {
+			t.Fatalf("trial %d: compressed FDAS produced non-RDT pattern: %v", trial, v)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package core implements RDT-LGC, the optimal asynchronous garbage
+// collection algorithm for RDT checkpointing protocols (Section 4 of the
+// paper).
+//
+// RDT-LGC runs locally to each process. It maintains the UC (Uncollected
+// Checkpoints) vector whose entry UC[f] references the CCB (Checkpoint
+// Control Block) of the stable checkpoint this process must retain because
+// of process f: the most recent local checkpoint that is not causally
+// preceded by the last known stable checkpoint of f (Theorem 2). A CCB
+// carries the checkpoint index and a reference counter; a checkpoint is
+// eliminated exactly when its counter drops to zero (Algorithm 1).
+//
+// The collector is driven by three events (Algorithm 2):
+//
+//   - OnCheckpoint, after a new stable checkpoint is durably stored and
+//     before the local dependency-vector entry is incremented;
+//   - OnNewInfo, after a received message's piggybacked vector is merged,
+//     with the set of entries that increased;
+//   - Rollback / ReleaseStale, during recovery sessions (Algorithm 3), in
+//     either the global-information (LI) or the causal-knowledge (DV)
+//     variant.
+//
+// Safety (only obsolete checkpoints are collected, Theorem 4) and
+// optimality (every obsolete checkpoint identifiable from causal knowledge
+// is collected, Theorem 5) are asserted against the internal/ccp oracles by
+// this package's tests.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// ccb is the Checkpoint Control Block of Algorithm 1: the index of an
+// uncollected stable checkpoint and the number of UC entries referencing it.
+type ccb struct {
+	ind int // checkpoint index
+	rc  int // reference counter
+}
+
+// LGC is the per-process RDT-LGC collector state.
+type LGC struct {
+	self  int
+	n     int
+	store storage.Store
+	uc    []*ccb
+}
+
+// New returns the collector for process self of n, initialized per
+// Algorithm 2: the initial stable checkpoint s^0 is assumed to have been
+// saved to store already (every process starts by storing s^0), so UC[self]
+// references its CCB and every other entry is nil.
+func New(self, n int, store storage.Store) *LGC {
+	if self < 0 || self >= n {
+		panic(fmt.Sprintf("core: process %d out of range [0,%d)", self, n))
+	}
+	g := &LGC{self: self, n: n, store: store, uc: make([]*ccb, n)}
+	g.uc[self] = &ccb{ind: 0, rc: 1}
+	return g
+}
+
+// release implements Algorithm 1's release(j): drop UC[j]'s reference and
+// eliminate the checkpoint if it was the last one.
+func (g *LGC) release(j int) error {
+	b := g.uc[j]
+	if b == nil {
+		return nil
+	}
+	g.uc[j] = nil
+	b.rc--
+	if b.rc == 0 {
+		if err := g.store.Delete(b.ind); err != nil {
+			return fmt.Errorf("core: p%d collecting checkpoint %d: %w", g.self, b.ind, err)
+		}
+	}
+	return nil
+}
+
+// link implements Algorithm 1's link(j, i) with i = self: UC[j] references
+// the CCB currently referenced by UC[self] (the last stable checkpoint).
+func (g *LGC) link(j int) {
+	b := g.uc[g.self]
+	g.uc[j] = b
+	b.rc++
+}
+
+// OnCheckpoint records that stable checkpoint index was just taken and
+// durably stored (Algorithm 2, "on taking checkpoint"): the previous last
+// checkpoint's reference from UC[self] is released and a fresh CCB is
+// created. The caller must invoke this after storage.Save succeeds and
+// before incrementing its DV[self], matching the atomicity remark of
+// Section 4.5.
+func (g *LGC) OnCheckpoint(index int, _ vclock.DV) error {
+	if err := g.release(g.self); err != nil {
+		return err
+	}
+	g.uc[g.self] = &ccb{ind: index, rc: 1}
+	return nil
+}
+
+// OnNewInfo records that a received message carried new causal information
+// about the given processes (Algorithm 2, "on receiving m"): each such
+// process now denies collection of the current last stable checkpoint, so
+// its UC entry is relinked. The caller passes the entries whose DV values
+// increased during the merge.
+func (g *LGC) OnNewInfo(increased []int, _ vclock.DV) error {
+	for _, j := range increased {
+		if j == g.self {
+			// A process cannot receive new causal information about
+			// itself (its own DV entry is the maximum in the system).
+			return fmt.Errorf("core: p%d received new info about itself", g.self)
+		}
+		if err := g.release(j); err != nil {
+			return err
+		}
+		g.link(j)
+	}
+	return nil
+}
+
+// RetainedFor reports the checkpoint index referenced by UC[f], if any.
+func (g *LGC) RetainedFor(f int) (int, bool) {
+	if g.uc[f] == nil {
+		return 0, false
+	}
+	return g.uc[f].ind, true
+}
+
+// RetainedCount returns the number of distinct stable checkpoints currently
+// referenced by UC entries. Section 4.5 proves this never exceeds n.
+func (g *LGC) RetainedCount() int {
+	seen := map[*ccb]bool{}
+	for _, b := range g.uc {
+		if b != nil {
+			seen[b] = true
+		}
+	}
+	return len(seen)
+}
+
+// UCString renders the UC vector in the paper's Figure 4 notation: the
+// referenced checkpoint index per entry, with "*" for null references.
+func (g *LGC) UCString() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for j, b := range g.uc {
+		if j > 0 {
+			sb.WriteString(", ")
+		}
+		if b == nil {
+			sb.WriteByte('*')
+		} else {
+			fmt.Fprintf(&sb, "%d", b.ind)
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// sanity panics if reference counts do not match the UC entries; used by
+// the test suite via CheckRefCounts.
+func (g *LGC) sanity() error {
+	counts := map[*ccb]int{}
+	for _, b := range g.uc {
+		if b != nil {
+			counts[b]++
+		}
+	}
+	for b, c := range counts {
+		if b.rc != c {
+			return fmt.Errorf("core: p%d CCB(ind=%d) rc=%d but %d references", g.self, b.ind, b.rc, c)
+		}
+	}
+	return nil
+}
+
+// CheckRefCounts validates the internal reference-counting invariant: every
+// CCB's counter equals the number of UC entries referencing it.
+func (g *LGC) CheckRefCounts() error { return g.sanity() }

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Example replays the first events of the paper's Figure 4 at process p2
+// directly against the collector, showing the UC vector evolve exactly as
+// the figure prints it.
+func Example() {
+	st := storage.NewMemStore()
+	// Every process starts by storing s^0; the collector assumes it.
+	if err := st.Save(storage.Checkpoint{Process: 1, Index: 0, DV: vclock.New(3)}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	lgc := core.New(1, 3, st)
+	fmt.Println(lgc.UCString()) // initial: only the self entry
+
+	// p2 receives from p1 (new info about process 0).
+	if err := lgc.OnNewInfo([]int{0}, vclock.DV{1, 1, 0}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(lgc.UCString())
+
+	// p2 takes s^1 (stored first, then the collector is told).
+	if err := st.Save(storage.Checkpoint{Process: 1, Index: 1, DV: vclock.DV{1, 1, 0}}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := lgc.OnCheckpoint(1, vclock.DV{1, 1, 0}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(lgc.UCString())
+	fmt.Println("stored:", st.Indices())
+	// Output:
+	// (*, 0, *)
+	// (0, 0, *)
+	// (0, 1, *)
+	// stored: [0 1]
+}

@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func newLGCRunner(t *testing.T, n int) *sim.Runner {
+	t.Helper()
+	r, err := sim.NewRunner(sim.Config{
+		N: n,
+		LocalGC: func(self, n int, st storage.Store) gc.Local {
+			return core.New(self, n, st)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFig4Trace replays the exact execution of Figure 4 and asserts the
+// paper's printed DV and UC contents at every depicted event, the three
+// eliminations (s_2^2, s_3^1, s_3^2), and the retention of the one obsolete
+// checkpoint causal knowledge cannot identify (s_2^1).
+func TestFig4Trace(t *testing.T) {
+	r := newLGCRunner(t, 3)
+
+	lgc := func(p int) *core.LGC { return r.LocalGC(p).(*core.LGC) }
+	check := func(step string, p int, wantDV, wantUC string) {
+		t.Helper()
+		if got := r.CurrentDV(p).String(); got != wantDV {
+			t.Errorf("%s: p%d DV = %s, want %s", step, p+1, got, wantDV)
+		}
+		if got := lgc(p).UCString(); got != wantUC {
+			t.Errorf("%s: p%d UC = %s, want %s", step, p+1, got, wantUC)
+		}
+		if err := lgc(p).CheckRefCounts(); err != nil {
+			t.Errorf("%s: %v", step, err)
+		}
+	}
+	run := func(build func(s *ccp.Script)) {
+		t.Helper()
+		s := ccp.Script{N: 3}
+		build(&s)
+		if err := r.Run(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Initial states: DV has the self entry already incremented past s^0.
+	check("init", 0, "(1, 0, 0)", "(0, *, *)")
+	check("init", 1, "(0, 1, 0)", "(*, 0, *)")
+	check("init", 2, "(0, 0, 1)", "(*, *, 0)")
+
+	run(func(s *ccp.Script) { s.Message(0, 1) }) // p1 → p2
+	check("m0", 1, "(1, 1, 0)", "(0, 0, *)")
+
+	run(func(s *ccp.Script) { s.Message(1, 2) }) // p2 → p3
+	check("ma", 2, "(1, 1, 1)", "(0, 0, 0)")
+
+	run(func(s *ccp.Script) { s.Checkpoint(1) }) // s_2^1 stores (1,1,0)
+	check("s_2^1", 1, "(1, 2, 0)", "(0, 1, *)")
+
+	run(func(s *ccp.Script) { s.Checkpoint(2) }) // s_3^1 stores (1,1,1)
+	check("s_3^1", 2, "(1, 1, 2)", "(0, 0, 1)")
+
+	run(func(s *ccp.Script) { s.Message(2, 1) }) // p3 → p2
+	check("md", 1, "(1, 2, 2)", "(0, 1, 1)")
+
+	run(func(s *ccp.Script) { s.Checkpoint(2) }) // s_3^2: collects s_3^1
+	check("s_3^2", 2, "(1, 1, 3)", "(0, 0, 2)")
+	if got := r.Store(2).Indices(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("after s_3^2: p3 stored = %v, want [0 2] (s_3^1 collected)", got)
+	}
+
+	run(func(s *ccp.Script) { s.Checkpoint(1) }) // s_2^2 stores (1,2,2)
+	check("s_2^2", 1, "(1, 3, 2)", "(0, 2, 1)")
+
+	run(func(s *ccp.Script) { s.Message(1, 2) }) // p2 → p3 carrying (1,3,2)
+	check("mb", 2, "(1, 3, 3)", "(0, 2, 2)")
+
+	run(func(s *ccp.Script) { s.Checkpoint(2) }) // s_3^3 stores (1,3,3)
+	check("s_3^3", 2, "(1, 3, 4)", "(0, 2, 3)")
+
+	run(func(s *ccp.Script) { s.Checkpoint(1) }) // s_2^3: collects s_2^2
+	check("s_2^3", 1, "(1, 4, 2)", "(0, 3, 1)")
+	if got := r.Store(1).Indices(); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Errorf("after s_2^3: p2 stored = %v, want [0 1 3] (s_2^2 collected)", got)
+	}
+
+	run(func(s *ccp.Script) { s.Message(1, 2) }) // p2 → p3: collects s_3^2
+	check("mc", 2, "(1, 4, 4)", "(0, 3, 3)")
+	if got := r.Store(2).Indices(); !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Errorf("final: p3 stored = %v, want [0 3] (s_3^2 collected)", got)
+	}
+
+	// "The only obsolete checkpoint not identified by RDT-LGC is s_2^1":
+	// ground truth says s_2^1 is obsolete, yet p2 still stores it.
+	oracle := r.Oracle()
+	if !oracle.Obsolete(1, 1) {
+		t.Error("oracle: s_2^1 should be obsolete per Theorem 1")
+	}
+	stored := map[int]bool{}
+	for _, idx := range r.Store(1).Indices() {
+		stored[idx] = true
+	}
+	if !stored[1] {
+		t.Error("p2 should still retain s_2^1 (causal knowledge cannot identify it)")
+	}
+	// Everything else RDT-LGC collected is obsolete, and everything
+	// obsolete except s_2^1 was collected.
+	for p := 0; p < 3; p++ {
+		for g := 0; g <= oracle.LastStable(p); g++ {
+			isStored := false
+			for _, idx := range r.Store(p).Indices() {
+				if idx == g {
+					isStored = true
+				}
+			}
+			obsolete := oracle.Obsolete(p, g)
+			if !isStored && !obsolete {
+				t.Errorf("s_%d^%d was collected but is not obsolete (safety violation)", p+1, g)
+			}
+			if isStored && obsolete && !(p == 1 && g == 1) {
+				t.Errorf("s_%d^%d is obsolete but uncollected (only s_2^1 may remain)", p+1, g)
+			}
+		}
+	}
+}

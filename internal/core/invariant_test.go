@@ -1,0 +1,228 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// protoFactories lists the RDT protocols; RDT-LGC's guarantees are stated
+// for RDT checkpoint and communication patterns.
+var protoFactories = map[string]func() protocol.Protocol{
+	"FDAS":    func() protocol.Protocol { return protocol.NewFDAS() },
+	"FDI":     func() protocol.Protocol { return protocol.NewFDI() },
+	"CBR":     func() protocol.Protocol { return protocol.NewCBR() },
+	"Russell": func() protocol.Protocol { return protocol.NewRussell() },
+}
+
+// checkTheorem3Invariant asserts Equation 4 at the current event boundary:
+// for all i, f — s_f^last → c_i^{γ+1} ∧ s_f^last ↛ s_i^γ ⇒ UC[f] ≡ s_i^γ.
+func checkTheorem3Invariant(r *sim.Runner, oracle *ccp.CCP) error {
+	n := oracle.N()
+	for i := 0; i < n; i++ {
+		lgc := r.LocalGC(i).(*core.LGC)
+		if err := lgc.CheckRefCounts(); err != nil {
+			return err
+		}
+		for f := 0; f < n; f++ {
+			last := ccp.CheckpointID{Process: f, Index: oracle.LastStable(f)}
+			for g := 0; g <= oracle.LastStable(i); g++ {
+				next := ccp.CheckpointID{Process: i, Index: g + 1}
+				cur := ccp.CheckpointID{Process: i, Index: g}
+				if oracle.CausallyPrecedes(last, next) && !oracle.CausallyPrecedes(last, cur) {
+					got, ok := lgc.RetainedFor(f)
+					if !ok || got != g {
+						return fmt.Errorf("invariant: p%d UC[%d] should reference s^%d, got (%d,%v)",
+							i, f, g, got, ok)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkTheorem4Safety asserts that every collected checkpoint is obsolete:
+// any stable index of the oracle pattern missing from the store must satisfy
+// Theorem 1.
+func checkTheorem4Safety(r *sim.Runner, oracle *ccp.CCP) error {
+	for i := 0; i < oracle.N(); i++ {
+		stored := map[int]bool{}
+		for _, idx := range r.Store(i).Indices() {
+			stored[idx] = true
+		}
+		for g := 0; g <= oracle.LastStable(i); g++ {
+			if !stored[g] && !oracle.Obsolete(i, g) {
+				return fmt.Errorf("safety: s_%d^%d collected but not obsolete", i, g)
+			}
+		}
+	}
+	return nil
+}
+
+// checkTheorem5Optimality asserts that every checkpoint identifiable as
+// obsolete from causal knowledge (Corollary 1) has been collected: for every
+// stored stable checkpoint below s^last there must be a witness f with
+// DV(v_i)[f] = DV(c_i^{γ+1})[f] ∧ DV(v_i)[f] > DV(s_i^γ)[f].
+func checkTheorem5Optimality(r *sim.Runner, oracle *ccp.CCP) error {
+	for i := 0; i < oracle.N(); i++ {
+		cur := r.CurrentDV(i)
+		for _, g := range r.Store(i).Indices() {
+			if g == oracle.LastStable(i) {
+				continue // s^last is never obsolete
+			}
+			dvG := oracle.DV(ccp.CheckpointID{Process: i, Index: g})
+			dvNext := oracle.DV(ccp.CheckpointID{Process: i, Index: g + 1})
+			witness := false
+			for f := 0; f < oracle.N(); f++ {
+				if cur[f] == dvNext[f] && cur[f] > dvG[f] {
+					witness = true
+					break
+				}
+			}
+			if !witness {
+				return fmt.Errorf("optimality: s_%d^%d is Corollary-1 obsolete but still stored", i, g)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBound asserts the Section 4.5 space bound: at an event boundary each
+// process stores at most n stable checkpoints, all referenced by UC entries.
+func checkBound(r *sim.Runner, n int) error {
+	for i := 0; i < n; i++ {
+		stored := len(r.Store(i).Indices())
+		lgc := r.LocalGC(i).(*core.LGC)
+		if stored > n {
+			return fmt.Errorf("bound: p%d stores %d > n=%d checkpoints", i, stored, n)
+		}
+		if rc := lgc.RetainedCount(); rc != stored {
+			return fmt.Errorf("bound: p%d stores %d checkpoints but UC references %d", i, stored, rc)
+		}
+	}
+	return nil
+}
+
+// TestTheorems3to5OnRandomExecutions is the central correctness test: on
+// random executions under every RDT protocol, the Theorem 3 invariant, the
+// Theorem 4 safety property, the Theorem 5 optimality property and the
+// Section 4.5 space bound hold after every event.
+func TestTheorems3to5OnRandomExecutions(t *testing.T) {
+	for name, factory := range protoFactories {
+		factory := factory
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101))
+			for trial := 0; trial < 25; trial++ {
+				n := 2 + rng.Intn(4)
+				var r *sim.Runner
+				cfg := sim.Config{
+					N:        n,
+					Protocol: func(int) protocol.Protocol { return factory() },
+					LocalGC: func(self, n int, st storage.Store) gc.Local {
+						return core.New(self, n, st)
+					},
+					AfterEvent: func() error {
+						oracle := r.Oracle()
+						if err := checkTheorem3Invariant(r, oracle); err != nil {
+							return err
+						}
+						if err := checkTheorem4Safety(r, oracle); err != nil {
+							return err
+						}
+						if err := checkTheorem5Optimality(r, oracle); err != nil {
+							return err
+						}
+						return checkBound(r, n)
+					},
+				}
+				var err error
+				r, err = sim.NewRunner(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				script := ccp.RandomScript(rng, ccp.RandomOptions{
+					N: n, Ops: 40 + rng.Intn(60), PLoss: 0.05,
+				})
+				if err := r.Run(script); err != nil {
+					t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+				}
+				if v, bad := r.Oracle().FirstRDTViolation(); bad {
+					t.Fatalf("trial %d: %s produced a non-RDT pattern: %v", trial, name, v)
+				}
+			}
+		})
+	}
+}
+
+// TestWorstCaseBoundReached replays the generalized Figure 5 execution and
+// checks every process retains exactly n checkpoints — RDT-LGC's least
+// upper bound is tight — and that each process collected exactly one
+// checkpoint (its own s^q for process q).
+func TestWorstCaseBoundReached(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		r := newLGCRunner(t, n)
+		if err := r.Run(ccp.WorstCase(n)); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for q := 0; q < n; q++ {
+			indices := r.Store(q).Indices()
+			if len(indices) != n {
+				t.Errorf("n=%d: p%d retains %d checkpoints, want exactly n=%d (%v)",
+					n, q, len(indices), n, indices)
+			}
+			total += len(indices)
+			for _, idx := range indices {
+				if idx == q {
+					t.Errorf("n=%d: p%d still stores s^%d, which the construction collects", n, q, idx)
+				}
+			}
+		}
+		if total != n*n {
+			t.Errorf("n=%d: global steady-state storage = %d, want n^2 = %d", n, total, n*n)
+		}
+
+		// Epilogue of Section 4.5: every process takes one more checkpoint.
+		// Peak storage hits n+1 per process (n(n+1) globally); right after,
+		// each process is back to n (n^2 globally).
+		var s ccp.Script
+		s.N = n
+		for q := 0; q < n; q++ {
+			s.Checkpoint(q)
+		}
+		if err := r.Run(s); err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < n; q++ {
+			st := r.Store(q).Stats()
+			if st.Peak != n+1 {
+				t.Errorf("n=%d: p%d peak storage = %d, want n+1 = %d", n, q, st.Peak, n+1)
+			}
+			if st.Live != n {
+				t.Errorf("n=%d: p%d live storage after checkpoint = %d, want n", n, q, st.Live)
+			}
+		}
+	}
+}
+
+// TestOnNewInfoAboutSelfRejected documents that a process can never receive
+// new causal information about itself.
+func TestOnNewInfoAboutSelfRejected(t *testing.T) {
+	st := storage.NewMemStore()
+	if err := st.Save(storage.Checkpoint{Index: 0, DV: vclock.New(2)}); err != nil {
+		t.Fatal(err)
+	}
+	lgc := core.New(0, 2, st)
+	if err := lgc.OnNewInfo([]int{0}, vclock.New(2)); err == nil {
+		t.Fatal("OnNewInfo about self should be rejected")
+	}
+}

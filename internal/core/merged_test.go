@@ -1,0 +1,190 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// TestMergedEquivalentToComposedStack replays random executions through
+// both the composed middleware (sim + protocol.FDAS + core.LGC) and the
+// merged Algorithm 4 implementation, asserting identical vectors, stores
+// and forced-checkpoint counts at the end.
+func TestMergedEquivalentToComposedStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		script := ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 40 + rng.Intn(60), PLoss: 0.05})
+
+		// Composed reference: FDAS protocol + RDT-LGC collector.
+		ref, err := sim.NewRunner(lgcConfig(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(script); err != nil {
+			t.Fatal(err)
+		}
+
+		// Merged Algorithm 4, driven by the same script.
+		nodes := make([]*core.Merged, n)
+		stores := make([]*storage.MemStore, n)
+		for i := 0; i < n; i++ {
+			stores[i] = storage.NewMemStore()
+			m, err := core.NewMerged(i, n, stores[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = m
+		}
+		pb := map[int][]int{}
+		sender := map[int]int{}
+		for _, op := range script.Ops {
+			switch op.Kind {
+			case ccp.OpCheckpoint:
+				if err := nodes[op.P].Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			case ccp.OpSend:
+				pb[op.Msg] = nodes[op.P].Send()
+				sender[op.Msg] = op.P
+			case ccp.OpRecv:
+				if err := nodes[op.P].Deliver(pb[op.Msg]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			if !nodes[i].DV().Equal(ref.CurrentDV(i)) {
+				t.Fatalf("trial %d: p%d DV merged %v != composed %v",
+					trial, i, nodes[i].DV(), ref.CurrentDV(i))
+			}
+			if got, want := stores[i].Indices(), ref.Store(i).Indices(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: p%d stores merged %v != composed %v", trial, i, got, want)
+			}
+			if nodes[i].LastStable() != ref.LastStable(i) {
+				t.Fatalf("trial %d: p%d lastS merged %d != composed %d",
+					trial, i, nodes[i].LastStable(), ref.LastStable(i))
+			}
+			if err := nodes[i].CheckRefCounts(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		basicM, forcedM := 0, 0
+		for i := 0; i < n; i++ {
+			b, f := nodes[i].Counts()
+			basicM += b
+			forcedM += f
+		}
+		if m := ref.Metrics(); basicM != m.Basic || forcedM != m.Forced {
+			t.Fatalf("trial %d: counts merged (%d,%d) != composed (%d,%d)",
+				trial, basicM, forcedM, m.Basic, m.Forced)
+		}
+	}
+}
+
+// TestMergedFig4Trace replays Figure 4 through the merged implementation
+// and asserts the same final UC contents the paper prints.
+func TestMergedFig4Trace(t *testing.T) {
+	nodes := make([]*core.Merged, 3)
+	stores := make([]*storage.MemStore, 3)
+	for i := range nodes {
+		stores[i] = storage.NewMemStore()
+		m, err := core.NewMerged(i, 3, stores[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = m
+	}
+	f := ccp.NewFig4()
+	pb := map[int][]int{}
+	for _, op := range f.Script.Ops {
+		switch op.Kind {
+		case ccp.OpCheckpoint:
+			if err := nodes[op.P].Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		case ccp.OpSend:
+			pb[op.Msg] = nodes[op.P].Send()
+		case ccp.OpRecv:
+			if err := nodes[op.P].Deliver(pb[op.Msg]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := nodes[1].UCString(); got != "(0, 3, 1)" {
+		t.Errorf("p2 UC = %s, want (0, 3, 1)", got)
+	}
+	if got := nodes[2].UCString(); got != "(0, 3, 3)" {
+		t.Errorf("p3 UC = %s, want (0, 3, 3)", got)
+	}
+	if got := nodes[2].DV().String(); got != "(1, 4, 4)" {
+		t.Errorf("p3 DV = %s, want (1, 4, 4)", got)
+	}
+}
+
+// TestRollbackInPlaceEquivalence checks the Section 4.5 optimized rollback
+// produces exactly the state of the general Algorithm 3 on random
+// executions, for both LI and DV variants.
+func TestRollbackInPlaceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		script := ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 50})
+		seedStores := func() *sim.Runner {
+			r := newLGCRunner(t, n)
+			if err := r.Run(script); err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		a, b := seedStores(), seedStores()
+
+		// Pick a rollback target among the victim's stored indices.
+		victim := rng.Intn(n)
+		idxs := a.Store(victim).Indices()
+		ri := idxs[rng.Intn(len(idxs))]
+		var li []int
+		if rng.Intn(2) == 0 {
+			li = make([]int, n)
+			for j := 0; j < n; j++ {
+				li[j] = a.LastStable(j) + 1
+			}
+			li[victim] = ri + 1
+		}
+
+		lgcA := a.LocalGC(victim).(*core.LGC)
+		lgcB := b.LocalGC(victim).(*core.LGC)
+		dvA, errA := lgcA.Rollback(ri, li)
+		dvB, errB := lgcB.RollbackInPlace(ri, li)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: errors diverge: %v vs %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if !dvA.Equal(dvB) {
+			t.Fatalf("trial %d: recreated DVs diverge: %v vs %v", trial, dvA, dvB)
+		}
+		ia := a.Store(victim).Indices()
+		ib := b.Store(victim).Indices()
+		if !reflect.DeepEqual(ia, ib) {
+			t.Fatalf("trial %d: stores diverge after rollback: %v vs %v", trial, ia, ib)
+		}
+		for f := 0; f < n; f++ {
+			ga, oka := lgcA.RetainedFor(f)
+			gb, okb := lgcB.RetainedFor(f)
+			if oka != okb || (oka && ga != gb) {
+				t.Fatalf("trial %d: UC[%d] diverges: (%d,%v) vs (%d,%v)", trial, f, ga, oka, gb, okb)
+			}
+		}
+		if err := lgcB.CheckRefCounts(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

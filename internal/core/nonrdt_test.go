@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// TestRDTAssumptionIsNecessary demonstrates that the paper's RDT hypothesis
+// is not incidental: running RDT-LGC under a protocol that does not ensure
+// rollback-dependency trackability (BCS or uncoordinated checkpointing)
+// makes it delete checkpoints that a future recovery still needs. The
+// oracle here is the strong one valid without RDT — a collected checkpoint
+// is unsafe if it is the component of the maximum consistent restart line
+// for some faulty subset, computed by rollback propagation.
+//
+// The test asserts such violations occur across random non-RDT executions;
+// under FDAS/FDI/CBR/Russell the same oracle never fires (that is Theorem 4,
+// asserted after every event in TestTheorems3to5OnRandomExecutions).
+func TestRDTAssumptionIsNecessary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	violations, nonRDTRuns := 0, 0
+	for trial := 0; trial < 200 && violations == 0; trial++ {
+		n := 2 + rng.Intn(3)
+		factory := func(int) protocol.Protocol { return protocol.NewNone() }
+		if trial%2 == 0 {
+			factory = func(int) protocol.Protocol { return protocol.NewBCS() }
+		}
+		r, err := sim.NewRunner(sim.Config{
+			N:        n,
+			Protocol: factory,
+			LocalGC:  func(self, nn int, st storage.Store) gc.Local { return core.New(self, nn, st) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 40})); err != nil {
+			t.Fatal(err)
+		}
+		oracle := r.Oracle()
+		if oracle.IsRDT() {
+			continue // only non-RDT patterns are interesting here
+		}
+		nonRDTRuns++
+		for i := 0; i < n; i++ {
+			live := map[int]bool{}
+			for _, idx := range r.Store(i).Indices() {
+				live[idx] = true
+			}
+			for g := 0; g <= oracle.LastStable(i); g++ {
+				if live[g] {
+					continue
+				}
+				for mask := 1; mask < 1<<uint(n); mask++ {
+					avail := make([]int, n)
+					for p := 0; p < n; p++ {
+						if mask&(1<<uint(p)) != 0 {
+							avail[p] = oracle.LastStable(p)
+						} else {
+							avail[p] = oracle.VolatileIndex(p)
+						}
+					}
+					if oracle.MaxConsistentBelow(avail)[i] == g {
+						violations++
+					}
+				}
+			}
+		}
+	}
+	if nonRDTRuns == 0 {
+		t.Fatal("no non-RDT executions generated; the test is vacuous")
+	}
+	if violations == 0 {
+		t.Fatalf("no safety violation across %d non-RDT runs; expected RDT-LGC to be unsafe without RDT", nonRDTRuns)
+	}
+	t.Logf("RDT-LGC under non-RDT protocols: %d recovery-needed checkpoints deleted across %d non-RDT runs",
+		violations, nonRDTRuns)
+}

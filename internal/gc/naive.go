@@ -1,0 +1,142 @@
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Naive is an ablation of RDT-LGC's data structure: it applies exactly the
+// same retention rule (Theorem 2 via the stored dependency vectors) but
+// without the UC vector and reference-counted CCBs of Algorithm 1 —
+// instead, after every event it rescans the whole store, recomputes the
+// retained set
+//
+//	{ s^last } ∪ { newest stored γ with DV(s^γ)[f] < DV(v)[f],
+//	               for every f with DV(v)[f] ≥ 1 }
+//
+// and deletes the rest. It collects the identical checkpoints (asserted by
+// the equivalence tests) at O(n · stored) cost per event plus a store load
+// per retained candidate, versus RDT-LGC's O(new entries) pointer
+// bookkeeping. The benchmark pair BenchmarkAblationNaive /
+// BenchmarkAblationRefcount quantifies what Algorithm 1 buys.
+type Naive struct {
+	self  int
+	n     int
+	store storage.Store
+	cur   vclock.DV
+	lastS int
+}
+
+// NewNaive returns the scan-based collector for process self of n; the
+// initial checkpoint s^0 must already be stored.
+func NewNaive(self, n int, store storage.Store) *Naive {
+	g := &Naive{self: self, n: n, store: store, cur: vclock.New(n)}
+	g.cur[self] = 1
+	return g
+}
+
+// OnCheckpoint implements Local.
+func (g *Naive) OnCheckpoint(index int, dv vclock.DV) error {
+	g.cur.CopyFrom(dv)
+	g.cur[g.self]++ // the caller increments after this hook
+	g.lastS = index
+	return g.sweep()
+}
+
+// OnNewInfo implements Local.
+func (g *Naive) OnNewInfo(_ []int, dv vclock.DV) error {
+	g.cur.CopyFrom(dv)
+	return g.sweep()
+}
+
+// sweep recomputes the retained set from scratch and deletes the rest.
+func (g *Naive) sweep() error {
+	indices := g.store.Indices()
+	dvs := make([]vclock.DV, len(indices))
+	for k, idx := range indices {
+		cp, err := g.store.Load(idx)
+		if err != nil {
+			return fmt.Errorf("gc: naive: %w", err)
+		}
+		dvs[k] = cp.DV
+	}
+	keep := make(map[int]bool, g.n)
+	keep[g.lastS] = true
+	for f := 0; f < g.n; f++ {
+		if f == g.self || g.cur[f] < 1 {
+			continue
+		}
+		for k := len(indices) - 1; k >= 0; k-- {
+			if dvs[k][f] < g.cur[f] {
+				keep[indices[k]] = true
+				break
+			}
+		}
+	}
+	for _, idx := range indices {
+		if !keep[idx] {
+			if err := g.store.Delete(idx); err != nil {
+				return fmt.Errorf("gc: naive: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Rollback implements Local: the scan-based equivalent of Algorithm 3.
+func (g *Naive) Rollback(ri int, li []int) (vclock.DV, error) {
+	dv, err := RollbackStore(g.store, g.self, ri)
+	if err != nil {
+		return nil, fmt.Errorf("gc: naive: %w", err)
+	}
+	g.cur.CopyFrom(dv)
+	g.lastS = ri
+	if li != nil {
+		// With global information the bound for f is LI[f] when the
+		// recreated state depends on f's last interval, and nothing is
+		// retained for f otherwise; emulate by clamping the sweep vector.
+		clamped := dv.Clone()
+		for f := 0; f < g.n; f++ {
+			if f == g.self {
+				continue
+			}
+			if dv[f] < li[f] {
+				clamped[f] = 0 // retain nothing because of f
+			}
+		}
+		old := g.cur
+		g.cur = clamped
+		if err := g.sweep(); err != nil {
+			return nil, err
+		}
+		g.cur = old
+		return dv, nil
+	}
+	if err := g.sweep(); err != nil {
+		return nil, err
+	}
+	return dv, nil
+}
+
+// ReleaseStale implements Local.
+func (g *Naive) ReleaseStale(li []int, dv vclock.DV) error {
+	g.cur.CopyFrom(dv)
+	clamped := dv.Clone()
+	for f := 0; f < g.n; f++ {
+		if f == g.self {
+			continue
+		}
+		if dv[f] < li[f] {
+			clamped[f] = 0
+		}
+	}
+	old := g.cur
+	g.cur = clamped
+	if err := g.sweep(); err != nil {
+		return err
+	}
+	g.cur = old
+	return nil
+}

@@ -1,0 +1,91 @@
+package gc_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/gc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func naiveFactory(self, n int, st storage.Store) gc.Local { return gc.NewNaive(self, n, st) }
+
+// TestNaiveEquivalentToRDTLGC checks the scan-based ablation retains
+// exactly the same checkpoints as the CCB/UC implementation after every
+// event of random executions — they implement the same retention rule with
+// different data structures.
+func TestNaiveEquivalentToRDTLGC(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		script := ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 40 + rng.Intn(40), PLoss: 0.05})
+
+		mk := func(local func(int, int, storage.Store) gc.Local) *sim.Runner {
+			r, err := sim.NewRunner(sim.Config{N: n, Protocol: fdas, LocalGC: local})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		a, b := mk(lgcFactory), mk(naiveFactory)
+
+		if err := a.Run(script); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Run(script); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			ia, ib := a.Store(i).Indices(), b.Store(i).Indices()
+			if !reflect.DeepEqual(ia, ib) {
+				t.Fatalf("trial %d: p%d retained diverges: lgc %v vs naive %v", trial, i, ia, ib)
+			}
+			sa, sb := a.Store(i).Stats(), b.Store(i).Stats()
+			if sa.Collected != sb.Collected || sa.Peak != sb.Peak {
+				t.Fatalf("trial %d: p%d stats diverge: %+v vs %+v", trial, i, sa, sb)
+			}
+		}
+	}
+}
+
+// TestNaiveEquivalenceThroughRecovery extends the equivalence through crash
+// and recovery sessions in both LI and DV variants.
+func TestNaiveEquivalenceThroughRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3)
+		seed := rng.Int63()
+		faulty := []int{rng.Intn(n)}
+		globalLI := rng.Intn(2) == 0
+
+		run := func(local func(int, int, storage.Store) gc.Local) *sim.Runner {
+			r, err := sim.NewRunner(sim.Config{N: n, Protocol: fdas, LocalGC: local})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := ccp.RandomScript(rand.New(rand.NewSource(seed)), ccp.RandomOptions{N: n, Ops: 50})
+			if err := r.Run(s); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Recover(faulty, globalLI); err != nil {
+				t.Fatal(err)
+			}
+			s2 := ccp.RandomScript(rand.New(rand.NewSource(seed+1)), ccp.RandomOptions{N: n, Ops: 30})
+			if err := r.Run(s2); err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		a, b := run(lgcFactory), run(naiveFactory)
+		for i := 0; i < n; i++ {
+			ia, ib := a.Store(i).Indices(), b.Store(i).Indices()
+			if !reflect.DeepEqual(ia, ib) {
+				t.Fatalf("trial %d (LI=%v): p%d diverges after recovery: lgc %v vs naive %v",
+					trial, globalLI, i, ia, ib)
+			}
+		}
+	}
+}

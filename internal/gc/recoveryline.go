@@ -1,0 +1,79 @@
+package gc
+
+import "fmt"
+
+// RecoveryLine is the simple coordinated scheme of Bhargava-Lian and the
+// Elnozahy et al. survey (the paper's references [5, 8]): a coordinator
+// periodically computes the recovery line for the failure of all processes
+// (F = Π) and discards every checkpoint strictly behind the line. Line
+// members and everything after them are kept.
+//
+// The scheme needs control messages, collects fewer checkpoints than
+// Theorem 1 (checkpoints after the all-faulty line can still be obsolete),
+// and — as the paper notes — bounds nothing: the all-faulty line can lag
+// arbitrarily far behind.
+type RecoveryLine struct{}
+
+// NewRecoveryLine returns the all-faulty recovery-line collector.
+func NewRecoveryLine() *RecoveryLine { return &RecoveryLine{} }
+
+// Name implements Global.
+func (*RecoveryLine) Name() string { return "recovery-line" }
+
+// Collect implements Global.
+func (*RecoveryLine) Collect(v View) error {
+	line, err := AllFaultyLine(v)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < v.N(); i++ {
+		store := v.Store(i)
+		for _, idx := range store.Indices() {
+			if idx < line[i] {
+				if err := store.Delete(idx); err != nil {
+					return fmt.Errorf("gc: recovery-line: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AllFaultyLine computes the recovery line for F = Π per Lemma 1 from the
+// stored dependency vectors: for each process i the component is the
+// largest stored index k with DV(s_i^k)[f] ≤ last_s(f) for every f ≠ i.
+func AllFaultyLine(v View) ([]int, error) {
+	n := v.N()
+	line := make([]int, n)
+	for i := 0; i < n; i++ {
+		store := v.Store(i)
+		indices := store.Indices()
+		found := false
+		for k := len(indices) - 1; k >= 0; k-- {
+			cp, err := store.Load(indices[k])
+			if err != nil {
+				return nil, fmt.Errorf("gc: all-faulty line: %w", err)
+			}
+			ok := true
+			for f := 0; f < n; f++ {
+				if f == i {
+					continue
+				}
+				// s_f^last → s_i^k  ⟺  last_s(f) < DV(s_i^k)[f].
+				if cp.DV[f] > v.LastStable(f) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				line[i] = indices[k]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("gc: all-faulty line: no component for p%d", i)
+		}
+	}
+	return line, nil
+}

@@ -1,0 +1,214 @@
+// Package metrics measures garbage-collection behaviour over simulated
+// executions: storage occupancy over time, peaks, and how close a collector
+// gets to the Theorem 1 optimum. It drives the sweep experiments of
+// EXPERIMENTS.md and cmd/sweep.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Series accumulates integer samples and reports summary statistics.
+type Series struct {
+	n    int
+	sum  float64
+	sumS float64
+	max  int
+	min  int
+}
+
+// Add records one sample.
+func (s *Series) Add(v int) {
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	s.n++
+	s.sum += float64(v)
+	s.sumS += float64(v) * float64(v)
+}
+
+// Count returns the number of samples.
+func (s *Series) Count() int { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Series) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Series) Max() int { return s.max }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Series) Min() int { return s.min }
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumS/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// CollectorKind selects the garbage collector under measurement.
+type CollectorKind int
+
+const (
+	// NoGC keeps everything.
+	NoGC CollectorKind = iota + 1
+	// RDTLGC is the paper's asynchronous collector.
+	RDTLGC
+	// SyncTheorem1 is the global-knowledge optimum.
+	SyncTheorem1
+	// RecoveryLineGC is the all-faulty-line scheme of [5, 8].
+	RecoveryLineGC
+)
+
+// String returns the collector name used in experiment rows.
+func (k CollectorKind) String() string {
+	switch k {
+	case NoGC:
+		return "no-gc"
+	case RDTLGC:
+		return "RDT-LGC"
+	case SyncTheorem1:
+		return "sync-opt"
+	case RecoveryLineGC:
+		return "rl-gc"
+	default:
+		return fmt.Sprintf("collector(%d)", int(k))
+	}
+}
+
+// CollectorKinds lists all collectors, for sweeps.
+func CollectorKinds() []CollectorKind {
+	return []CollectorKind{NoGC, RDTLGC, SyncTheorem1, RecoveryLineGC}
+}
+
+// Report summarizes one measured execution.
+type Report struct {
+	Collector CollectorKind
+	Protocol  string
+	N         int
+	Events    int
+	Basic     int
+	Forced    int
+
+	// PerProcRetained samples, taken after every event, of each process's
+	// live stable-checkpoint count.
+	PerProcRetained Series
+	// GlobalRetained samples, taken after every event, of the system-wide
+	// live stable-checkpoint count.
+	GlobalRetained Series
+	// FinalRetained is the total live count at the end of the run.
+	FinalRetained int
+	// FinalObsoleteKept counts stored checkpoints the Theorem 1 oracle
+	// says are obsolete at the end of the run.
+	FinalObsoleteKept int
+	// FinalObsolete is the oracle's total obsolete count (stored or not).
+	FinalObsolete int
+}
+
+// CollectionRatio is the fraction of oracle-obsolete checkpoints the
+// collector had eliminated by the end of the run (1 with none obsolete).
+func (r Report) CollectionRatio() float64 {
+	if r.FinalObsolete == 0 {
+		return 1
+	}
+	return float64(r.FinalObsolete-r.FinalObsoleteKept) / float64(r.FinalObsolete)
+}
+
+// MeasureOptions configures one measured run.
+type MeasureOptions struct {
+	N         int
+	Collector CollectorKind
+	Protocol  func(self int) protocol.Protocol // default FDAS
+	Script    ccp.Script
+	// GlobalEvery is the control-message period for global collectors
+	// (default 1 = after every event).
+	GlobalEvery int
+}
+
+// Measure runs the script under the selected collector and protocol and
+// returns the report.
+func Measure(opts MeasureOptions) (Report, error) {
+	if opts.Protocol == nil {
+		opts.Protocol = func(int) protocol.Protocol { return protocol.NewFDAS() }
+	}
+	rep := Report{Collector: opts.Collector, N: opts.N, Protocol: opts.Protocol(0).Name()}
+
+	cfg := sim.Config{N: opts.N, Protocol: opts.Protocol, GlobalEvery: opts.GlobalEvery}
+	switch opts.Collector {
+	case NoGC:
+	case RDTLGC:
+		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local {
+			return core.New(self, n, st)
+		}
+	case SyncTheorem1:
+		cfg.GlobalGC = gc.NewSynchronous()
+	case RecoveryLineGC:
+		cfg.GlobalGC = gc.NewRecoveryLine()
+	default:
+		return rep, fmt.Errorf("metrics: unknown collector %d", int(opts.Collector))
+	}
+
+	var r *sim.Runner
+	cfg.AfterEvent = func() error {
+		total := 0
+		for i := 0; i < opts.N; i++ {
+			live := r.Store(i).Stats().Live
+			rep.PerProcRetained.Add(live)
+			total += live
+		}
+		rep.GlobalRetained.Add(total)
+		return nil
+	}
+	var err error
+	r, err = sim.NewRunner(cfg)
+	if err != nil {
+		return rep, err
+	}
+	if err := r.Run(opts.Script); err != nil {
+		return rep, err
+	}
+
+	m := r.Metrics()
+	rep.Basic, rep.Forced = m.Basic, m.Forced
+	rep.Events = len(opts.Script.Ops)
+
+	oracle := r.Oracle()
+	for i := 0; i < opts.N; i++ {
+		stored := map[int]bool{}
+		for _, idx := range r.Store(i).Indices() {
+			stored[idx] = true
+		}
+		rep.FinalRetained += len(stored)
+		for g := 0; g <= oracle.LastStable(i); g++ {
+			if oracle.Obsolete(i, g) {
+				rep.FinalObsolete++
+				if stored[g] {
+					rep.FinalObsoleteKept++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,95 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestSeriesStatistics(t *testing.T) {
+	var s metrics.Series
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if s.Max() != 9 || s.Min() != 2 {
+		t.Errorf("Max/Min = %d/%d, want 9/2", s.Max(), s.Min())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s metrics.Series
+	if s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 || s.Stddev() != 0 {
+		t.Error("empty series should report zeros")
+	}
+}
+
+// TestMeasureComparesCollectors runs one workload under all collectors and
+// checks the orderings the paper predicts: the synchronous optimum retains
+// the least; RDT-LGC stays within the n-per-process bound; NoGC retains
+// everything; collection ratios are ordered sync-opt = 1 ≥ RDT-LGC ≥ no-gc.
+func TestMeasureComparesCollectors(t *testing.T) {
+	const n = 4
+	script := workload.Generate(workload.Uniform, workload.Options{N: n, Ops: 300, Seed: 42})
+
+	reports := map[metrics.CollectorKind]metrics.Report{}
+	for _, k := range metrics.CollectorKinds() {
+		rep, err := metrics.Measure(metrics.MeasureOptions{N: n, Collector: k, Script: script})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		reports[k] = rep
+	}
+
+	if r := reports[metrics.SyncTheorem1]; r.CollectionRatio() != 1 {
+		t.Errorf("sync-opt collection ratio = %v, want 1 (it collects every obsolete checkpoint)", r.CollectionRatio())
+	}
+	if r := reports[metrics.RDTLGC]; r.PerProcRetained.Max() > n {
+		t.Errorf("RDT-LGC per-process retained max = %d, exceeds bound n = %d", r.PerProcRetained.Max(), n)
+	}
+	lgc, nogc := reports[metrics.RDTLGC], reports[metrics.NoGC]
+	if nogc.FinalObsoleteKept != nogc.FinalObsolete {
+		t.Errorf("no-gc kept %d of %d obsolete; it must keep all", nogc.FinalObsoleteKept, nogc.FinalObsolete)
+	}
+	if lgc.CollectionRatio() < nogc.CollectionRatio() {
+		t.Errorf("RDT-LGC ratio %v below no-gc %v", lgc.CollectionRatio(), nogc.CollectionRatio())
+	}
+	if lgc.FinalRetained > nogc.FinalRetained {
+		t.Errorf("RDT-LGC retains %d > no-gc %d", lgc.FinalRetained, nogc.FinalRetained)
+	}
+	if sync := reports[metrics.SyncTheorem1]; sync.FinalRetained > lgc.FinalRetained {
+		t.Errorf("sync-opt retains %d > RDT-LGC %d", sync.FinalRetained, lgc.FinalRetained)
+	}
+	// The run must be non-trivial for any of the above to mean something.
+	if nogc.FinalObsolete == 0 {
+		t.Error("workload produced no obsolete checkpoints; sweep would be vacuous")
+	}
+}
+
+// TestMeasureCountsEvents sanity-checks bookkeeping fields.
+func TestMeasureCountsEvents(t *testing.T) {
+	script := workload.Generate(workload.Ring, workload.Options{N: 3, Ops: 90, Seed: 7})
+	rep, err := metrics.Measure(metrics.MeasureOptions{N: 3, Collector: metrics.RDTLGC, Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != len(script.Ops) {
+		t.Errorf("Events = %d, want %d", rep.Events, len(script.Ops))
+	}
+	if rep.GlobalRetained.Count() == 0 || rep.PerProcRetained.Count() == 0 {
+		t.Error("no samples collected")
+	}
+	if rep.Protocol != "FDAS" {
+		t.Errorf("Protocol = %q, want FDAS default", rep.Protocol)
+	}
+}

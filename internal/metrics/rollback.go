@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/ccp"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// RollbackReport aggregates rollback-propagation measurements: how much
+// work a failure destroys under a given checkpointing protocol. This is the
+// quantity Agbaria, Attiya, Friedman and Vitenberg (SRDS 2001, the paper's
+// reference [1]) study analytically: RDT bounds rollback propagation better
+// than other domino-free properties.
+type RollbackReport struct {
+	Protocol string
+	N        int
+	Crashes  int
+	// StableRolled samples, per crash and non-faulty process, the number
+	// of stable checkpoints rolled back (0 when the process keeps its
+	// volatile state).
+	StableRolled Series
+	// VolatileLost counts non-faulty processes that lost their volatile
+	// state (had to roll back at all).
+	VolatileLost int
+	// DominoToStart counts crashes that forced some process back to s^0.
+	DominoToStart int
+}
+
+// RollbackOptions configures MeasureRollback.
+type RollbackOptions struct {
+	N        int
+	Protocol func(self int) protocol.Protocol // default FDAS
+	Script   ccp.Script
+	// Stride is the event interval between simulated crash points
+	// (default: len(script)/10).
+	Stride int
+}
+
+// MeasureRollback executes the script under the protocol, then, at every
+// crash point, computes for every process f the best consistent restart
+// after a crash of f (by rollback propagation on the ground-truth pattern,
+// which is correct for RDT and non-RDT protocols alike) and records how far
+// every other process is dragged back.
+func MeasureRollback(opts RollbackOptions) (RollbackReport, error) {
+	if opts.Protocol == nil {
+		opts.Protocol = func(int) protocol.Protocol { return protocol.NewFDAS() }
+	}
+	rep := RollbackReport{N: opts.N, Protocol: opts.Protocol(0).Name()}
+
+	r, err := sim.NewRunner(sim.Config{N: opts.N, Protocol: opts.Protocol})
+	if err != nil {
+		return rep, err
+	}
+	if err := r.Run(opts.Script); err != nil {
+		return rep, err
+	}
+	hist := r.History()
+	stride := opts.Stride
+	if stride <= 0 {
+		stride = len(hist.Ops) / 10
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+
+	for cut := stride; cut <= len(hist.Ops); cut += stride {
+		prefix := ccp.Script{N: opts.N, Ops: hist.Ops[:cut]}
+		if err := prefix.Validate(); err != nil {
+			// A prefix can split a send/receive pair; that is fine — the
+			// receive simply does not exist yet. Validation failures other
+			// than that cannot happen on a runner history.
+			return rep, fmt.Errorf("metrics: invalid history prefix: %w", err)
+		}
+		c := prefix.BuildCCP()
+		for f := 0; f < opts.N; f++ {
+			avail := make([]int, opts.N)
+			for i := 0; i < opts.N; i++ {
+				if i == f {
+					avail[i] = c.LastStable(i) // the crash loses f's volatile state
+				} else {
+					avail[i] = c.VolatileIndex(i)
+				}
+			}
+			line := c.MaxConsistentBelow(avail)
+			rep.Crashes++
+			for i := 0; i < opts.N; i++ {
+				if i == f {
+					continue
+				}
+				rolled := 0
+				if line[i] <= c.LastStable(i) {
+					rolled = c.LastStable(i) - line[i]
+					rep.VolatileLost++
+				}
+				rep.StableRolled.Add(rolled)
+				if line[i] == 0 && c.LastStable(i) > 0 {
+					rep.DominoToStart++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

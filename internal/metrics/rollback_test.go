@@ -1,0 +1,79 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+// TestRollbackPropagationByProtocol measures how far a crash drags
+// non-faulty processes back under each protocol — the comparison of
+// Agbaria et al. that the paper cites: RDT protocols bound rollback
+// propagation; uncoordinated checkpointing suffers the domino effect.
+func TestRollbackPropagationByProtocol(t *testing.T) {
+	const n = 6
+	script := workload.Generate(workload.Uniform, workload.Options{N: n, Ops: 1200, Seed: 5})
+
+	measure := func(mk func() protocol.Protocol) metrics.RollbackReport {
+		t.Helper()
+		rep, err := metrics.MeasureRollback(metrics.RollbackOptions{
+			N:        n,
+			Protocol: func(int) protocol.Protocol { return mk() },
+			Script:   script,
+			Stride:   150,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	fdas := measure(func() protocol.Protocol { return protocol.NewFDAS() })
+	cbr := measure(func() protocol.Protocol { return protocol.NewCBR() })
+	none := measure(func() protocol.Protocol { return protocol.NewNone() })
+
+	// RDT protocols keep rollback shallow: the mean stable rollback per
+	// non-faulty process stays below one checkpoint.
+	for _, rep := range []metrics.RollbackReport{fdas, cbr} {
+		if rep.StableRolled.Mean() >= 1 {
+			t.Errorf("%s: mean stable rollback %.2f ≥ 1 checkpoint", rep.Protocol, rep.StableRolled.Mean())
+		}
+		if rep.DominoToStart != 0 {
+			t.Errorf("%s: %d crashes dominoed to the initial state", rep.Protocol, rep.DominoToStart)
+		}
+	}
+	// Uncoordinated checkpointing rolls back much further.
+	if none.StableRolled.Mean() <= 2*fdas.StableRolled.Mean() {
+		t.Errorf("none: mean rollback %.2f not clearly worse than FDAS %.2f",
+			none.StableRolled.Mean(), fdas.StableRolled.Mean())
+	}
+	if none.StableRolled.Max() <= fdas.StableRolled.Max() {
+		t.Errorf("none: max rollback %d not worse than FDAS %d",
+			none.StableRolled.Max(), fdas.StableRolled.Max())
+	}
+	t.Logf("mean/max stable checkpoints rolled back per crash per process: FDAS %.2f/%d, CBR %.2f/%d, none %.2f/%d (domino %d)",
+		fdas.StableRolled.Mean(), fdas.StableRolled.Max(),
+		cbr.StableRolled.Mean(), cbr.StableRolled.Max(),
+		none.StableRolled.Mean(), none.StableRolled.Max(), none.DominoToStart)
+}
+
+// TestRollbackMeasurementCounts sanity-checks the bookkeeping.
+func TestRollbackMeasurementCounts(t *testing.T) {
+	const n = 3
+	script := workload.Generate(workload.Ring, workload.Options{N: n, Ops: 300, Seed: 9})
+	rep, err := metrics.MeasureRollback(metrics.RollbackOptions{N: n, Script: script, Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("no crash points measured")
+	}
+	if rep.StableRolled.Count() != rep.Crashes*(n-1) {
+		t.Errorf("samples %d, want crashes×(n-1) = %d", rep.StableRolled.Count(), rep.Crashes*(n-1))
+	}
+	if rep.Protocol != "FDAS" {
+		t.Errorf("default protocol = %q, want FDAS", rep.Protocol)
+	}
+}

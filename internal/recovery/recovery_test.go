@@ -1,0 +1,207 @@
+package recovery_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/recovery"
+)
+
+// randomRDT builds a random RD-trackable CCP via the FDAS transformation.
+func randomRDT(rng *rand.Rand, n, ops int) *ccp.CCP {
+	s := ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: ops})
+	s = ccp.ForceRDT(s)
+	return s.BuildCCP()
+}
+
+// enumerate calls f for every global checkpoint (index combination) of c.
+func enumerate(c *ccp.CCP, f func(line []int)) {
+	line := make([]int, c.N())
+	var rec func(p int)
+	rec = func(p int) {
+		if p == c.N() {
+			cp := make([]int, len(line))
+			copy(cp, line)
+			f(cp)
+			return
+		}
+		for k := 0; k <= c.VolatileIndex(p); k++ {
+			line[p] = k
+			rec(p + 1)
+		}
+	}
+	rec(0)
+}
+
+// matches reports whether line contains all targets.
+func matches(line []int, targets recovery.Targets) bool {
+	for p, idx := range targets {
+		if line[p] != idx {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMinMaxAgainstBruteForce cross-checks the closed-form extrema against
+// exhaustive enumeration of all consistent global checkpoints on random RDT
+// patterns with random target sets.
+func TestMinMaxAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	tried, extendableSets := 0, 0
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(2)
+		c := randomRDT(rng, n, 10+rng.Intn(15))
+
+		targets := recovery.Targets{}
+		for p := 0; p < n; p++ {
+			if rng.Intn(2) == 0 {
+				targets[p] = rng.Intn(c.VolatileIndex(p) + 1)
+			}
+		}
+		if len(targets) == 0 {
+			targets[0] = rng.Intn(c.VolatileIndex(0) + 1)
+		}
+		tried++
+
+		// Brute force: enumerate consistent lines containing the targets.
+		var bfMin, bfMax []int
+		enumerate(c, func(line []int) {
+			if !matches(line, targets) || !c.IsConsistentGlobal(line) {
+				return
+			}
+			if bfMin == nil {
+				bfMin = append([]int(nil), line...)
+				bfMax = append([]int(nil), line...)
+				return
+			}
+			for p := range line {
+				if line[p] < bfMin[p] {
+					bfMin[p] = line[p]
+				}
+				if line[p] > bfMax[p] {
+					bfMax[p] = line[p]
+				}
+			}
+		})
+
+		if !recovery.Extendable(c, targets) {
+			if bfMin != nil {
+				t.Fatalf("trial %d: Extendable=false but a consistent extension exists: %v", trial, bfMin)
+			}
+			continue
+		}
+		extendableSets++
+		if bfMin == nil {
+			t.Fatalf("trial %d: Extendable=true but brute force found no extension", trial)
+		}
+
+		gotMin, err := recovery.MinConsistent(c, targets)
+		if err != nil {
+			t.Fatalf("trial %d: MinConsistent: %v", trial, err)
+		}
+		gotMax, err := recovery.MaxConsistent(c, targets)
+		if err != nil {
+			t.Fatalf("trial %d: MaxConsistent: %v", trial, err)
+		}
+		for p := 0; p < n; p++ {
+			if gotMin[p] != bfMin[p] {
+				t.Fatalf("trial %d: Min[%d] = %d, brute force %d (targets %v)", trial, p, gotMin[p], bfMin[p], targets)
+			}
+			if gotMax[p] != bfMax[p] {
+				t.Fatalf("trial %d: Max[%d] = %d, brute force %d (targets %v)", trial, p, gotMax[p], bfMax[p], targets)
+			}
+		}
+	}
+	if extendableSets < 10 {
+		t.Fatalf("only %d/%d target sets were extendable; test coverage too thin", extendableSets, tried)
+	}
+}
+
+// TestBruteForceMinMaxAreConsistentLines validates the lattice property the
+// brute force relies on: the componentwise min/max of all consistent lines
+// containing S are themselves consistent lines (so comparing componentwise
+// against the closed forms is sound).
+func TestBruteForceMinMaxAreConsistentLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 30; trial++ {
+		c := randomRDT(rng, 3, 15)
+		targets := recovery.Targets{0: rng.Intn(c.VolatileIndex(0) + 1)}
+		if !recovery.Extendable(c, targets) {
+			continue
+		}
+		gotMin, err := recovery.MinConsistent(c, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMax, err := recovery.MaxConsistent(c, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsConsistentGlobal(gotMin) || !c.IsConsistentGlobal(gotMax) {
+			t.Fatalf("trial %d: extrema not consistent: min=%v max=%v", trial, gotMin, gotMax)
+		}
+	}
+}
+
+// TestInconsistentTargetsRejected checks causally related targets are
+// refused by both calculations.
+func TestInconsistentTargetsRejected(t *testing.T) {
+	f := ccp.NewFig1(true)
+	c := f.Script.BuildCCP()
+	// Figure 1: s_1^0 → s_2^1, so {s_1^0, s_2^1} is not a valid target set.
+	bad := recovery.Targets{0: 0, 1: 1}
+	if recovery.Extendable(c, bad) {
+		t.Error("causally related targets reported extendable")
+	}
+	if _, err := recovery.MinConsistent(c, bad); err == nil {
+		t.Error("MinConsistent should reject inconsistent targets")
+	}
+	if _, err := recovery.MaxConsistent(c, bad); err == nil {
+		t.Error("MaxConsistent should reject inconsistent targets")
+	}
+}
+
+// TestTargetValidation rejects malformed target sets.
+func TestTargetValidation(t *testing.T) {
+	f := ccp.NewFig2()
+	c := f.Script.BuildCCP()
+	if _, err := recovery.MinConsistent(c, recovery.Targets{}); err == nil {
+		t.Error("empty target set should be rejected")
+	}
+	if _, err := recovery.MinConsistent(c, recovery.Targets{9: 0}); err == nil {
+		t.Error("out-of-range process should be rejected")
+	}
+	if _, err := recovery.MinConsistent(c, recovery.Targets{0: 99}); err == nil {
+		t.Error("out-of-range index should be rejected")
+	}
+}
+
+// TestFigure1MinMax pins concrete values on the Figure 1 pattern.
+func TestFigure1MinMax(t *testing.T) {
+	f := ccp.NewFig1(true)
+	c := f.Script.BuildCCP()
+	// Target: s_3^2 (which depends on p1's interval 2 via m3 and on p2's
+	// interval 2 via m4).
+	targets := recovery.Targets{2: 2}
+	min, err := recovery.MinConsistent(c, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := c.DV(ccp.CheckpointID{Process: 2, Index: 2})
+	for p := 0; p < 2; p++ {
+		if min[p] != dv[p] {
+			t.Errorf("Min[%d] = %d, want DV(s_3^2)[%d] = %d", p, min[p], p, dv[p])
+		}
+	}
+	max, err := recovery.MaxConsistent(c, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing in Figure 1 depends on s_3^2, so the max line keeps every
+	// other process at its volatile state.
+	if max[0] != c.VolatileIndex(0) || max[1] != c.VolatileIndex(1) {
+		t.Errorf("Max = %v, want volatile components for p1, p2", max)
+	}
+}

@@ -1,0 +1,141 @@
+package recovery_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func lgcRunner(t *testing.T, n int, seed int64, ops int) *sim.Runner {
+	t.Helper()
+	r, err := sim.NewRunner(sim.Config{
+		N:        n,
+		Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+		LocalGC:  func(self, nn int, st storage.Store) gc.Local { return core.New(self, nn, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ccp.RandomScript(rand.New(rand.NewSource(seed)), ccp.RandomOptions{N: n, Ops: ops})
+	if err := r.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func storedSets(r *sim.Runner, n int) [][]int {
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.Store(i).Indices()
+	}
+	return out
+}
+
+// TestMaxStoredLineLastStableAlwaysFeasible: targeting any process's last
+// stable checkpoint always yields a stored consistent line, because the
+// single-fault recovery line R_{p} passes through it and recovery-line
+// members are never collected (Theorem 4).
+func TestMaxStoredLineLastStableAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		r := lgcRunner(t, n, rng.Int63(), 40+rng.Intn(60))
+		oracle := r.Oracle()
+		stored := storedSets(r, n)
+		for p := 0; p < n; p++ {
+			target := recovery.Targets{p: oracle.LastStable(p)}
+			line, err := recovery.MaxConsistentStored(oracle, target, stored)
+			if err != nil {
+				t.Fatalf("trial %d: target s_%d^last: %v", trial, p, err)
+			}
+			if !oracle.IsConsistentGlobal(line) {
+				t.Fatalf("trial %d: line %v inconsistent", trial, line)
+			}
+			for j := 0; j < n; j++ {
+				if line[j] > oracle.LastStable(j) {
+					continue // volatile component
+				}
+				found := false
+				for _, idx := range stored[j] {
+					if idx == line[j] {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: line component s_%d^%d is not stored", trial, j, line[j])
+				}
+			}
+			// Dominated by the unrestricted maximum.
+			free, err := recovery.MaxConsistent(oracle, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < n; j++ {
+				if line[j] > free[j] {
+					t.Fatalf("trial %d: stored line exceeds the unrestricted maximum at p%d", trial, j)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxStoredLineDeepTargetsCanFail pins the semantic point the soak test
+// uncovered: after garbage collection, deep rollback targets can be
+// unreachable, because Definition 6's obsolescence is relative to failure
+// recovery lines only — the partners a deep rollback needs may be gone.
+func TestMaxStoredLineDeepTargetsCanFail(t *testing.T) {
+	rng := rand.New(rand.NewSource(821))
+	failures := 0
+	for trial := 0; trial < 60 && failures == 0; trial++ {
+		n := 2 + rng.Intn(3)
+		r := lgcRunner(t, n, rng.Int63(), 80)
+		oracle := r.Oracle()
+		stored := storedSets(r, n)
+		for p := 0; p < n; p++ {
+			for _, idx := range stored[p] {
+				if idx == oracle.LastStable(p) {
+					continue
+				}
+				if _, err := recovery.MaxConsistentStored(oracle, recovery.Targets{p: idx}, stored); err != nil {
+					failures++
+				}
+			}
+		}
+	}
+	if failures == 0 {
+		t.Error("expected at least one deep target to be unreachable after collection; the distinction would be vacuous")
+	}
+}
+
+// TestMaxStoredLineRejectsUnstoredTarget checks targeting a collected
+// checkpoint errors out cleanly.
+func TestMaxStoredLineRejectsUnstoredTarget(t *testing.T) {
+	r := lgcRunner(t, 3, 5, 60)
+	oracle := r.Oracle()
+	stored := storedSets(r, 3)
+	// Find a collected stable index of p0.
+	collected := -1
+	have := map[int]bool{}
+	for _, idx := range stored[0] {
+		have[idx] = true
+	}
+	for g := 0; g <= oracle.LastStable(0); g++ {
+		if !have[g] {
+			collected = g
+			break
+		}
+	}
+	if collected < 0 {
+		t.Skip("nothing collected on this seed")
+	}
+	if _, err := recovery.MaxConsistentStored(oracle, recovery.Targets{0: collected}, stored); err == nil {
+		t.Fatal("collected target should be rejected")
+	}
+}

@@ -1,0 +1,107 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/runtime"
+	"repro/internal/storage"
+)
+
+// TestApplicationStateRollsBack attaches a KV application to every node,
+// mutates it between checkpoints, crashes a node, and verifies the
+// application state reverts exactly to the recovery-line checkpoint.
+func TestApplicationStateRollsBack(t *testing.T) {
+	c, err := runtime.NewCluster(runtime.Config{
+		N: 2,
+		LocalGC: func(self, n int, st storage.Store) gc.Local {
+			return core.New(self, n, st)
+		},
+		NewApp: func(self int) app.App { return app.NewKV() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := c.Node(0)
+	kv := func() *app.KV { return node.App().(*app.KV) }
+
+	set := func(key string, v int64) {
+		t.Helper()
+		if err := node.Update(func(a app.App) { a.(*app.KV).Set(key, v) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	set("balance", 100)
+	if err := node.Checkpoint(); err != nil { // s^1 captures balance=100
+		t.Fatal(err)
+	}
+	set("balance", 250)
+	set("pending", 1)
+
+	if v, _ := kv().Get("balance"); v != 250 {
+		t.Fatalf("pre-crash balance = %d, want 250", v)
+	}
+
+	rep, err := c.Recover([]int{0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Line[0] != 1 {
+		t.Fatalf("p1 should roll back to s^1, got %d", rep.Line[0])
+	}
+	if v, _ := kv().Get("balance"); v != 100 {
+		t.Fatalf("post-rollback balance = %d, want 100 (state of s^1)", v)
+	}
+	if _, ok := kv().Get("pending"); ok {
+		t.Fatal("post-checkpoint mutation should be gone after rollback")
+	}
+	if kv().Ops() != 1 {
+		t.Fatalf("ops counter = %d after rollback, want 1", kv().Ops())
+	}
+
+	// The application keeps working after recovery.
+	set("balance", 300)
+	if err := node.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := kv().Get("balance"); v != 300 {
+		t.Fatal("application stuck after recovery")
+	}
+}
+
+// TestUpdateWithoutApp surfaces a clear error.
+func TestUpdateWithoutApp(t *testing.T) {
+	c, err := runtime.NewCluster(runtime.Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(0).Update(func(app.App) {}); err == nil {
+		t.Fatal("Update without an app should fail")
+	}
+}
+
+// TestInitialCheckpointCarriesSnapshot checks s^0 stores the initial
+// application state so a full rollback restores it.
+func TestInitialCheckpointCarriesSnapshot(t *testing.T) {
+	c, err := runtime.NewCluster(runtime.Config{
+		N:      1,
+		NewApp: func(int) app.App { return app.NewKV() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := c.Node(0).Store().Load(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := app.NewKV()
+	if err := re.Restore(cp.State); err != nil {
+		t.Fatalf("s^0 snapshot not restorable: %v", err)
+	}
+	if re.Len() != 0 {
+		t.Fatal("initial snapshot should be empty")
+	}
+}

@@ -1,0 +1,131 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/ccp"
+	"repro/internal/gc"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Report describes a live recovery session.
+type Report struct {
+	Faulty     []int
+	Line       []int
+	RolledBack []int
+}
+
+// Recover runs a centralized recovery session on the live cluster for the
+// given faulty set:
+//
+//  1. halt the application (Send/Checkpoint refuse with ErrHalted) and
+//     advance the network epoch so in-transit messages are dropped as lost;
+//  2. wait for the network to drain;
+//  3. crash the faulty nodes — their volatile state is discarded;
+//  4. compute the recovery line per Lemma 1 from the stored vectors;
+//  5. roll back every process whose component is stable (Algorithm 3 on
+//     its collector, with LI when globalLI is true) and release stale UC
+//     entries on the others;
+//  6. truncate the recorded history to the post-recovery pattern, resume.
+func (c *Cluster) Recover(faulty []int, globalLI bool) (Report, error) {
+	c.stateMu.Lock()
+	c.halted = true
+	c.epoch++
+	c.stateMu.Unlock()
+	defer func() {
+		c.stateMu.Lock()
+		c.halted = false
+		c.stateMu.Unlock()
+	}()
+	c.Quiesce()
+
+	// All activity has ceased; it is now safe to read node state directly.
+	for i := range c.nodes {
+		c.nodes[i].mu.Lock()
+	}
+	defer func() {
+		for i := range c.nodes {
+			c.nodes[i].mu.Unlock()
+		}
+	}()
+
+	isFaulty := make([]bool, c.cfg.N)
+	for _, f := range faulty {
+		if f < 0 || f >= c.cfg.N {
+			return Report{}, fmt.Errorf("runtime: faulty process %d out of range", f)
+		}
+		isFaulty[f] = true
+	}
+
+	line, err := gc.ComputeLine(haltedView{c}, faulty)
+	if err != nil {
+		return Report{}, fmt.Errorf("runtime: %w", err)
+	}
+
+	li := make([]int, c.cfg.N)
+	for j, n := range c.nodes {
+		if line[j] <= n.lastS {
+			li[j] = line[j] + 1
+		} else {
+			li[j] = n.lastS + 1
+		}
+	}
+
+	rep := Report{Faulty: append([]int(nil), faulty...), Line: line}
+	for j, n := range c.nodes {
+		if line[j] > n.lastS {
+			if globalLI {
+				if err := n.gcol.ReleaseStale(li, n.dv); err != nil {
+					return rep, err
+				}
+			}
+			continue
+		}
+		rep.RolledBack = append(rep.RolledBack, j)
+		var liArg []int
+		if globalLI {
+			liArg = li
+		}
+		dv, err := n.gcol.Rollback(line[j], liArg)
+		if err != nil {
+			return rep, err
+		}
+		n.dv = dv
+		n.lastS = line[j]
+		n.proto.OnRollback()
+		if n.app != nil {
+			cp, err := n.store.Load(line[j])
+			if err != nil {
+				return rep, fmt.Errorf("runtime: restore p%d: %w", j, err)
+			}
+			if err := n.app.Restore(cp.State); err != nil {
+				return rep, fmt.Errorf("runtime: restore p%d: %w", j, err)
+			}
+		}
+	}
+
+	// Truncate the recorded history at the line so the oracle reflects the
+	// post-recovery pattern: rolled-back processes are cut at their stable
+	// component, the others keep their whole history.
+	cut := make([]int, c.cfg.N)
+	for p := range c.nodes {
+		cut[p] = -1
+	}
+	for _, p := range rep.RolledBack {
+		cut[p] = line[p]
+	}
+	c.recMu.Lock()
+	c.rec, _ = ccp.Truncate(c.rec, cut)
+	c.recMu.Unlock()
+	return rep, nil
+}
+
+// haltedView adapts a fully locked cluster to gc.View. It must only be used
+// while Recover holds every node lock.
+type haltedView struct{ c *Cluster }
+
+func (v haltedView) N() int                    { return v.c.cfg.N }
+func (v haltedView) LastStable(i int) int      { return v.c.nodes[i].lastS }
+func (v haltedView) CurrentDV(i int) vclock.DV { return v.c.nodes[i].dv.Clone() }
+func (v haltedView) Store(i int) storage.Store { return v.c.nodes[i].store }

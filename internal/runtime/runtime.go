@@ -1,0 +1,411 @@
+// Package runtime is the live concurrent counterpart of internal/sim: one
+// goroutine-safe middleware node per process, connected by an asynchronous
+// in-process network with configurable delivery delay and message loss.
+// It realizes the "evaluation in a practical environment" the paper lists
+// as future work (Section 6): the same protocol and collector code that
+// runs under the deterministic simulator here runs under real concurrency,
+// with deliveries racing application activity.
+//
+// The cluster records every middleware event in a linearized history (each
+// event is appended while its node's lock is held, and a receive is only
+// processed after its send returned), so tests can still rebuild the exact
+// checkpoint and communication pattern and run the internal/ccp oracles
+// against a concurrent execution.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/ccp"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// ErrHalted is returned by Send and Checkpoint while a recovery session is
+// in progress.
+var ErrHalted = errors.New("runtime: cluster halted for recovery")
+
+// NetworkOptions shapes the asynchronous network.
+type NetworkOptions struct {
+	// MinDelay/MaxDelay bound the uniformly random delivery delay.
+	MinDelay, MaxDelay time.Duration
+	// Loss is the probability a message is dropped in transit.
+	Loss float64
+	// Seed makes loss and delay decisions reproducible (the interleaving
+	// of goroutines still is not, by design).
+	Seed int64
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	N        int
+	Protocol func(self int) protocol.Protocol
+	LocalGC  func(self, n int, store storage.Store) gc.Local
+	NewStore func(self int) storage.Store
+	Net      NetworkOptions
+	// NewApp, if set, attaches an application state machine to each node:
+	// its snapshot is saved with every checkpoint, and a rollback restores
+	// it to the checkpointed state — application-level rollback, not just
+	// middleware bookkeeping.
+	NewApp func(self int) app.App
+	// TCP routes every message through a loopback TCP mesh
+	// (internal/transport) instead of direct in-process delivery, so the
+	// piggybacked vectors cross a real network path.
+	TCP bool
+	// OnDeliver, if set, is the application-level message handler: it runs
+	// under the receiving node's middleware lock, after the forced
+	// checkpoint (if any) and the vector merge, so state it mutates is
+	// atomic with respect to checkpoints — exactly like Node.Update.
+	OnDeliver func(self int, a app.App, payload []byte)
+}
+
+// Cluster is a set of live middleware nodes.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+
+	inflight sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stateMu sync.Mutex // guards epoch and halted
+	epoch   uint64
+	halted  bool
+
+	recMu sync.Mutex
+	rec   ccp.Script // linearized history of middleware events
+
+	mesh *transport.TCP // nil for direct in-process delivery
+}
+
+// Node is one process's middleware endpoint. All exported methods are safe
+// for concurrent use.
+type Node struct {
+	c     *Cluster
+	id    int
+	mu    sync.Mutex
+	dv    vclock.DV
+	lastS int
+	store storage.Store
+	proto protocol.Protocol
+	gcol  gc.Local
+	app   app.App
+
+	basic  int
+	forced int
+}
+
+// NewCluster starts a cluster. As in the model, every node stores its
+// initial checkpoint s^0 before any activity.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("runtime: need at least one process")
+	}
+	if cfg.Protocol == nil {
+		cfg.Protocol = func(int) protocol.Protocol { return protocol.NewFDAS() }
+	}
+	if cfg.NewStore == nil {
+		cfg.NewStore = func(int) storage.Store { return storage.NewMemStore() }
+	}
+	if cfg.LocalGC == nil {
+		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return gc.NewNoGC(self, n, st) }
+	}
+	c := &Cluster{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Net.Seed)),
+		rec: ccp.Script{N: cfg.N},
+	}
+	if cfg.TCP {
+		mesh, err := transport.NewTCP(cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		c.mesh = mesh
+	}
+	for i := 0; i < cfg.N; i++ {
+		n := &Node{
+			c:     c,
+			id:    i,
+			dv:    vclock.New(cfg.N),
+			store: cfg.NewStore(i),
+			proto: cfg.Protocol(i),
+		}
+		if cfg.NewApp != nil {
+			n.app = cfg.NewApp(i)
+		}
+		if err := n.store.Save(storage.Checkpoint{Process: i, Index: 0, DV: n.dv.Clone(), State: n.snapshot()}); err != nil {
+			return nil, fmt.Errorf("runtime: initial checkpoint of p%d: %w", i, err)
+		}
+		n.gcol = cfg.LocalGC(i, cfg.N, n.store)
+		n.dv[i] = 1
+		c.nodes = append(c.nodes, n)
+	}
+	if c.mesh != nil {
+		if err := c.mesh.Start(c.onWire); err != nil {
+			_ = c.mesh.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// onWire delivers a message arriving from the TCP mesh. The matching
+// inflight increment happened at Send.
+func (c *Cluster) onWire(m transport.Message) {
+	defer c.inflight.Done()
+	pb := protocol.Piggyback{DV: vclock.DV(m.DV), Index: m.Index}
+	c.nodes[m.To].deliver(m.Msg, pb, m.Epoch, m.Payload)
+}
+
+// Close releases the network resources of a TCP-backed cluster. Clusters
+// with direct delivery need no Close.
+func (c *Cluster) Close() error {
+	if c.mesh != nil {
+		return c.mesh.Close()
+	}
+	return nil
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Node returns the node for process i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Quiesce blocks until every message currently in transit has been
+// delivered or dropped. Callers must stop sending first.
+func (c *Cluster) Quiesce() { c.inflight.Wait() }
+
+// History returns a snapshot of the linearized middleware history; replayed
+// through internal/ccp it reconstructs the exact pattern of the concurrent
+// execution so far.
+func (c *Cluster) History() ccp.Script {
+	c.recMu.Lock()
+	defer c.recMu.Unlock()
+	return ccp.Script{N: c.rec.N, Ops: append([]ccp.Op(nil), c.rec.Ops...)}
+}
+
+// Oracle rebuilds the ground-truth CCP from the recorded history.
+func (c *Cluster) Oracle() *ccp.CCP {
+	h := c.History()
+	return h.BuildCCP()
+}
+
+func (c *Cluster) curEpoch() uint64 {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.epoch
+}
+
+func (c *Cluster) isHalted() bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.halted
+}
+
+func (c *Cluster) randDelayDrop() (time.Duration, bool) {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	drop := c.rng.Float64() < c.cfg.Net.Loss
+	span := c.cfg.Net.MaxDelay - c.cfg.Net.MinDelay
+	d := c.cfg.Net.MinDelay
+	if span > 0 {
+		d += time.Duration(c.rng.Int63n(int64(span)))
+	}
+	return d, drop
+}
+
+// Send transmits a message to process "to" through the asynchronous
+// network. It returns once the message is handed to the network; delivery
+// happens later, on another goroutine, unless the network drops it.
+func (n *Node) Send(to int) error { return n.SendPayload(to, nil) }
+
+// SendPayload transmits a message carrying an application payload; the
+// receiver's Config.OnDeliver handler processes it under the middleware
+// lock.
+func (n *Node) SendPayload(to int, payload []byte) error {
+	return n.sendPayload(to, payload, nil)
+}
+
+// UpdateAndSend applies an application mutation and sends a message as one
+// atomic middleware step: no checkpoint can separate the state change from
+// the send, so a rollback either keeps both or discards both. This is how
+// transactional applications (debit locally, credit remotely) must use the
+// middleware — see examples/bank.
+func (n *Node) UpdateAndSend(to int, f func(a app.App), payload []byte) error {
+	if n.app == nil {
+		return fmt.Errorf("runtime: p%d has no application attached", n.id)
+	}
+	return n.sendPayload(to, payload, f)
+}
+
+func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error {
+	if to < 0 || to >= n.c.cfg.N || to == n.id {
+		return fmt.Errorf("runtime: p%d sending to invalid target %d", n.id, to)
+	}
+	if n.c.isHalted() {
+		return ErrHalted
+	}
+	n.mu.Lock()
+	if update != nil {
+		update(n.app)
+	}
+	pb := protocol.Piggyback{DV: n.dv.Clone(), Index: n.proto.OnSend()}
+	epoch := n.c.curEpoch()
+	n.c.recMu.Lock()
+	msg := n.c.rec.Send(n.id)
+	n.c.recMu.Unlock()
+	n.mu.Unlock()
+
+	delay, drop := n.c.randDelayDrop()
+	n.c.inflight.Add(1)
+	go func() {
+		if drop {
+			n.c.inflight.Done()
+			return
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if mesh := n.c.mesh; mesh != nil {
+			err := mesh.Send(transport.Message{
+				From: n.id, To: to, Msg: msg, Epoch: epoch,
+				Index: pb.Index, DV: pb.DV, Payload: payload,
+			})
+			if err != nil {
+				// The mesh is closing; the message is lost, which the
+				// model permits.
+				n.c.inflight.Done()
+			}
+			// On success the delivery callback calls Done.
+			return
+		}
+		defer n.c.inflight.Done()
+		n.c.nodes[to].deliver(msg, pb, epoch, payload)
+	}()
+	return nil
+}
+
+// deliver processes an incoming message: forced checkpoint first if the
+// protocol demands one (stored before the GC work, per Section 4.5), then
+// vector merge, collector update and protocol notification. Messages from a
+// previous epoch (sent before a recovery session) are dropped: they were in
+// transit when the failure hit, and the model treats them as lost.
+func (n *Node) deliver(msg int, pb protocol.Piggyback, epoch uint64, payload []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch != n.c.curEpoch() {
+		return
+	}
+	if n.proto.ForcedBeforeDelivery(n.dv, pb) {
+		if err := n.checkpointLocked(false); err != nil {
+			panic(fmt.Sprintf("runtime: forced checkpoint on p%d: %v", n.id, err))
+		}
+	}
+	increased := n.dv.Merge(pb.DV)
+	if err := n.gcol.OnNewInfo(increased, n.dv); err != nil {
+		panic(fmt.Sprintf("runtime: collector on p%d: %v", n.id, err))
+	}
+	n.proto.OnDeliver(pb)
+	if n.c.cfg.OnDeliver != nil {
+		n.c.cfg.OnDeliver(n.id, n.app, payload)
+	}
+	n.c.recMu.Lock()
+	n.c.rec.Recv(n.id, msg)
+	n.c.recMu.Unlock()
+}
+
+// Checkpoint takes a basic checkpoint.
+func (n *Node) Checkpoint() error {
+	if n.c.isHalted() {
+		return ErrHalted
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.checkpointLocked(true)
+}
+
+func (n *Node) checkpointLocked(basic bool) error {
+	index := n.dv[n.id]
+	if err := n.store.Save(storage.Checkpoint{Process: n.id, Index: index, DV: n.dv.Clone(), State: n.snapshot()}); err != nil {
+		return fmt.Errorf("runtime: checkpoint %d of p%d: %w", index, n.id, err)
+	}
+	if err := n.gcol.OnCheckpoint(index, n.dv); err != nil {
+		return err
+	}
+	n.dv[n.id]++
+	n.lastS = index
+	n.proto.OnCheckpoint()
+	if basic {
+		n.basic++
+	} else {
+		n.forced++
+	}
+	n.c.recMu.Lock()
+	n.c.rec.Checkpoint(n.id)
+	n.c.recMu.Unlock()
+	return nil
+}
+
+// snapshot captures the attached application's state, or nil without one.
+func (n *Node) snapshot() []byte {
+	if n.app == nil {
+		return nil
+	}
+	return n.app.Snapshot()
+}
+
+// App returns the node's attached application state machine, or nil.
+func (n *Node) App() app.App { return n.app }
+
+// Update mutates the application state under the middleware lock, so the
+// mutation is atomic with respect to checkpoints: a checkpoint either
+// includes it or does not.
+func (n *Node) Update(f func(a app.App)) error {
+	if n.app == nil {
+		return fmt.Errorf("runtime: p%d has no application attached", n.id)
+	}
+	if n.c.isHalted() {
+		return ErrHalted
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f(n.app)
+	return nil
+}
+
+// Stats reports the node's checkpoint counters and store statistics.
+func (n *Node) Stats() (basic, forced int, store storage.Stats) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.basic, n.forced, n.store.Stats()
+}
+
+// CurrentDV returns a copy of the node's dependency vector.
+func (n *Node) CurrentDV() vclock.DV {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dv.Clone()
+}
+
+// LastStable returns last_s for this node.
+func (n *Node) LastStable() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastS
+}
+
+// Store exposes the node's stable store.
+func (n *Node) Store() storage.Store { return n.store }
+
+// Collector exposes the node's local collector (for test inspection).
+func (n *Node) Collector() gc.Local { return n.gcol }

@@ -1,0 +1,310 @@
+// Package sim executes distributed checkpointing executions deterministically.
+//
+// A Runner drives n middleware processes through an application-level
+// script (sends, receives, basic checkpoints). Each process owns a
+// dependency vector, a stable store, a checkpointing protocol (which may
+// insert forced checkpoints before deliveries) and a local garbage
+// collector. In parallel the runner maintains a ground-truth mirror of the
+// pattern through internal/ccp, so every experiment can compare what the
+// collectors did against what the oracles say.
+//
+// The runner also orchestrates recovery sessions (Section 2.4): Recover
+// crashes a faulty set, computes the recovery line per Lemma 1 from the
+// stored vectors (as a centralized recovery manager would), rolls processes
+// back, runs Algorithm 3 on the collectors, and truncates the mirror to the
+// post-recovery pattern. Execution can then continue with further scripts.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ccp"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Config assembles a Runner. Protocol and LocalGC are per-process
+// constructors; NewStore defaults to in-memory stores.
+type Config struct {
+	N        int
+	Protocol func(self int) protocol.Protocol
+	LocalGC  func(self, n int, store storage.Store) gc.Local
+	NewStore func(self int) storage.Store
+	// GlobalGC, if set, runs every GlobalEvery events (default 1).
+	GlobalGC    gc.Global
+	GlobalEvery int
+	// StateBytes is the size of the opaque state saved with each
+	// checkpoint (for byte accounting); default 0.
+	StateBytes int
+	// Compress piggybacks only the dependency-vector entries changed since
+	// the previous send to the same destination (Singhal–Kshemkalyani).
+	// Requires per-pair FIFO delivery; Run fails on reordered scripts.
+	Compress bool
+	// AfterEvent, if set, runs after every executed script operation
+	// (a forced checkpoint and the delivery that triggered it count as one
+	// operation). Used by the test suite to assert invariants at every
+	// event boundary.
+	AfterEvent func() error
+}
+
+// proc is one middleware process.
+type proc struct {
+	id    int
+	dv    vclock.DV
+	lastS int
+	store storage.Store
+	proto protocol.Protocol
+	gcol  gc.Local
+}
+
+// Metrics counts what happened during execution.
+type Metrics struct {
+	Basic       int // basic checkpoints taken
+	Forced      int // forced checkpoints taken
+	Sends       int
+	Delivered   int
+	Rollbacks   int // processes rolled back across recovery sessions
+	RolledCkpts int // stable checkpoints discarded because they were rolled back
+	// PiggybackEntries counts the dependency-vector entries piggybacked on
+	// messages: n per send with full vectors, only the changed entries
+	// per delivery with Compress.
+	PiggybackEntries int
+}
+
+// Runner executes scripts against the configured middleware stack.
+type Runner struct {
+	cfg   Config
+	procs []*proc
+
+	hist    ccp.Script // executed history, global message numbering
+	mirror  *ccp.Builder
+	sendPB  map[int]protocol.Piggyback // piggyback per global message id
+	sendOrd map[int]int                // per global message id: order among the sender's sends
+	sendBy  map[int]int                // per global message id: sending process
+	sent    []int                      // sends so far per process
+	comp    *compressor                // non-nil iff Config.Compress
+	metrics Metrics
+	events  int
+}
+
+// NewRunner builds the system: every process stores its initial checkpoint
+// s^0 before execution starts, as the model requires.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("sim: need at least one process")
+	}
+	if cfg.Protocol == nil {
+		cfg.Protocol = func(int) protocol.Protocol { return protocol.NewNone() }
+	}
+	if cfg.NewStore == nil {
+		cfg.NewStore = func(int) storage.Store { return storage.NewMemStore() }
+	}
+	if cfg.LocalGC == nil {
+		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return gc.NewNoGC(self, n, st) }
+	}
+	if cfg.GlobalEvery <= 0 {
+		cfg.GlobalEvery = 1
+	}
+	r := &Runner{
+		cfg:     cfg,
+		hist:    ccp.Script{N: cfg.N},
+		mirror:  ccp.NewBuilder(cfg.N),
+		sendPB:  make(map[int]protocol.Piggyback),
+		sendOrd: make(map[int]int),
+		sendBy:  make(map[int]int),
+		sent:    make([]int, cfg.N),
+	}
+	if cfg.Compress {
+		r.comp = newCompressor()
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := &proc{
+			id:    i,
+			dv:    vclock.New(cfg.N),
+			store: cfg.NewStore(i),
+			proto: cfg.Protocol(i),
+		}
+		// Initial stable checkpoint s^0 with the zero vector.
+		if err := p.store.Save(storage.Checkpoint{
+			Process: i, Index: 0, DV: p.dv.Clone(), State: r.stateBytes(),
+		}); err != nil {
+			return nil, fmt.Errorf("sim: initial checkpoint of p%d: %w", i, err)
+		}
+		p.gcol = cfg.LocalGC(i, cfg.N, p.store)
+		p.dv[i] = 1
+		r.procs = append(r.procs, p)
+	}
+	return r, nil
+}
+
+func (r *Runner) stateBytes() []byte {
+	if r.cfg.StateBytes <= 0 {
+		return nil
+	}
+	return make([]byte, r.cfg.StateBytes)
+}
+
+// N returns the number of processes.
+func (r *Runner) N() int { return r.cfg.N }
+
+// Run executes the application script. Message numbers are local to the
+// script; each Run call must use a self-contained script.
+func (r *Runner) Run(script ccp.Script) error {
+	if script.N != r.cfg.N {
+		return fmt.Errorf("sim: script for %d processes, runner has %d", script.N, r.cfg.N)
+	}
+	if err := script.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	msgMap := make(map[int]int) // script msg -> global msg
+	for _, op := range script.Ops {
+		switch op.Kind {
+		case ccp.OpCheckpoint:
+			if err := r.takeCheckpoint(r.procs[op.P], true); err != nil {
+				return err
+			}
+		case ccp.OpSend:
+			msgMap[op.Msg] = r.send(r.procs[op.P])
+		case ccp.OpRecv:
+			if err := r.deliver(r.procs[op.P], msgMap[op.Msg]); err != nil {
+				return err
+			}
+		}
+		if err := r.afterEvent(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) send(p *proc) int {
+	pb := protocol.Piggyback{DV: p.dv.Clone(), Index: p.proto.OnSend()}
+	g := r.hist.Send(p.id)
+	r.mirror.Send(p.id)
+	r.sendPB[g] = pb
+	r.sendOrd[g] = r.sent[p.id]
+	r.sendBy[g] = p.id
+	r.sent[p.id]++
+	r.metrics.Sends++
+	if r.comp == nil {
+		r.metrics.PiggybackEntries += r.cfg.N
+	}
+	return g
+}
+
+func (r *Runner) deliver(p *proc, gmsg int) error {
+	pb, ok := r.sendPB[gmsg]
+	if !ok {
+		return fmt.Errorf("sim: delivery of unknown message %d", gmsg)
+	}
+	var entries []sparseEntry
+	if r.comp != nil {
+		from := r.msgSender(gmsg)
+		var err error
+		entries, err = r.comp.encode(from, p.id, r.sendOrd[gmsg], pb.DV)
+		if err != nil {
+			return err
+		}
+		r.metrics.PiggybackEntries += len(entries)
+		pb = protocol.Piggyback{DV: expand(p.dv, entries), Index: pb.Index}
+	}
+	// A forced checkpoint must be stored before the garbage collection for
+	// this receive runs (Section 4.5's ordering remark).
+	if p.proto.ForcedBeforeDelivery(p.dv, pb) {
+		if err := r.takeCheckpoint(p, false); err != nil {
+			return err
+		}
+	}
+	var increased []int
+	if r.comp != nil {
+		increased = applySparse(p.dv, entries)
+	} else {
+		increased = p.dv.Merge(pb.DV)
+	}
+	if err := p.gcol.OnNewInfo(increased, p.dv); err != nil {
+		return err
+	}
+	p.proto.OnDeliver(pb)
+	r.hist.Recv(p.id, gmsg)
+	r.mirror.Receive(p.id, gmsg)
+	r.metrics.Delivered++
+	return nil
+}
+
+// msgSender returns the sending process of a global message id.
+func (r *Runner) msgSender(gmsg int) int { return r.sendBy[gmsg] }
+
+func (r *Runner) takeCheckpoint(p *proc, basic bool) error {
+	index := p.dv[p.id] // the checkpoint closes the current interval
+	if err := p.store.Save(storage.Checkpoint{
+		Process: p.id, Index: index, DV: p.dv.Clone(), State: r.stateBytes(),
+	}); err != nil {
+		return fmt.Errorf("sim: checkpoint %d of p%d: %w", index, p.id, err)
+	}
+	if err := p.gcol.OnCheckpoint(index, p.dv); err != nil {
+		return err
+	}
+	p.dv[p.id]++
+	p.lastS = index
+	p.proto.OnCheckpoint()
+	r.hist.Checkpoint(p.id)
+	r.mirror.Checkpoint(p.id)
+	if basic {
+		r.metrics.Basic++
+	} else {
+		r.metrics.Forced++
+	}
+	return nil
+}
+
+func (r *Runner) afterEvent() error {
+	r.events++
+	if r.cfg.GlobalGC != nil && r.events%r.cfg.GlobalEvery == 0 {
+		if err := r.cfg.GlobalGC.Collect(r.View()); err != nil {
+			return err
+		}
+	}
+	if r.cfg.AfterEvent != nil {
+		if err := r.cfg.AfterEvent(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Oracle returns the ground-truth CCP of the execution so far.
+func (r *Runner) Oracle() *ccp.CCP { return r.mirror.Build() }
+
+// History returns a copy of the executed script (including forced
+// checkpoints) with global message numbering.
+func (r *Runner) History() ccp.Script {
+	out := ccp.Script{N: r.hist.N, Ops: append([]ccp.Op(nil), r.hist.Ops...)}
+	return out
+}
+
+// Metrics returns execution counters.
+func (r *Runner) Metrics() Metrics { return r.metrics }
+
+// Store returns process i's stable store.
+func (r *Runner) Store(i int) storage.Store { return r.procs[i].store }
+
+// CurrentDV returns a copy of process i's dependency vector.
+func (r *Runner) CurrentDV(i int) vclock.DV { return r.procs[i].dv.Clone() }
+
+// LastStable returns last_s(i).
+func (r *Runner) LastStable(i int) int { return r.procs[i].lastS }
+
+// LocalGC returns process i's local collector (for inspection in tests).
+func (r *Runner) LocalGC(i int) gc.Local { return r.procs[i].gcol }
+
+// View adapts the runner to the gc.View interface.
+func (r *Runner) View() gc.View { return runnerView{r} }
+
+type runnerView struct{ r *Runner }
+
+func (v runnerView) N() int                    { return v.r.cfg.N }
+func (v runnerView) LastStable(i int) int      { return v.r.procs[i].lastS }
+func (v runnerView) CurrentDV(i int) vclock.DV { return v.r.procs[i].dv.Clone() }
+func (v runnerView) Store(i int) storage.Store { return v.r.procs[i].store }

@@ -1,0 +1,185 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func fdasLGC(n int) sim.Config {
+	return sim.Config{
+		N:        n,
+		Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+		LocalGC: func(self, n int, st storage.Store) gc.Local {
+			return core.New(self, n, st)
+		},
+	}
+}
+
+// TestDeterminism checks two runners fed the same script end in identical
+// states — the property every experiment in the repository relies on.
+func TestDeterminism(t *testing.T) {
+	s := ccp.RandomScript(rand.New(rand.NewSource(5)), ccp.RandomOptions{N: 4, Ops: 80})
+	mk := func() *sim.Runner {
+		r, err := sim.NewRunner(fdasLGC(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(s); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	if a.Metrics() != b.Metrics() {
+		t.Fatalf("metrics differ: %+v vs %+v", a.Metrics(), b.Metrics())
+	}
+	for i := 0; i < 4; i++ {
+		if !a.CurrentDV(i).Equal(b.CurrentDV(i)) {
+			t.Errorf("p%d DV differs: %v vs %v", i, a.CurrentDV(i), b.CurrentDV(i))
+		}
+		if !reflect.DeepEqual(a.Store(i).Indices(), b.Store(i).Indices()) {
+			t.Errorf("p%d stores differ: %v vs %v", i, a.Store(i).Indices(), b.Store(i).Indices())
+		}
+	}
+	ha, hb := a.History(), b.History()
+	if !reflect.DeepEqual(ha.Ops, hb.Ops) {
+		t.Error("executed histories differ")
+	}
+}
+
+// TestHistoryRebuildsOracle checks History() replayed through a fresh
+// builder yields the same pattern as the runner's live mirror.
+func TestHistoryRebuildsOracle(t *testing.T) {
+	r, err := sim.NewRunner(fdasLGC(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ccp.RandomScript(rand.New(rand.NewSource(9)), ccp.RandomOptions{N: 3, Ops: 60})
+	if err := r.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	h := r.History()
+	rebuilt := h.BuildCCP()
+	live := r.Oracle()
+	for i := 0; i < 3; i++ {
+		if rebuilt.LastStable(i) != live.LastStable(i) {
+			t.Errorf("p%d lastS: rebuilt %d vs live %d", i, rebuilt.LastStable(i), live.LastStable(i))
+		}
+		vol := ccp.CheckpointID{Process: i, Index: live.VolatileIndex(i)}
+		if !rebuilt.DV(vol).Equal(live.DV(vol)) {
+			t.Errorf("p%d volatile DV: rebuilt %v vs live %v", i, rebuilt.DV(vol), live.DV(vol))
+		}
+	}
+}
+
+// TestStoredDVsMatchOracle checks every stored checkpoint carries exactly
+// the dependency vector the ground-truth pattern assigns it.
+func TestStoredDVsMatchOracle(t *testing.T) {
+	r, err := sim.NewRunner(fdasLGC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ccp.RandomScript(rand.New(rand.NewSource(13)), ccp.RandomOptions{N: 4, Ops: 70})
+	if err := r.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	oracle := r.Oracle()
+	for i := 0; i < 4; i++ {
+		for _, idx := range r.Store(i).Indices() {
+			cp, err := r.Store(i).Load(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.DV(ccp.CheckpointID{Process: i, Index: idx})
+			if !cp.DV.Equal(want) {
+				t.Errorf("p%d s^%d stored DV %v, oracle %v", i, idx, cp.DV, want)
+			}
+			if cp.DV[i] != idx {
+				t.Errorf("p%d s^%d stored DV self entry %d, want %d", i, idx, cp.DV[i], idx)
+			}
+		}
+	}
+}
+
+// TestRecoveryTruncation checks the post-recovery mirror: each surviving
+// process history ends at its line component and the pattern stays
+// well-formed across continued execution.
+func TestRecoveryTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3)
+		r, err := sim.NewRunner(fdasLGC(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 50})); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.Recover([]int{rng.Intn(n)}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := r.Oracle()
+		for i := 0; i < n; i++ {
+			wantLast := rep.Line[i]
+			if wantLast > oracle.LastStable(i) { // volatile component
+				continue
+			}
+			if oracle.LastStable(i) != wantLast {
+				t.Errorf("trial %d: p%d lastS after recovery = %d, want line %d",
+					trial, i, oracle.LastStable(i), wantLast)
+			}
+			if !r.CurrentDV(i).Equal(oracle.DV(ccp.CheckpointID{Process: i, Index: oracle.VolatileIndex(i)})) {
+				t.Errorf("trial %d: p%d live DV diverges from truncated mirror", trial, i)
+			}
+		}
+		// Execution continues seamlessly on the truncated pattern.
+		if err := r.Run(ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 30})); err != nil {
+			t.Fatalf("trial %d: continue after recovery: %v", trial, err)
+		}
+		if v, bad := r.Oracle().FirstRDTViolation(); bad {
+			t.Fatalf("trial %d: continued pattern not RDT: %v", trial, v)
+		}
+	}
+}
+
+// TestScriptMismatchRejected checks scripts sized for a different system
+// are refused.
+func TestScriptMismatchRejected(t *testing.T) {
+	r, err := sim.NewRunner(fdasLGC(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(ccp.Script{N: 2}); err == nil {
+		t.Fatal("script with wrong N should be rejected")
+	}
+}
+
+// TestMetricsCounting checks basic/forced/send/deliver counters.
+func TestMetricsCounting(t *testing.T) {
+	r, err := sim.NewRunner(fdasLGC(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s ccp.Script
+	s.N = 2
+	s.Checkpoint(0)
+	m := s.Send(0)
+	s.Recv(1, m)
+	s.Send(1) // never delivered
+	if err := r.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Metrics()
+	if got.Basic != 1 || got.Sends != 2 || got.Delivered != 1 {
+		t.Fatalf("metrics = %+v, want Basic=1 Sends=2 Delivered=1", got)
+	}
+}

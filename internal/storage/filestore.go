@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// FileStore is a Store that writes each checkpoint to its own file under a
+// directory. It survives a crash of the owning process: reopening the same
+// directory recovers every checkpoint that was saved and not yet collected.
+// Files are written to a temporary name and renamed so a checkpoint is
+// either fully present or absent.
+//
+// The on-disk record is a small binary header (process, index, vector)
+// followed by the raw state bytes; see encode.
+type FileStore struct {
+	mu    sync.Mutex
+	dir   string
+	live  map[int]int // index -> state length, for byte accounting
+	stats Stats
+}
+
+// OpenFileStore opens (or creates) a file store rooted at dir. Existing
+// checkpoint files are indexed and counted as live.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	fs := &FileStore{dir: dir, live: make(map[int]int)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: scan %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		idx, ok := parseName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("storage: stat %s: %w", e.Name(), err)
+		}
+		fs.live[idx] = int(info.Size())
+		fs.stats.Live++
+		fs.stats.LiveBytes += int(info.Size())
+	}
+	fs.stats.Peak = fs.stats.Live
+	fs.stats.PeakBytes = fs.stats.LiveBytes
+	return fs, nil
+}
+
+func (fs *FileStore) path(index int) string {
+	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-%08d.bin", index))
+}
+
+func parseName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".bin") {
+		return 0, false
+	}
+	idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".bin"))
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// encode serializes a checkpoint: magic, process, index, vector length,
+// vector entries, state length, state — all little-endian int64.
+func encode(cp Checkpoint) []byte {
+	var buf bytes.Buffer
+	w := func(v int64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(0x5244544C47431 /* "RDTLGC" tag */)
+	w(int64(cp.Process))
+	w(int64(cp.Index))
+	w(int64(len(cp.DV)))
+	for _, v := range cp.DV {
+		w(int64(v))
+	}
+	w(int64(len(cp.State)))
+	buf.Write(cp.State)
+	return buf.Bytes()
+}
+
+func decode(b []byte) (Checkpoint, error) {
+	r := bytes.NewReader(b)
+	rd := func() (int64, error) {
+		var v int64
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := rd()
+	if err != nil || magic != 0x5244544C47431 {
+		return Checkpoint{}, fmt.Errorf("storage: bad checkpoint file header")
+	}
+	var cp Checkpoint
+	p, err := rd()
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	idx, err := rd()
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	n, err := rd()
+	if err != nil || n < 0 || n > 1<<20 {
+		return Checkpoint{}, fmt.Errorf("storage: bad vector length")
+	}
+	cp.Process, cp.Index = int(p), int(idx)
+	cp.DV = vclock.New(int(n))
+	for i := range cp.DV {
+		v, err := rd()
+		if err != nil {
+			return Checkpoint{}, err
+		}
+		cp.DV[i] = int(v)
+	}
+	sl, err := rd()
+	if err != nil || sl < 0 || sl > int64(r.Len()) {
+		// The state length must not exceed the bytes actually present;
+		// otherwise a corrupted header could demand an arbitrary
+		// allocation (found by FuzzDecode).
+		return Checkpoint{}, fmt.Errorf("storage: bad state length")
+	}
+	cp.State = make([]byte, sl)
+	if _, err := io.ReadFull(r, cp.State); err != nil {
+		return Checkpoint{}, err
+	}
+	return cp, nil
+}
+
+// Save implements Store.
+func (fs *FileStore) Save(cp Checkpoint) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, dup := fs.live[cp.Index]; dup {
+		return fmt.Errorf("storage: duplicate save of checkpoint %d of p%d", cp.Index, cp.Process)
+	}
+	data := encode(cp)
+	tmp := fs.path(cp.Index) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, fs.path(cp.Index)); err != nil {
+		return fmt.Errorf("storage: commit %s: %w", tmp, err)
+	}
+	fs.live[cp.Index] = len(data)
+	fs.stats.Saved++
+	fs.stats.Live++
+	fs.stats.LiveBytes += len(data)
+	if fs.stats.Live > fs.stats.Peak {
+		fs.stats.Peak = fs.stats.Live
+	}
+	if fs.stats.LiveBytes > fs.stats.PeakBytes {
+		fs.stats.PeakBytes = fs.stats.LiveBytes
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (fs *FileStore) Delete(index int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	size, ok := fs.live[index]
+	if !ok {
+		return fmt.Errorf("storage: delete of absent checkpoint %d", index)
+	}
+	if err := os.Remove(fs.path(index)); err != nil {
+		return fmt.Errorf("storage: delete checkpoint %d: %w", index, err)
+	}
+	delete(fs.live, index)
+	fs.stats.Collected++
+	fs.stats.Live--
+	fs.stats.LiveBytes -= size
+	return nil
+}
+
+// Load implements Store.
+func (fs *FileStore) Load(index int) (Checkpoint, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.live[index]; !ok {
+		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
+	}
+	data, err := os.ReadFile(fs.path(index))
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("storage: read checkpoint %d: %w", index, err)
+	}
+	return decode(data)
+}
+
+// Indices implements Store.
+func (fs *FileStore) Indices() []int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]int, 0, len(fs.live))
+	for idx := range fs.live {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats implements Store.
+func (fs *FileStore) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}

@@ -1,0 +1,29 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// FuzzDecode checks the checkpoint-file parser never panics and that every
+// accepted input round-trips through encode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(encode(Checkpoint{Process: 1, Index: 2, DV: vclock.DV{3, 4}, State: []byte("s")}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := decode(data)
+		if err != nil {
+			return
+		}
+		re, err := decode(encode(cp))
+		if err != nil {
+			t.Fatalf("re-decode of accepted checkpoint failed: %v", err)
+		}
+		if re.Process != cp.Process || re.Index != cp.Index || !re.DV.Equal(cp.DV) || !bytes.Equal(re.State, cp.State) {
+			t.Fatalf("round trip changed the checkpoint: %+v vs %+v", cp, re)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// Package storage provides the stable-storage abstraction of the model
+// (Section 2): a per-process store of stable checkpoints that persists
+// through crashes. Two implementations are provided: MemStore, an
+// accounting-only in-memory store used by the simulator, and FileStore,
+// which writes each checkpoint to its own file and genuinely survives a
+// simulated crash (the process state is discarded and the store reopened
+// from disk).
+//
+// Both stores track the live-checkpoint count and its high-water mark, which
+// the experiments use to measure the space bounds of Section 4.5.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Checkpoint is the unit of stable storage: a process's saved state together
+// with the dependency vector recorded at the instant it was taken (needed
+// for recovery-line computation and rollback, Section 4.3).
+type Checkpoint struct {
+	Process int
+	Index   int
+	DV      vclock.DV
+	State   []byte // opaque application state
+}
+
+// Store is the stable-storage interface used by the checkpointing
+// middleware and the garbage collectors.
+type Store interface {
+	// Save durably writes a checkpoint. Saving the same index twice is an
+	// error: checkpoint indices are unique per process.
+	Save(cp Checkpoint) error
+	// Delete removes the checkpoint with the given index. Deleting an
+	// absent index is an error: the collectors must never double-free.
+	Delete(index int) error
+	// Load returns the checkpoint with the given index.
+	Load(index int) (Checkpoint, error)
+	// Indices returns the indices of stored checkpoints in ascending order.
+	Indices() []int
+	// Stats returns space-accounting counters.
+	Stats() Stats
+}
+
+// Stats reports the space accounting of a store.
+type Stats struct {
+	Live      int // checkpoints currently stored
+	Peak      int // high-water mark of Live
+	Saved     int // total checkpoints ever saved
+	Collected int // total checkpoints ever deleted
+	LiveBytes int // bytes currently stored (state only)
+	PeakBytes int // high-water mark of LiveBytes
+}
+
+// MemStore is an in-memory Store. The zero value is not usable; use
+// NewMemStore. MemStore is safe for concurrent use.
+type MemStore struct {
+	mu    sync.Mutex
+	byIdx map[int]Checkpoint
+	stats Stats
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{byIdx: make(map[int]Checkpoint)}
+}
+
+// Save implements Store.
+func (s *MemStore) Save(cp Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byIdx[cp.Index]; dup {
+		return fmt.Errorf("storage: duplicate save of checkpoint %d of p%d", cp.Index, cp.Process)
+	}
+	cp.DV = cp.DV.Clone()
+	cp.State = append([]byte(nil), cp.State...)
+	s.byIdx[cp.Index] = cp
+	s.stats.Saved++
+	s.stats.Live++
+	s.stats.LiveBytes += len(cp.State)
+	if s.stats.Live > s.stats.Peak {
+		s.stats.Peak = s.stats.Live
+	}
+	if s.stats.LiveBytes > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.stats.LiveBytes
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(index int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, ok := s.byIdx[index]
+	if !ok {
+		return fmt.Errorf("storage: delete of absent checkpoint %d", index)
+	}
+	delete(s.byIdx, index)
+	s.stats.Collected++
+	s.stats.Live--
+	s.stats.LiveBytes -= len(cp.State)
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(index int) (Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, ok := s.byIdx[index]
+	if !ok {
+		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
+	}
+	cp.DV = cp.DV.Clone()
+	cp.State = append([]byte(nil), cp.State...)
+	return cp, nil
+}
+
+// Indices implements Store.
+func (s *MemStore) Indices() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.byIdx))
+	for idx := range s.byIdx {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ccp"
+)
+
+// DOT renders the pattern of a script as a Graphviz digraph: one horizontal
+// rank per process, checkpoints as boxes (labelled s_p^γ), message edges
+// between send and receive events, and dashed intra-process edges carrying
+// the timeline. Pipe the output through `dot -Tsvg` to obtain a space-time
+// diagram matching the paper's figures.
+func DOT(s ccp.Script, title string) string {
+	if err := s.Validate(); err != nil {
+		return "digraph invalid {}"
+	}
+	var b strings.Builder
+	b.WriteString("digraph ccp {\n")
+	fmt.Fprintf(&b, "  label=%q; labelloc=top; rankdir=LR;\n", title)
+	b.WriteString("  node [fontname=\"monospace\"];\n")
+
+	// Event nodes per process, in timeline order. Every process starts
+	// with its initial checkpoint s^0.
+	type ev struct {
+		id    string
+		label string
+		shape string
+	}
+	evs := make([][]ev, s.N)
+	ckpt := make([]int, s.N)
+	sendNode := map[int]string{}
+	recvNode := map[int]string{}
+	for p := 0; p < s.N; p++ {
+		evs[p] = append(evs[p], ev{
+			id:    fmt.Sprintf("p%dc0", p),
+			label: fmt.Sprintf("s%d_0", p+1),
+			shape: "box",
+		})
+	}
+	for k, op := range s.Ops {
+		switch op.Kind {
+		case ccp.OpCheckpoint:
+			ckpt[op.P]++
+			evs[op.P] = append(evs[op.P], ev{
+				id:    fmt.Sprintf("p%dc%d", op.P, ckpt[op.P]),
+				label: fmt.Sprintf("s%d_%d", op.P+1, ckpt[op.P]),
+				shape: "box",
+			})
+		case ccp.OpSend:
+			id := fmt.Sprintf("p%de%d", op.P, k)
+			sendNode[op.Msg] = id
+			evs[op.P] = append(evs[op.P], ev{id: id, label: fmt.Sprintf("m%d", op.Msg), shape: "point"})
+		case ccp.OpRecv:
+			id := fmt.Sprintf("p%de%d", op.P, k)
+			recvNode[op.Msg] = id
+			evs[op.P] = append(evs[op.P], ev{id: id, label: "", shape: "point"})
+		}
+	}
+
+	for p := 0; p < s.N; p++ {
+		fmt.Fprintf(&b, "  subgraph cluster_p%d {\n    label=\"p%d\"; color=gray;\n", p, p+1)
+		for _, e := range evs[p] {
+			if e.shape == "box" {
+				fmt.Fprintf(&b, "    %s [shape=box, label=%q];\n", e.id, e.label)
+			} else {
+				fmt.Fprintf(&b, "    %s [shape=point, xlabel=%q];\n", e.id, e.label)
+			}
+		}
+		// Timeline edges.
+		for k := 0; k+1 < len(evs[p]); k++ {
+			fmt.Fprintf(&b, "    %s -> %s [style=dashed, arrowhead=none];\n", evs[p][k].id, evs[p][k+1].id)
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Message edges, in message order for stable output.
+	msgs := make([]int, 0, len(recvNode))
+	for m := range recvNode {
+		msgs = append(msgs, m)
+	}
+	sort.Ints(msgs)
+	for _, m := range msgs {
+		fmt.Fprintf(&b, "  %s -> %s [color=blue, label=\"m%d\"];\n", sendNode[m], recvNode[m], m)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

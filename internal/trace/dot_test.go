@@ -1,0 +1,52 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/trace"
+)
+
+func TestDOTFig1(t *testing.T) {
+	f := ccp.NewFig1(true)
+	out := trace.DOT(f.Script, "Figure 1")
+	for _, want := range []string{
+		"digraph ccp {",
+		`label="Figure 1"`,
+		"subgraph cluster_p0",
+		"subgraph cluster_p2",
+		`[shape=box, label="s1_0"]`,
+		`[shape=box, label="s3_2"]`,
+		"color=blue",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Exactly five delivered messages → five blue edges.
+	if got := strings.Count(out, "color=blue"); got != 5 {
+		t.Errorf("message edges = %d, want 5", got)
+	}
+	// Balanced braces, parseable shape.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestDOTInvalid(t *testing.T) {
+	s := ccp.Script{N: 1, Ops: []ccp.Op{{Kind: ccp.OpRecv, P: 0}}}
+	if out := trace.DOT(s, "x"); !strings.Contains(out, "invalid") {
+		t.Errorf("invalid script should produce a stub digraph, got %q", out)
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	f := ccp.NewFig3()
+	a := trace.DOT(f.Script, "t")
+	b := trace.DOT(f.Script, "t")
+	if a != b {
+		t.Error("DOT output not deterministic")
+	}
+}

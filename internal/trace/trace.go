@@ -1,0 +1,88 @@
+// Package trace renders executions as ASCII space-time diagrams in the
+// style of the paper's figures: one timeline per process, checkpoints as
+// [γ], message send/receive endpoints labelled with the message number.
+// cmd/figures uses it to print the reconstructed Figures 1-5.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ccp"
+)
+
+// Render draws the script as a space-time diagram. Each script operation
+// occupies one column, so the total order of the execution is visible;
+// checkpoints print as [γ], sends as sM>, receives as >rM.
+func Render(s ccp.Script) string {
+	if err := s.Validate(); err != nil {
+		return "invalid script: " + err.Error()
+	}
+	const cellW = 6
+	cols := len(s.Ops) + 1 // column 0 holds the implicit initial checkpoints
+	cells := make([][]string, s.N)
+	for p := range cells {
+		cells[p] = make([]string, cols)
+		cells[p][0] = "[0]"
+	}
+	ckpt := make([]int, s.N)
+	for k, op := range s.Ops {
+		col := k + 1
+		switch op.Kind {
+		case ccp.OpCheckpoint:
+			ckpt[op.P]++
+			cells[op.P][col] = fmt.Sprintf("[%d]", ckpt[op.P])
+		case ccp.OpSend:
+			cells[op.P][col] = fmt.Sprintf("s%d>", op.Msg)
+		case ccp.OpRecv:
+			cells[op.P][col] = fmt.Sprintf(">r%d", op.Msg)
+		}
+	}
+	var b strings.Builder
+	for p := 0; p < s.N; p++ {
+		fmt.Fprintf(&b, "p%-2d ", p+1)
+		for _, cell := range cells[p] {
+			if cell == "" {
+				b.WriteString(strings.Repeat("-", cellW))
+				continue
+			}
+			pad := cellW - len(cell)
+			left := pad / 2
+			b.WriteString(strings.Repeat("-", left))
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat("-", pad-left))
+		}
+		b.WriteString("->\n")
+	}
+	return b.String()
+}
+
+// RenderStores draws, per process, the stable checkpoints currently stored
+// (filled) versus collected (empty squares), in the style of Figure 4's
+// empty/filled squares. lastS is the last stable index per process and
+// stored the set of live indices per process.
+func RenderStores(lastS []int, stored [][]int) string {
+	var b strings.Builder
+	for p := range lastS {
+		live := map[int]bool{}
+		for _, idx := range stored[p] {
+			live[idx] = true
+		}
+		fmt.Fprintf(&b, "p%-2d ", p+1)
+		for g := 0; g <= lastS[p]; g++ {
+			if live[g] {
+				fmt.Fprintf(&b, " ■%-3d", g)
+			} else {
+				fmt.Fprintf(&b, " □%-3d", g)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Legend explains the diagram symbols.
+func Legend() string {
+	return "[γ] checkpoint γ   sM> send of message M   >rM receive of message M\n" +
+		"■ stored stable checkpoint   □ collected (garbage)"
+}

@@ -1,0 +1,55 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/trace"
+)
+
+func TestRenderFig1(t *testing.T) {
+	f := ccp.NewFig1(true)
+	out := trace.Render(f.Script)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 timelines, got %d:\n%s", len(lines), out)
+	}
+	for p, prefix := range []string{"p1", "p2", "p3"} {
+		if !strings.HasPrefix(lines[p], prefix) {
+			t.Errorf("line %d should start with %s: %q", p, prefix, lines[p])
+		}
+	}
+	// All five messages and the initial checkpoints appear.
+	for _, want := range []string{"[0]", "s0>", ">r0", "s4>", ">r4", "[1]", "[2]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderInvalidScript(t *testing.T) {
+	s := ccp.Script{N: 1, Ops: []ccp.Op{{Kind: ccp.OpRecv, P: 0, Msg: 0}}}
+	if out := trace.Render(s); !strings.Contains(out, "invalid script") {
+		t.Errorf("want invalid-script notice, got %q", out)
+	}
+}
+
+func TestRenderStores(t *testing.T) {
+	out := trace.RenderStores([]int{2, 1}, [][]int{{0, 2}, {1}})
+	if !strings.Contains(out, "■0") || !strings.Contains(out, "□1") || !strings.Contains(out, "■2") {
+		t.Errorf("p1 squares wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "□0") || !strings.Contains(out, "■1") {
+		t.Errorf("p2 squares wrong:\n%s", out)
+	}
+}
+
+func TestLegendMentionsSymbols(t *testing.T) {
+	l := trace.Legend()
+	for _, want := range []string{"[γ]", "■", "□"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("legend missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package transport carries checkpointing-middleware messages between the
+// nodes of a live cluster. Two implementations exist: the runtime's default
+// in-process delivery, and the TCP mesh in this package, which sends every
+// application message — dependency vector piggyback included — through real
+// loopback sockets with length-prefixed binary framing. The TCP mesh makes
+// the live-cluster experiments exercise a genuine network path: encoding,
+// kernel buffering, per-connection ordering and cross-connection
+// reordering.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message is the wire unit: one application message's control information.
+// State carried by real applications would ride alongside; the experiments
+// only need the middleware fields.
+type Message struct {
+	From    int
+	To      int
+	Msg     int    // global message number
+	Epoch   uint64 // network epoch; stale messages are dropped as lost
+	Index   int    // protocol-specific index (BCS)
+	DV      []int  // piggybacked dependency vector
+	Payload []byte // application payload
+}
+
+const magic = int64(0x52445457495245) // "RDTWIRE"
+
+// encode frames a message: magic, fixed header, vector length, entries.
+func encode(m Message) []byte {
+	var buf bytes.Buffer
+	w := func(v int64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(magic)
+	w(int64(m.From))
+	w(int64(m.To))
+	w(int64(m.Msg))
+	w(int64(m.Epoch))
+	w(int64(m.Index))
+	w(int64(len(m.DV)))
+	for _, v := range m.DV {
+		w(int64(v))
+	}
+	w(int64(len(m.Payload)))
+	buf.Write(m.Payload)
+	return buf.Bytes()
+}
+
+// decode parses one frame payload.
+func decode(b []byte) (Message, error) {
+	r := bytes.NewReader(b)
+	rd := func() (int64, error) {
+		var v int64
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	mg, err := rd()
+	if err != nil || mg != magic {
+		return Message{}, errors.New("transport: bad frame magic")
+	}
+	var m Message
+	fields := []*int{&m.From, &m.To, &m.Msg}
+	for _, f := range fields {
+		v, err := rd()
+		if err != nil {
+			return Message{}, fmt.Errorf("transport: short frame: %w", err)
+		}
+		*f = int(v)
+	}
+	ep, err := rd()
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: short frame: %w", err)
+	}
+	m.Epoch = uint64(ep)
+	idx, err := rd()
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: short frame: %w", err)
+	}
+	m.Index = int(idx)
+	n, err := rd()
+	if err != nil || n < 0 || n > int64(r.Len())/8 {
+		// Entries are 8 bytes each; a length beyond the bytes present is a
+		// corrupted frame and must not drive the allocation.
+		return Message{}, errors.New("transport: bad vector length")
+	}
+	m.DV = make([]int, n)
+	for i := range m.DV {
+		v, err := rd()
+		if err != nil {
+			return Message{}, fmt.Errorf("transport: short vector: %w", err)
+		}
+		m.DV[i] = int(v)
+	}
+	pl, err := rd()
+	if err != nil || pl < 0 || pl > int64(r.Len()) {
+		return Message{}, errors.New("transport: bad payload length")
+	}
+	m.Payload = make([]byte, pl)
+	if _, err := io.ReadFull(r, m.Payload); err != nil {
+		return Message{}, fmt.Errorf("transport: short payload: %w", err)
+	}
+	return m, nil
+}
+
+// TCP is a full mesh of loopback TCP connections between n nodes. Sends are
+// safe for concurrent use; received messages are handed to the deliver
+// callback registered with Start, one goroutine per peer connection.
+type TCP struct {
+	n         int
+	listeners []net.Listener
+
+	mu    sync.Mutex
+	conns map[[2]int]*sendConn // (from, to) -> connection
+
+	deliver func(Message)
+	wg      sync.WaitGroup
+	closed  chan struct{}
+}
+
+type sendConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCP opens one loopback listener per node. Call Start to begin
+// delivering, then Send at will, then Close.
+func NewTCP(n int) (*TCP, error) {
+	t := &TCP{
+		n:      n,
+		conns:  make(map[[2]int]*sendConn),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen for node %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, l)
+	}
+	return t, nil
+}
+
+// Addr returns node i's listening address.
+func (t *TCP) Addr(i int) string { return t.listeners[i].Addr().String() }
+
+// Start registers the delivery callback and begins accepting connections.
+func (t *TCP) Start(deliver func(Message)) error {
+	if deliver == nil {
+		return errors.New("transport: nil deliver callback")
+	}
+	t.deliver = deliver
+	for i := range t.listeners {
+		l := t.listeners[i]
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return // listener closed
+				}
+				t.wg.Add(1)
+				go func() {
+					defer t.wg.Done()
+					t.readLoop(conn)
+				}()
+			}
+		}()
+	}
+	return nil
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	for {
+		var size int64
+		if err := binary.Read(conn, binary.LittleEndian, &size); err != nil {
+			return
+		}
+		if size <= 0 || size > 1<<20 {
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		m, err := decode(payload)
+		if err != nil {
+			return
+		}
+		select {
+		case <-t.closed:
+			return
+		default:
+		}
+		t.deliver(m)
+	}
+}
+
+// Send transmits a message to m.To over the mesh, dialing the peer's
+// listener on first use and framing the payload with a length prefix.
+func (t *TCP) Send(m Message) error {
+	key := [2]int{m.From, m.To}
+	t.mu.Lock()
+	sc, ok := t.conns[key]
+	if !ok {
+		conn, err := net.Dial("tcp", t.Addr(m.To))
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: dial node %d: %w", m.To, err)
+		}
+		sc = &sendConn{c: conn}
+		t.conns[key] = sc
+	}
+	t.mu.Unlock()
+
+	payload := encode(m)
+	var frame bytes.Buffer
+	_ = binary.Write(&frame, binary.LittleEndian, int64(len(payload)))
+	frame.Write(payload)
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, err := sc.c.Write(frame.Bytes()); err != nil {
+		return fmt.Errorf("transport: send to node %d: %w", m.To, err)
+	}
+	return nil
+}
+
+// Close shuts down listeners and connections and waits for reader
+// goroutines to exit.
+func (t *TCP) Close() error {
+	select {
+	case <-t.closed:
+	default:
+		close(t.closed)
+	}
+	for _, l := range t.listeners {
+		if l != nil {
+			_ = l.Close()
+		}
+	}
+	t.mu.Lock()
+	for _, sc := range t.conns {
+		_ = sc.c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

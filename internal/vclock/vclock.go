@@ -1,0 +1,137 @@
+// Package vclock implements the transitive dependency vectors used by RDT
+// checkpointing protocols (Strom and Yemini, 1985).
+//
+// Each process p_i maintains a size-n vector DV. Entry DV[i] is the index of
+// p_i's current checkpoint interval; it starts at 0 and is incremented
+// immediately after a checkpoint is taken. Every other entry DV[j] is the
+// highest checkpoint-interval index of p_j that p_i transitively depends on.
+// The vector is piggybacked on every application message and merged
+// (component-wise maximum) on receipt.
+//
+// The fundamental property (Equation 2 of the paper) is
+//
+//	c_a^α → c_b^β  ⟺  α < DV(c_b^β)[a]
+//
+// where DV(c) is the vector stored with checkpoint c, and → is causal
+// precedence between checkpoints. Equation 3 gives the "last known stable
+// checkpoint" of p_j at p_i as last_k_i(j) = DV(v_i)[j] − 1.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DV is a transitive dependency vector. Index k holds the highest known
+// checkpoint-interval index of process k. A DV is always created with a
+// fixed length equal to the number of processes and never resized.
+type DV []int
+
+// New returns a zeroed dependency vector for n processes. A zeroed vector is
+// the correct initial value: every process starts in interval 0 and knows no
+// checkpoints of its peers (last_k = −1 by Equation 3).
+func New(n int) DV {
+	return make(DV, n)
+}
+
+// Len returns the number of processes the vector covers.
+func (dv DV) Len() int { return len(dv) }
+
+// Clone returns an independent copy of dv. Vectors stored with checkpoints
+// must be clones so that later in-place merges do not mutate history.
+func (dv DV) Clone() DV {
+	out := make(DV, len(dv))
+	copy(out, dv)
+	return out
+}
+
+// CopyFrom overwrites dv in place with the contents of src.
+// Both vectors must have the same length.
+func (dv DV) CopyFrom(src DV) {
+	if len(dv) != len(src) {
+		panic(fmt.Sprintf("vclock: CopyFrom length mismatch: %d != %d", len(dv), len(src)))
+	}
+	copy(dv, src)
+}
+
+// Merge folds m into dv by component-wise maximum and returns the indices
+// whose value strictly increased, i.e. the processes about which m carried
+// new causal information. The returned slice is nil when nothing changed.
+//
+// This is exactly the receive-side update of Algorithm 2: for every j with
+// m.DV[j] > DV[j], the receiver learns of a newer checkpoint interval of p_j.
+func (dv DV) Merge(m DV) (increased []int) {
+	if len(dv) != len(m) {
+		panic(fmt.Sprintf("vclock: Merge length mismatch: %d != %d", len(dv), len(m)))
+	}
+	for j, v := range m {
+		if v > dv[j] {
+			dv[j] = v
+			increased = append(increased, j)
+		}
+	}
+	return increased
+}
+
+// NewInfo reports, without mutating dv, whether merging m would increase any
+// entry. FDAS uses this test to decide whether a forced checkpoint is needed
+// before processing a message received after a send.
+func (dv DV) NewInfo(m DV) bool {
+	for j, v := range m {
+		if v > dv[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Dominates reports whether dv[k] >= other[k] for all k.
+func (dv DV) Dominates(other DV) bool {
+	for k, v := range other {
+		if dv[k] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two vectors are identical.
+func (dv DV) Equal(other DV) bool {
+	if len(dv) != len(other) {
+		return false
+	}
+	for k, v := range other {
+		if dv[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// PrecedesCheckpoint reports whether checkpoint index cpIndex of process owner
+// causally precedes the checkpoint (or volatile state) whose dependency
+// vector is dv. This is Equation 2: s_owner^cpIndex → c ⟺ cpIndex < dv[owner].
+func PrecedesCheckpoint(owner, cpIndex int, dv DV) bool {
+	return cpIndex < dv[owner]
+}
+
+// LastKnown returns last_k_i(j) per Equation 3: the index of the last stable
+// checkpoint of p_j known at the state whose vector is dv, or −1 when no
+// stable checkpoint of p_j is known.
+func LastKnown(dv DV, j int) int {
+	return dv[j] - 1
+}
+
+// String renders the vector in the paper's "(a, b, c)" notation.
+func (dv DV) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range dv {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

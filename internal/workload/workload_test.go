@@ -1,0 +1,84 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/workload"
+)
+
+// TestGeneratorsProduceValidScripts checks every workload kind yields a
+// well-formed script at several sizes.
+func TestGeneratorsProduceValidScripts(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, n := range []int{2, 3, 8} {
+				for _, ops := range []int{10, 100, 400} {
+					s := workload.Generate(kind, workload.Options{N: n, Ops: ops, Seed: 7})
+					if err := s.Validate(); err != nil {
+						t.Fatalf("n=%d ops=%d: invalid script: %v", n, ops, err)
+					}
+					if len(s.Ops) == 0 {
+						t.Fatalf("n=%d ops=%d: empty script", n, ops)
+					}
+					c := s.BuildCCP() // must not panic
+					if c.N() != n {
+						t.Fatalf("built CCP has %d processes, want %d", c.N(), n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratorsDeterministic checks same seed, same script.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		a := workload.Generate(kind, workload.Options{N: 4, Ops: 120, Seed: 99})
+		b := workload.Generate(kind, workload.Options{N: 4, Ops: 120, Seed: 99})
+		if !reflect.DeepEqual(a.Ops, b.Ops) {
+			t.Errorf("%s: same seed produced different scripts", kind)
+		}
+		c := workload.Generate(kind, workload.Options{N: 4, Ops: 120, Seed: 100})
+		if reflect.DeepEqual(a.Ops, c.Ops) {
+			t.Errorf("%s: different seeds produced identical scripts", kind)
+		}
+	}
+}
+
+// TestGeneratorsCommunicate checks all kinds actually exchange messages
+// (experiments on communication-free runs would be meaningless).
+func TestGeneratorsCommunicate(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		s := workload.Generate(kind, workload.Options{N: 4, Ops: 200, Seed: 3})
+		sends := 0
+		for _, op := range s.Ops {
+			if op.Kind == ccp.OpSend {
+				sends++
+			}
+		}
+		if sends < 10 {
+			t.Errorf("%s: only %d sends in a 200-op script", kind, sends)
+		}
+	}
+}
+
+// TestCheckpointRateResponds checks PCheckpoint influences the basic
+// checkpoint density for the random kinds that honour it.
+func TestCheckpointRateResponds(t *testing.T) {
+	count := func(p float64) int {
+		s := workload.Generate(workload.Uniform, workload.Options{N: 4, Ops: 400, Seed: 5, PCheckpoint: p})
+		c := 0
+		for _, op := range s.Ops {
+			if op.Kind == ccp.OpCheckpoint {
+				c++
+			}
+		}
+		return c
+	}
+	if lo, hi := count(0.05), count(0.5); lo >= hi {
+		t.Errorf("checkpoint counts: P=0.05 gives %d, P=0.5 gives %d; want increase", lo, hi)
+	}
+}

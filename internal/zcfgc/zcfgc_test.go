@@ -1,0 +1,184 @@
+package zcfgc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ccp"
+	"repro/internal/storage"
+	"repro/internal/zcfgc"
+)
+
+// cluster drives n zcfgc nodes through a script, mirroring the pattern into
+// a ccp.Builder whose checkpoint ops include the forced ones. It returns
+// the nodes, their stores, and the executed script (for oracle replay),
+// plus a log of (process, storage index) for every collected checkpoint.
+type cluster struct {
+	n      int
+	nodes  []*zcfgc.Node
+	stores []*storage.MemStore
+	exec   ccp.Script
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	c := &cluster{n: n, exec: ccp.Script{N: n}}
+	for i := 0; i < n; i++ {
+		st := storage.NewMemStore()
+		nd, err := zcfgc.New(i, n, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, nd)
+		c.stores = append(c.stores, st)
+	}
+	return c
+}
+
+// run executes the script; every forced checkpoint is recorded in exec so
+// the oracle sees the true pattern.
+func (c *cluster) run(t *testing.T, script ccp.Script) {
+	t.Helper()
+	pbs := map[int]zcfgc.Piggyback{}
+	for _, op := range script.Ops {
+		switch op.Kind {
+		case ccp.OpCheckpoint:
+			before := c.nodes[op.P].LastStable()
+			if err := c.nodes[op.P].Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			for k := before; k < c.nodes[op.P].LastStable(); k++ {
+				c.exec.Checkpoint(op.P)
+			}
+		case ccp.OpSend:
+			pbs[op.Msg] = c.nodes[op.P].Send()
+			if got := c.exec.Send(op.P); got != op.Msg {
+				t.Fatalf("send renumbering: %d != %d", got, op.Msg)
+			}
+		case ccp.OpRecv:
+			before := c.nodes[op.P].LastStable()
+			if err := c.nodes[op.P].Deliver(pbs[op.Msg]); err != nil {
+				t.Fatal(err)
+			}
+			for k := before; k < c.nodes[op.P].LastStable(); k++ {
+				c.exec.Checkpoint(op.P) // forced checkpoint before the delivery
+			}
+			c.exec.Recv(op.P, op.Msg)
+		}
+	}
+}
+
+// TestZCFGCNoUselessCheckpoints checks the middleware's BCS core still
+// guarantees Z-cycle freedom.
+func TestZCFGCNoUselessCheckpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		c := newCluster(t, n)
+		c.run(t, ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 40 + rng.Intn(40)}))
+		oracle := c.exec.BuildCCP()
+		if u := oracle.UselessCheckpoints(); len(u) != 0 {
+			t.Fatalf("trial %d: useless checkpoints %v", trial, u)
+		}
+	}
+}
+
+// TestZCFGCSafety is the central validation the paper's future-work remark
+// calls for: everything the ZCF collector discards is obsolete in the
+// strong brute-force sense — at the moment of collection AND at every later
+// prefix, the discarded checkpoint is outside the maximum consistent line
+// of every possible faulty set (2^n subsets, via rollback propagation,
+// which is exact for non-RDT patterns).
+func TestZCFGCSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(3)
+		c := newCluster(t, n)
+		c.run(t, ccp.RandomScript(rng, ccp.RandomOptions{N: n, Ops: 30 + rng.Intn(30)}))
+
+		oracle := c.exec.BuildCCP()
+		collected := make([][]bool, n)
+		for i := 0; i < n; i++ {
+			collected[i] = make([]bool, oracle.LastStable(i)+1)
+			live := map[int]bool{}
+			for _, idx := range c.stores[i].Indices() {
+				live[idx] = true
+			}
+			for g := 0; g <= oracle.LastStable(i); g++ {
+				collected[i][g] = !live[g]
+			}
+		}
+
+		// Against the full pattern (all collections have happened by now)
+		// and every faulty subset: no collected checkpoint may be a
+		// component of the maximum consistent restart line. Extending the
+		// run only advances these lines (the wavefront argument), so the
+		// final pattern is the binding check.
+		for mask := 1; mask < 1<<uint(n); mask++ {
+			avail := make([]int, n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					avail[i] = oracle.LastStable(i)
+				} else {
+					avail[i] = oracle.VolatileIndex(i)
+				}
+			}
+			line := oracle.MaxConsistentBelow(avail)
+			for i := 0; i < n; i++ {
+				if line[i] <= oracle.LastStable(i) && collected[i][line[i]] {
+					t.Fatalf("trial %d: collected s_%d^%d is the component of max line %v (faulty mask %b)",
+						trial, i, line[i], line, mask)
+				}
+			}
+		}
+	}
+}
+
+// TestZCFGCCollectsUnderTraffic checks the collector actually reclaims
+// storage when processes communicate and checkpoint regularly.
+func TestZCFGCCollectsUnderTraffic(t *testing.T) {
+	const n = 4
+	c := newCluster(t, n)
+	var s ccp.Script
+	s.N = n
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 200; round++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n - 1)
+		if to >= from {
+			to++
+		}
+		s.Message(from, to)
+		if round%3 == 0 {
+			s.Checkpoint(rng.Intn(n))
+		}
+	}
+	c.run(t, s)
+	for i := 0; i < n; i++ {
+		st := c.stores[i].Stats()
+		if st.Collected == 0 {
+			t.Errorf("p%d collected nothing across 200 communicating rounds", i)
+		}
+	}
+}
+
+// TestZCFGCUnboundedWithSilentProcess pins the structural limitation the
+// package documentation states: a silent process freezes the wavefront and
+// the others retain without bound — the property RDT-LGC's n-bound shows
+// is avoidable under the stronger RDT guarantee.
+func TestZCFGCUnboundedWithSilentProcess(t *testing.T) {
+	const n = 3
+	c := newCluster(t, n)
+	var s ccp.Script
+	s.N = n
+	// p2 (index 2) never sends after the start, so nobody ever learns of
+	// its checkpoints; p0 and p1 chat and checkpoint busily.
+	for round := 0; round < 100; round++ {
+		s.Message(round%2, (round+1)%2)
+		s.Checkpoint(round % 2)
+	}
+	c.run(t, s)
+	if live := c.stores[0].Stats().Live; live <= n {
+		t.Errorf("p0 retains %d ≤ n; expected unbounded growth with a silent process", live)
+	}
+}

@@ -1,0 +1,53 @@
+package rdt
+
+import (
+	"repro/internal/recovery"
+)
+
+// Targets names the local checkpoints a computed line must contain,
+// mapping process → checkpoint index.
+type Targets = recovery.Targets
+
+// MinConsistentLine returns the minimum consistent global checkpoint of the
+// pattern containing the targets — the restart line for causal distributed
+// breakpoints (Wang 1997; the paper's Section 1 motivation for RDT).
+func MinConsistentLine(c *CCP, targets Targets) ([]int, error) {
+	return recovery.MinConsistent(c, targets)
+}
+
+// MaxConsistentLine returns the maximum consistent global checkpoint
+// containing the targets — the restart line for software error recovery:
+// roll back as little as possible while discarding the states tainted by
+// the targets' successors.
+func MaxConsistentLine(c *CCP, targets Targets) ([]int, error) {
+	return recovery.MaxConsistent(c, targets)
+}
+
+// Extendable reports whether the targets can take part in any consistent
+// global checkpoint (under RDT, exactly pairwise consistency).
+func Extendable(c *CCP, targets Targets) bool {
+	return recovery.Extendable(c, targets)
+}
+
+// MaxStoredLine returns the maximum consistent global checkpoint containing
+// the targets that uses only checkpoints still present in stable storage.
+// This is the line to feed RollbackToLine in a garbage-collected system:
+// obsolescence is relative to failure recovery lines, so the unrestricted
+// MaxConsistentLine may name checkpoints RDT-LGC has already collected.
+func (s *System) MaxStoredLine(targets Targets) ([]int, error) {
+	stored := make([][]int, s.n)
+	for i := 0; i < s.n; i++ {
+		stored[i] = s.Retained(i)
+	}
+	return recovery.MaxConsistentStored(s.Oracle(), targets, stored)
+}
+
+// RollbackToLine rolls the whole system back to an arbitrary consistent
+// global checkpoint, running the collectors' Algorithm 3 handling on every
+// process that moves to a stable component. Use MinConsistentLine or
+// MaxConsistentLine to compute lines for software error recovery or
+// distributed breakpoints; crash-driven recovery should use Recover, which
+// derives the line per Lemma 1 itself.
+func (s *System) RollbackToLine(line []int, globalLI bool) (RecoveryReport, error) {
+	return s.r.ApplyLine(line, globalLI)
+}

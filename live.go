@@ -1,0 +1,110 @@
+package rdt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/runtime"
+	"repro/internal/storage"
+
+	icore "repro/internal/core"
+)
+
+// Network shapes the asynchronous in-process network of a live cluster.
+type Network struct {
+	// MinDelay and MaxDelay bound the uniformly random delivery delay.
+	MinDelay, MaxDelay time.Duration
+	// Loss is the probability a message is dropped in transit.
+	Loss float64
+	// Seed makes the loss/delay draws reproducible.
+	Seed int64
+	// TCP routes every message through a loopback TCP mesh instead of
+	// direct in-process delivery.
+	TCP bool
+}
+
+// Cluster is a live deployment: one goroutine-safe middleware node per
+// process connected by an asynchronous network. Unlike System it is driven
+// by concurrent application goroutines rather than scripts.
+type Cluster struct {
+	c *runtime.Cluster
+}
+
+// LiveNode is one process's middleware endpoint in a live cluster.
+type LiveNode = runtime.Node
+
+// LiveReport describes a live recovery session.
+type LiveReport = runtime.Report
+
+// NewCluster assembles a live cluster of n processes.
+func NewCluster(n int, net Network, opt ...Option) (*Cluster, error) {
+	o := defaults()
+	for _, f := range opt {
+		f(&o)
+	}
+	pf, err := o.protocol.factory()
+	if err != nil {
+		return nil, err
+	}
+	cfg := runtime.Config{
+		N:        n,
+		Protocol: pf,
+		TCP:      net.TCP,
+		Net: runtime.NetworkOptions{
+			MinDelay: net.MinDelay,
+			MaxDelay: net.MaxDelay,
+			Loss:     net.Loss,
+			Seed:     net.Seed,
+		},
+	}
+	switch o.collector {
+	case RDTLGC:
+		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return icore.New(self, n, st) }
+	case NoGC:
+	default:
+		return nil, fmt.Errorf("rdt: live clusters support RDTLGC and NoGC collectors, not %v", o.collector)
+	}
+	if o.storageDir != "" {
+		dir := o.storageDir
+		cfg.NewStore = func(self int) storage.Store {
+			fs, err := storage.OpenFileStore(fmt.Sprintf("%s/p%d", dir, self))
+			if err != nil {
+				panic(fmt.Sprintf("rdt: open file store: %v", err))
+			}
+			return fs
+		}
+	}
+	c, err := runtime.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.c.N() }
+
+// Node returns process i's middleware endpoint.
+func (c *Cluster) Node(i int) *LiveNode { return c.c.Node(i) }
+
+// Quiesce blocks until every in-transit message is delivered or dropped.
+// Stop sending before calling it.
+func (c *Cluster) Quiesce() { c.c.Quiesce() }
+
+// Recover crashes the faulty set and runs a centralized recovery session on
+// the live cluster; in-transit messages are lost, exactly as a real failure
+// would lose them.
+func (c *Cluster) Recover(faulty []int, globalLI bool) (LiveReport, error) {
+	return c.c.Recover(faulty, globalLI)
+}
+
+// Oracle rebuilds the ground-truth pattern from the linearized history of
+// the concurrent execution.
+func (c *Cluster) Oracle() *CCP { return c.c.Oracle() }
+
+// Close releases network resources (the TCP mesh, when enabled).
+func (c *Cluster) Close() error { return c.c.Close() }
+
+// History returns the linearized executed history.
+func (c *Cluster) History() Script { return c.c.History() }

@@ -1,0 +1,280 @@
+// Package rdt is a library for communication-induced checkpointing with
+// rollback-dependency trackability (RDT) and optimal asynchronous garbage
+// collection of stable checkpoints.
+//
+// It reproduces Schmidt, Garcia, Pedone and Buzato, "Optimal Asynchronous
+// Garbage Collection for RDT Checkpointing Protocols" (ICDCS 2005): the
+// RDT-LGC collector, the RDT checkpointing protocols it merges with (FDAS,
+// FDI, CBR) and non-RDT baselines (BCS, none), garbage-collection
+// comparators (the Theorem 1 synchronous optimum, the all-faulty
+// recovery-line scheme, no collection), recovery-line machinery, and both a
+// deterministic simulator and a live goroutine-per-process runtime.
+//
+// # Quick start
+//
+//	sys, err := rdt.New(4,
+//	    rdt.WithProtocol(rdt.FDAS),
+//	    rdt.WithCollector(rdt.RDTLGC))
+//	if err != nil { ... }
+//	script := rdt.Workload(rdt.Uniform, rdt.WorkloadOptions{N: 4, Ops: 1000, Seed: 1})
+//	if err := sys.Run(script); err != nil { ... }
+//	fmt.Println(sys.RetainedCounts()) // at most 4 per process — Section 4.5
+//
+// The package is a facade over the implementation packages under internal/;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package rdt
+
+import (
+	"fmt"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Script is an application-level execution script: a total order of sends,
+// receives and basic checkpoints, replayable by the simulator and the
+// oracles alike.
+type Script = ccp.Script
+
+// CheckpointID names one checkpoint of a pattern.
+type CheckpointID = ccp.CheckpointID
+
+// CCP is a checkpoint-and-communication-pattern oracle; see internal/ccp.
+type CCP = ccp.CCP
+
+// RecoveryReport describes the outcome of a recovery session.
+type RecoveryReport = sim.RecoveryReport
+
+// Protocol selects the communication-induced checkpointing protocol.
+type Protocol int
+
+// Protocols. FDAS, FDI, CBR and Russell ensure rollback-dependency
+// trackability; BCS ensures only Z-cycle freedom; NoProtocol takes no
+// forced checkpoints and exposes applications to the domino effect.
+const (
+	FDAS Protocol = iota + 1
+	FDI
+	CBR
+	Russell
+	BCS
+	NoProtocol
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case FDAS:
+		return "FDAS"
+	case FDI:
+		return "FDI"
+	case CBR:
+		return "CBR"
+	case Russell:
+		return "Russell"
+	case BCS:
+		return "BCS"
+	case NoProtocol:
+		return "none"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// RDT reports whether the protocol guarantees rollback-dependency
+// trackability, the property RDT-LGC's guarantees are stated under.
+func (p Protocol) RDT() bool { return p == FDAS || p == FDI || p == CBR || p == Russell }
+
+func (p Protocol) factory() (func(int) protocol.Protocol, error) {
+	switch p {
+	case FDAS:
+		return func(int) protocol.Protocol { return protocol.NewFDAS() }, nil
+	case FDI:
+		return func(int) protocol.Protocol { return protocol.NewFDI() }, nil
+	case CBR:
+		return func(int) protocol.Protocol { return protocol.NewCBR() }, nil
+	case Russell:
+		return func(int) protocol.Protocol { return protocol.NewRussell() }, nil
+	case BCS:
+		return func(int) protocol.Protocol { return protocol.NewBCS() }, nil
+	case NoProtocol:
+		return func(int) protocol.Protocol { return protocol.NewNone() }, nil
+	default:
+		return nil, fmt.Errorf("rdt: unknown protocol %d", int(p))
+	}
+}
+
+// Collector selects the garbage-collection strategy.
+type Collector int
+
+// Collectors. RDTLGC is the paper's contribution — asynchronous, local,
+// timestamp-only. SyncOptimal evaluates Theorem 1 with global knowledge
+// (the most any collector may remove); RecoveryLineGC is the coordinated
+// all-faulty-line scheme of the paper's references [5, 8]; NoGC keeps
+// everything.
+const (
+	RDTLGC Collector = iota + 1
+	NoGC
+	SyncOptimal
+	RecoveryLineGC
+)
+
+// String returns the collector name.
+func (c Collector) String() string {
+	switch c {
+	case RDTLGC:
+		return "RDT-LGC"
+	case NoGC:
+		return "no-gc"
+	case SyncOptimal:
+		return "sync-opt"
+	case RecoveryLineGC:
+		return "rl-gc"
+	default:
+		return fmt.Sprintf("collector(%d)", int(c))
+	}
+}
+
+// Option configures New and NewCluster.
+type Option func(*options)
+
+type options struct {
+	protocol    Protocol
+	collector   Collector
+	storageDir  string
+	stateBytes  int
+	globalEvery int
+	compress    bool
+}
+
+func defaults() options {
+	return options{protocol: FDAS, collector: RDTLGC, globalEvery: 1}
+}
+
+// WithProtocol selects the checkpointing protocol (default FDAS, the
+// protocol of the paper's Algorithm 4).
+func WithProtocol(p Protocol) Option { return func(o *options) { o.protocol = p } }
+
+// WithCollector selects the garbage collector (default RDTLGC).
+func WithCollector(c Collector) Option { return func(o *options) { o.collector = c } }
+
+// WithFileStorage stores checkpoints under dir (one subdirectory per
+// process) instead of in memory.
+func WithFileStorage(dir string) Option { return func(o *options) { o.storageDir = dir } }
+
+// WithStateSize sets the opaque state payload saved with each checkpoint,
+// for storage-byte accounting.
+func WithStateSize(bytes int) Option { return func(o *options) { o.stateBytes = bytes } }
+
+// WithGlobalPeriod sets how many events pass between runs of a global
+// collector (SyncOptimal, RecoveryLineGC); default 1.
+func WithGlobalPeriod(k int) Option { return func(o *options) { o.globalEvery = k } }
+
+// WithCompression piggybacks only the dependency-vector entries changed
+// since the previous send to the same destination (the Singhal–Kshemkalyani
+// incremental technique). Requires per-pair FIFO delivery; Run fails on
+// reordered scripts. Simulated systems only.
+func WithCompression() Option { return func(o *options) { o.compress = true } }
+
+func (o options) simConfig(n int) (sim.Config, error) {
+	pf, err := o.protocol.factory()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{
+		N:           n,
+		Protocol:    pf,
+		GlobalEvery: o.globalEvery,
+		StateBytes:  o.stateBytes,
+		Compress:    o.compress,
+	}
+	if o.storageDir != "" {
+		dir := o.storageDir
+		cfg.NewStore = func(self int) storage.Store {
+			fs, err := storage.OpenFileStore(fmt.Sprintf("%s/p%d", dir, self))
+			if err != nil {
+				panic(fmt.Sprintf("rdt: open file store: %v", err))
+			}
+			return fs
+		}
+	}
+	switch o.collector {
+	case RDTLGC:
+		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return core.New(self, n, st) }
+	case NoGC:
+	case SyncOptimal:
+		cfg.GlobalGC = gc.NewSynchronous()
+	case RecoveryLineGC:
+		cfg.GlobalGC = gc.NewRecoveryLine()
+	default:
+		return sim.Config{}, fmt.Errorf("rdt: unknown collector %d", int(o.collector))
+	}
+	return cfg, nil
+}
+
+// System is a deterministic simulated deployment: n processes with
+// checkpointing middleware, driven by scripts.
+type System struct {
+	n int
+	r *sim.Runner
+}
+
+// New assembles a simulated system of n processes.
+func New(n int, opt ...Option) (*System, error) {
+	o := defaults()
+	for _, f := range opt {
+		f(&o)
+	}
+	cfg, err := o.simConfig(n)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{n: n, r: r}, nil
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return s.n }
+
+// Run executes an application script.
+func (s *System) Run(script Script) error { return s.r.Run(script) }
+
+// Recover crashes the faulty processes and runs a centralized recovery
+// session; globalLI selects the Theorem 1 (global-information) rollback
+// variant of Algorithm 3.
+func (s *System) Recover(faulty []int, globalLI bool) (RecoveryReport, error) {
+	return s.r.Recover(faulty, globalLI)
+}
+
+// Oracle returns the ground-truth checkpoint-and-communication pattern of
+// the execution so far.
+func (s *System) Oracle() *CCP { return s.r.Oracle() }
+
+// RetainedCounts returns, per process, the number of stable checkpoints
+// currently held in stable storage.
+func (s *System) RetainedCounts() []int {
+	out := make([]int, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = len(s.r.Store(i).Indices())
+	}
+	return out
+}
+
+// Retained returns the stable-checkpoint indices process i currently holds.
+func (s *System) Retained(i int) []int { return s.r.Store(i).Indices() }
+
+// StorageStats returns process i's storage counters (live, peak, bytes).
+func (s *System) StorageStats(i int) storage.Stats { return s.r.Store(i).Stats() }
+
+// Stats returns the execution counters.
+func (s *System) Stats() sim.Metrics { return s.r.Metrics() }
+
+// History returns the executed script, including forced checkpoints.
+func (s *System) History() Script { return s.r.History() }

@@ -1,0 +1,146 @@
+package rdt_test
+
+import (
+	"testing"
+	"time"
+
+	rdt "repro"
+)
+
+// TestQuickstart exercises the documented happy path end to end.
+func TestQuickstart(t *testing.T) {
+	const n = 4
+	sys, err := rdt.New(n, rdt.WithProtocol(rdt.FDAS), rdt.WithCollector(rdt.RDTLGC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := rdt.Workload(rdt.Uniform, rdt.WorkloadOptions{N: n, Ops: 500, Seed: 1})
+	if err := sys.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range sys.RetainedCounts() {
+		if c < 1 || c > n {
+			t.Errorf("p%d retains %d checkpoints; bound is [1, n=%d]", i, c, n)
+		}
+	}
+	if sys.Stats().Sends == 0 {
+		t.Error("no messages sent")
+	}
+	if v, bad := sys.Oracle().FirstRDTViolation(); bad {
+		t.Errorf("pattern not RDT: %v", v)
+	}
+}
+
+// TestProtocolStrings pins the names used in experiment output.
+func TestProtocolStrings(t *testing.T) {
+	cases := map[string]string{
+		rdt.FDAS.String():       "FDAS",
+		rdt.FDI.String():        "FDI",
+		rdt.CBR.String():        "CBR",
+		rdt.BCS.String():        "BCS",
+		rdt.NoProtocol.String(): "none",
+		rdt.RDTLGC.String():     "RDT-LGC",
+		rdt.NoGC.String():       "no-gc",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if !rdt.FDAS.RDT() || !rdt.FDI.RDT() || !rdt.CBR.RDT() {
+		t.Error("FDAS, FDI, CBR must report RDT")
+	}
+	if rdt.BCS.RDT() || rdt.NoProtocol.RDT() {
+		t.Error("BCS and none must not report RDT")
+	}
+}
+
+// TestFileStorageOption runs a system on disk-backed stores.
+func TestFileStorageOption(t *testing.T) {
+	sys, err := rdt.New(3, rdt.WithFileStorage(t.TempDir()), rdt.WithStateSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(rdt.Workload(rdt.Ring, rdt.WorkloadOptions{N: 3, Ops: 120, Seed: 2})); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.StorageStats(0)
+	if st.Live == 0 || st.LiveBytes == 0 {
+		t.Errorf("file storage stats empty: %+v", st)
+	}
+}
+
+// TestRecoveryThroughFacade crashes a process and continues.
+func TestRecoveryThroughFacade(t *testing.T) {
+	sys, err := rdt.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(rdt.Workload(rdt.ClientServer, rdt.WorkloadOptions{N: 3, Ops: 150, Seed: 3})); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Recover([]int{1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Line) != 3 {
+		t.Fatalf("recovery line %v malformed", rep.Line)
+	}
+	if err := sys.Run(rdt.Workload(rdt.Uniform, rdt.WorkloadOptions{N: 3, Ops: 50, Seed: 4})); err != nil {
+		t.Fatalf("run after recovery: %v", err)
+	}
+}
+
+// TestFigureAccessors sanity-checks the re-exported paper scenarios.
+func TestFigureAccessors(t *testing.T) {
+	if s := rdt.Figure1(true); s.N != 3 || len(s.Ops) == 0 {
+		t.Error("Figure1 malformed")
+	}
+	if s := rdt.Figure2(); s.N != 2 {
+		t.Error("Figure2 malformed")
+	}
+	s3, faulty := rdt.Figure3()
+	if s3.N != 4 || len(faulty) != 2 {
+		t.Error("Figure3 malformed")
+	}
+	if s := rdt.Figure4(); s.N != 3 {
+		t.Error("Figure4 malformed")
+	}
+	ws := rdt.WorstCase(5)
+	if ws.N != 5 {
+		t.Error("WorstCase malformed")
+	}
+}
+
+// TestLiveClusterFacade runs the goroutine runtime through the facade.
+func TestLiveClusterFacade(t *testing.T) {
+	c, err := rdt.NewCluster(3, rdt.Network{MaxDelay: 100 * time.Microsecond, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		if err := c.Node(round % 3).Send((round + 1) % 3); err != nil {
+			t.Fatal(err)
+		}
+		if round%4 == 0 {
+			if err := c.Node(round % 3).Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Quiesce()
+	if v, bad := c.Oracle().FirstRDTViolation(); bad {
+		t.Errorf("live pattern not RDT: %v", v)
+	}
+	if _, err := c.Recover([]int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnsupportedLiveCollector checks the facade rejects global collectors
+// for live clusters (they need the halt-the-world view).
+func TestUnsupportedLiveCollector(t *testing.T) {
+	if _, err := rdt.NewCluster(2, rdt.Network{}, rdt.WithCollector(rdt.SyncOptimal)); err == nil {
+		t.Fatal("live cluster with SyncOptimal should be rejected")
+	}
+}

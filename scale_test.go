@@ -1,0 +1,61 @@
+package rdt_test
+
+import (
+	"testing"
+
+	rdt "repro"
+)
+
+// TestScale64 runs a 64-process system end to end — a size well past the
+// mobile/embedded deployments the paper targets — and checks the bound, a
+// crash recovery and continued execution all hold up.
+func TestScale64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n = 64
+	sys, err := rdt.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(rdt.Workload(rdt.Uniform, rdt.WorkloadOptions{N: n, Ops: 20000, Seed: 64})); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range sys.RetainedCounts() {
+		if c > n {
+			t.Fatalf("p%d retains %d > n = %d", i, c, n)
+		}
+	}
+	st := sys.Stats()
+	if st.Delivered == 0 || st.Basic == 0 {
+		t.Fatalf("degenerate run: %+v", st)
+	}
+	rep, err := sys.Recover([]int{5, 23, 41}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Line) != n {
+		t.Fatalf("line has %d entries", len(rep.Line))
+	}
+	if err := sys.Run(rdt.Workload(rdt.Bursty, rdt.WorkloadOptions{N: n, Ops: 5000, Seed: 65})); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range sys.RetainedCounts() {
+		if c > n {
+			t.Fatalf("after recovery: p%d retains %d > n", i, c)
+		}
+	}
+	// The worst case still binds exactly at this scale.
+	ws, err := rdt.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Run(rdt.WorstCase(n)); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ws.RetainedCounts() {
+		if c != n {
+			t.Fatalf("worst case at n=64: p%d retains %d, want exactly %d", i, c, n)
+		}
+	}
+}

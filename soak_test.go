@@ -1,0 +1,94 @@
+package rdt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	rdt "repro"
+)
+
+// TestSoak is the long-haul integration test: many epochs of random
+// workloads interleaved with crash recoveries, software-error rollbacks and
+// protocol/collector permutations, validating the full oracle suite at
+// every epoch boundary. It is the closest thing to running the system in
+// production for a while.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	protocols := []rdt.Protocol{rdt.FDAS, rdt.FDI, rdt.CBR, rdt.Russell}
+	rng := rand.New(rand.NewSource(20260612))
+	for _, proto := range protocols {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			n := 3 + rng.Intn(4)
+			sys, err := rdt.New(n, rdt.WithProtocol(proto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			kinds := []rdt.WorkloadKind{rdt.Uniform, rdt.Ring, rdt.ClientServer, rdt.Bursty, rdt.AllToAll}
+			for epoch := 0; epoch < 12; epoch++ {
+				kind := kinds[rng.Intn(len(kinds))]
+				script := rdt.Workload(kind, rdt.WorkloadOptions{
+					N: n, Ops: 150 + rng.Intn(250), Seed: rng.Int63(),
+					PCheckpoint: 0.05 + rng.Float64()*0.4,
+				})
+				if err := sys.Run(script); err != nil {
+					t.Fatalf("epoch %d (%s): %v", epoch, kind, err)
+				}
+
+				oracle := sys.Oracle()
+				if v, bad := oracle.FirstRDTViolation(); bad {
+					t.Fatalf("epoch %d: pattern not RDT: %v", epoch, v)
+				}
+				for i := 0; i < n; i++ {
+					retained := sys.Retained(i)
+					if len(retained) > n {
+						t.Fatalf("epoch %d: p%d retains %d > n", epoch, i, len(retained))
+					}
+					stored := map[int]bool{}
+					for _, idx := range retained {
+						stored[idx] = true
+					}
+					for g := 0; g <= oracle.LastStable(i); g++ {
+						if !stored[g] && !oracle.Obsolete(i, g) {
+							t.Fatalf("epoch %d: p%d collected non-obsolete s^%d", epoch, i, g)
+						}
+					}
+				}
+
+				// Every third epoch something goes wrong.
+				switch epoch % 3 {
+				case 0:
+					faulty := []int{rng.Intn(n)}
+					if rng.Intn(2) == 0 {
+						f2 := rng.Intn(n)
+						if f2 != faulty[0] {
+							faulty = append(faulty, f2)
+						}
+					}
+					if _, err := sys.Recover(faulty, rng.Intn(2) == 0); err != nil {
+						t.Fatalf("epoch %d: recover: %v", epoch, err)
+					}
+				case 1:
+					// Software error recovery at a random process.
+					// Roll back to p's last stable checkpoint: always
+					// feasible, because the single-fault recovery line
+					// R_{p} passes through it and is never collected.
+					// Deeper targets may be unreachable in a collected
+					// system (TestMaxStoredLineDepth pins both cases).
+					p := rng.Intn(n)
+					retained := sys.Retained(p)
+					target := rdt.Targets{p: retained[len(retained)-1]}
+					line, err := sys.MaxStoredLine(target)
+					if err != nil {
+						t.Fatalf("epoch %d: max stored line: %v", epoch, err)
+					}
+					if _, err := sys.RollbackToLine(line, true); err != nil {
+						t.Fatalf("epoch %d: rollback to %v: %v", epoch, line, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package rdt
+
+import (
+	"repro/internal/ccp"
+	"repro/internal/workload"
+)
+
+// WorkloadKind selects a communication pattern for generated workloads.
+type WorkloadKind = workload.Kind
+
+// Workload kinds.
+const (
+	// Uniform sends between uniformly random pairs.
+	Uniform = workload.Uniform
+	// Ring passes a token around a ring.
+	Ring = workload.Ring
+	// ClientServer exchanges request/reply pairs with process 0.
+	ClientServer = workload.ClientServer
+	// Bursty alternates communication bursts with checkpoint lulls.
+	Bursty = workload.Bursty
+	// AllToAll broadcasts in rounds.
+	AllToAll = workload.AllToAll
+)
+
+// WorkloadOptions parameterizes Workload.
+type WorkloadOptions = workload.Options
+
+// Workload generates a deterministic application script of the given kind.
+func Workload(kind WorkloadKind, opts WorkloadOptions) Script {
+	return workload.Generate(kind, opts)
+}
+
+// WorstCase generates the paper's Figure 5 execution generalized to n
+// processes: after running it under RDT-LGC every process retains exactly n
+// stable checkpoints, the tight bound of Section 4.5.
+func WorstCase(n int) Script { return ccp.WorstCase(n) }
+
+// Figure1 returns the example pattern of the paper's Figure 1 (with or
+// without message m3, whose absence breaks rollback-dependency
+// trackability).
+func Figure1(withM3 bool) Script {
+	f := ccp.NewFig1(withM3)
+	return f.Script
+}
+
+// Figure2 returns the domino-effect pattern of the paper's Figure 2.
+func Figure2() Script {
+	f := ccp.NewFig2()
+	return f.Script
+}
+
+// Figure3 returns the recovery-line scenario of the paper's Figure 3
+// together with its faulty set F = {p2, p3} (0-indexed {1, 2}).
+func Figure3() (Script, []int) {
+	f := ccp.NewFig3()
+	return f.Script, f.Faulty
+}
+
+// Figure4 returns the RDT-LGC execution of the paper's Figure 4.
+func Figure4() Script {
+	f := ccp.NewFig4()
+	return f.Script
+}
