@@ -1,24 +1,36 @@
 // Command figures regenerates the paper's Figures 1-5 as ASCII space-time
 // diagrams and re-derives every fact the paper states about them, printing
 // PASS/FAIL per fact. Run with -fig N for a single figure or no flag for
-// all.
+// all. Figures render concurrently on the experiment engine's worker pool
+// (internal/sweep) and print in figure order.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"reflect"
+	"runtime"
 	"sort"
 
 	rdt "repro"
 	"repro/internal/ccp"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
+
+// rendered is one figure's buffered output plus whether its facts held.
+type rendered struct {
+	out []byte
+	ok  bool
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1-5); 0 = all")
 	dot := flag.Bool("dot", false, "emit the figure(s) as Graphviz digraphs instead of ASCII + facts")
+	workers := flag.Int("workers", runtime.NumCPU(), "figures rendered concurrently (output order is fixed)")
 	flag.Parse()
 
 	if *dot {
@@ -26,24 +38,43 @@ func main() {
 		return
 	}
 
-	ok := true
-	figs := []func() bool{fig1, fig2, fig3, fig4, fig5}
+	figs := allFigures()
 	if *fig != 0 {
 		if *fig < 1 || *fig > len(figs) {
 			fmt.Fprintf(os.Stderr, "figures: no figure %d (have 1-%d)\n", *fig, len(figs))
 			os.Exit(2)
 		}
-		ok = figs[*fig-1]()
-	} else {
-		for _, f := range figs {
-			if !f() {
-				ok = false
-			}
-		}
+		figs = figs[*fig-1 : *fig]
+	}
+
+	results, err := renderAll(*workers, figs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ok := true
+	for _, r := range results {
+		os.Stdout.Write(r.out)
+		ok = ok && r.ok
 	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// allFigures lists the figure renderers in paper order.
+func allFigures() []func(io.Writer) bool {
+	return []func(io.Writer) bool{fig1, fig2, fig3, fig4, fig5}
+}
+
+// renderAll renders the figures concurrently on the experiment engine's
+// pool, each into its own buffer, preserving figure order.
+func renderAll(workers int, figs []func(io.Writer) bool) ([]rendered, error) {
+	return sweep.Map(workers, figs, func(f func(io.Writer) bool) (rendered, error) {
+		var b bytes.Buffer
+		ok := f(&b)
+		return rendered{b.Bytes(), ok}, nil
+	})
 }
 
 // emitDOT prints Graphviz for the requested figure (0 = all); pipe through
@@ -72,91 +103,91 @@ func fig3Script() ccp.Script {
 	return s
 }
 
-func check(ok *bool, cond bool, fact string) {
+func check(w io.Writer, ok *bool, cond bool, fact string) {
 	status := "PASS"
 	if !cond {
 		status = "FAIL"
 		*ok = false
 	}
-	fmt.Printf("  [%s] %s\n", status, fact)
+	fmt.Fprintf(w, "  [%s] %s\n", status, fact)
 }
 
-func header(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
 }
 
-func fig1() bool {
+func fig1(w io.Writer) bool {
 	ok := true
-	header("Figure 1 — example CCP (C-paths, Z-paths, RDT)")
+	header(w, "Figure 1 — example CCP (C-paths, Z-paths, RDT)")
 	f := ccp.NewFig1(true)
-	fmt.Println(trace.Render(f.Script))
+	fmt.Fprintln(w, trace.Render(f.Script))
 	c := f.Script.BuildCCP()
 	s01 := ccp.CheckpointID{Process: 0, Index: 0}
 	s11 := ccp.CheckpointID{Process: 0, Index: 1}
 	s13 := ccp.CheckpointID{Process: 2, Index: 1}
 	s23 := ccp.CheckpointID{Process: 2, Index: 2}
-	check(&ok, c.IsCausalPath([]int{f.M1, f.M2}, s01, s13), "[m1,m2] is a C-path")
-	check(&ok, c.IsCausalPath([]int{f.M1, f.M4}, s01, s23), "[m1,m4] is a C-path")
-	check(&ok, c.IsZigzagPath([]int{f.M5, f.M4}, s11, s23) &&
+	check(w, &ok, c.IsCausalPath([]int{f.M1, f.M2}, s01, s13), "[m1,m2] is a C-path")
+	check(w, &ok, c.IsCausalPath([]int{f.M1, f.M4}, s01, s23), "[m1,m4] is a C-path")
+	check(w, &ok, c.IsZigzagPath([]int{f.M5, f.M4}, s11, s23) &&
 		!c.IsCausalPath([]int{f.M5, f.M4}, s11, s23), "[m5,m4] is a Z-path (non-causal)")
-	check(&ok, c.IsRDT(), "CCP is RD-trackable")
+	check(w, &ok, c.IsRDT(), "CCP is RD-trackable")
 
-	w := ccp.NewFig1(false)
-	cw := w.Script.BuildCCP()
-	check(&ok, !cw.IsRDT(), "without m3 the CCP is not RD-trackable")
-	check(&ok, cw.ZigzagReachable(s11, s23) && !cw.CausallyPrecedes(s11, s23),
+	g := ccp.NewFig1(false)
+	cw := g.Script.BuildCCP()
+	check(w, &ok, !cw.IsRDT(), "without m3 the CCP is not RD-trackable")
+	check(w, &ok, cw.ZigzagReachable(s11, s23) && !cw.CausallyPrecedes(s11, s23),
 		"without m3: s_1^1 ⤳ s_3^2 but s_1^1 ↛ s_3^2")
 	return ok
 }
 
-func fig2() bool {
+func fig2(w io.Writer) bool {
 	ok := true
-	header("Figure 2 — useless checkpoints and the domino effect")
+	header(w, "Figure 2 — useless checkpoints and the domino effect")
 	f := ccp.NewFig2()
-	fmt.Println(trace.Render(f.Script))
+	fmt.Fprintln(w, trace.Render(f.Script))
 	c := f.Script.BuildCCP()
 	s11 := ccp.CheckpointID{Process: 0, Index: 1}
-	check(&ok, c.IsZigzagPath([]int{f.M2, f.M1}, s11, s11), "[m2,m1] is a zigzag cycle through s_1^1")
+	check(w, &ok, c.IsZigzagPath([]int{f.M2, f.M1}, s11, s11), "[m2,m1] is a zigzag cycle through s_1^1")
 	useless := c.UselessCheckpoints()
-	check(&ok, len(useless) == 3, fmt.Sprintf("all %d non-initial stable checkpoints are useless", len(useless)))
-	check(&ok, c.IsConsistentGlobal([]int{0, 0}), "the only stable consistent global checkpoint is {s_1^0, s_2^0}")
+	check(w, &ok, len(useless) == 3, fmt.Sprintf("all %d non-initial stable checkpoints are useless", len(useless)))
+	check(w, &ok, c.IsConsistentGlobal([]int{0, 0}), "the only stable consistent global checkpoint is {s_1^0, s_2^0}")
 	return ok
 }
 
-func fig3() bool {
+func fig3(w io.Writer) bool {
 	ok := true
-	header("Figure 3 — recovery line for F = {p2, p3}")
+	header(w, "Figure 3 — recovery line for F = {p2, p3}")
 	f := ccp.NewFig3()
-	fmt.Println(trace.Render(f.Script))
+	fmt.Fprintln(w, trace.Render(f.Script))
 	c := f.Script.BuildCCP()
 	line := c.RecoveryLine(f.Faulty)
-	fmt.Printf("  recovery line (local indices): %v\n", line)
-	check(&ok, c.IsConsistentGlobal(line), "recovery line is a consistent global checkpoint")
-	check(&ok, c.CausallyPrecedes(
+	fmt.Fprintf(w, "  recovery line (local indices): %v\n", line)
+	check(w, &ok, c.IsConsistentGlobal(line), "recovery line is a consistent global checkpoint")
+	check(w, &ok, c.CausallyPrecedes(
 		ccp.CheckpointID{Process: 1, Index: 3}, ccp.CheckpointID{Process: 2, Index: 3}),
 		"s_2^last → s_3^last, so s_3^last is excluded from the line")
-	check(&ok, line[2] == 2, "p3's component is s_3^{last-1}")
+	check(w, &ok, line[2] == 2, "p3's component is s_3^{last-1}")
 	got := c.ObsoleteSet()
 	want := f.PaperObsolete()
 	sortIDs(got)
 	sortIDs(want)
-	check(&ok, reflect.DeepEqual(got, want),
+	check(w, &ok, reflect.DeepEqual(got, want),
 		fmt.Sprintf("exactly five obsolete checkpoints: %v (paper: c_2^7, c_2^9, c_3^8, c_4^6, c_4^8)", got))
 	return ok
 }
 
-func fig4() bool {
+func fig4(w io.Writer) bool {
 	ok := true
-	header("Figure 4 — execution of RDT-LGC")
+	header(w, "Figure 4 — execution of RDT-LGC")
 	script := rdt.Figure4()
-	fmt.Println(trace.Render(script))
+	fmt.Fprintln(w, trace.Render(script))
 	sys, err := rdt.New(3)
 	if err != nil {
-		fmt.Println("  error:", err)
+		fmt.Fprintln(w, "  error:", err)
 		return false
 	}
 	if err := sys.Run(script); err != nil {
-		fmt.Println("  error:", err)
+		fmt.Fprintln(w, "  error:", err)
 		return false
 	}
 	oracle := sys.Oracle()
@@ -166,27 +197,27 @@ func fig4() bool {
 		lastS[p] = oracle.LastStable(p)
 		stored[p] = sys.Retained(p)
 	}
-	fmt.Println(trace.RenderStores(lastS, stored))
-	fmt.Println("  " + trace.Legend())
-	check(&ok, !contains(stored[1], 2), "s_2^2 was eliminated")
-	check(&ok, !contains(stored[2], 1), "s_3^1 was eliminated")
-	check(&ok, !contains(stored[2], 2), "s_3^2 was eliminated")
-	check(&ok, contains(stored[1], 1) && oracle.Obsolete(1, 1),
+	fmt.Fprintln(w, trace.RenderStores(lastS, stored))
+	fmt.Fprintln(w, "  "+trace.Legend())
+	check(w, &ok, !contains(stored[1], 2), "s_2^2 was eliminated")
+	check(w, &ok, !contains(stored[2], 1), "s_3^1 was eliminated")
+	check(w, &ok, !contains(stored[2], 2), "s_3^2 was eliminated")
+	check(w, &ok, contains(stored[1], 1) && oracle.Obsolete(1, 1),
 		"s_2^1 is obsolete but retained — the only one causal knowledge cannot identify")
 	return ok
 }
 
-func fig5() bool {
+func fig5(w io.Writer) bool {
 	ok := true
-	header("Figure 5 — worst-case scenario (n = 4)")
+	header(w, "Figure 5 — worst-case scenario (n = 4)")
 	const n = 4
 	sys, err := rdt.New(n)
 	if err != nil {
-		fmt.Println("  error:", err)
+		fmt.Fprintln(w, "  error:", err)
 		return false
 	}
 	if err := sys.Run(rdt.WorstCase(n)); err != nil {
-		fmt.Println("  error:", err)
+		fmt.Fprintln(w, "  error:", err)
 		return false
 	}
 	oracle := sys.Oracle()
@@ -198,22 +229,22 @@ func fig5() bool {
 		stored[p] = sys.Retained(p)
 		total += len(stored[p])
 	}
-	fmt.Println(trace.RenderStores(lastS, stored))
-	check(&ok, total == n*n, fmt.Sprintf("steady state stores n^2 = %d checkpoints (got %d)", n*n, total))
+	fmt.Fprintln(w, trace.RenderStores(lastS, stored))
+	check(w, &ok, total == n*n, fmt.Sprintf("steady state stores n^2 = %d checkpoints (got %d)", n*n, total))
 	var wave rdt.Script
 	wave.N = n
 	for q := 0; q < n; q++ {
 		wave.Checkpoint(q)
 	}
 	if err := sys.Run(wave); err != nil {
-		fmt.Println("  error:", err)
+		fmt.Fprintln(w, "  error:", err)
 		return false
 	}
 	peak := 0
 	for p := 0; p < n; p++ {
 		peak += sys.StorageStats(p).Peak
 	}
-	check(&ok, peak == n*(n+1), fmt.Sprintf("simultaneous checkpoint wave peaks at n(n+1) = %d (got %d)", n*(n+1), peak))
+	check(w, &ok, peak == n*(n+1), fmt.Sprintf("simultaneous checkpoint wave peaks at n(n+1) = %d (got %d)", n*(n+1), peak))
 	return ok
 }
 

@@ -1,13 +1,45 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"testing"
+)
 
 // TestAllFigureFactsPass executes every figure regeneration exactly as the
 // CLI does and fails if any stated paper fact stops holding.
 func TestAllFigureFactsPass(t *testing.T) {
-	for i, f := range []func() bool{fig1, fig2, fig3, fig4, fig5} {
-		if !f() {
+	for i, f := range allFigures() {
+		if !f(io.Discard) {
 			t.Errorf("figure %d facts failed", i+1)
 		}
+	}
+}
+
+// TestParallelRenderIsDeterministic renders all figures serially and on a
+// saturated pool through the CLI's own renderAll and requires
+// byte-identical concatenated output — the same contract the sweep tables
+// carry.
+func TestParallelRenderIsDeterministic(t *testing.T) {
+	figs := allFigures()
+	render := func(workers int) []byte {
+		results, err := renderAll(workers, figs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all bytes.Buffer
+		for _, r := range results {
+			if !r.ok {
+				t.Fatal("figure facts failed")
+			}
+			all.Write(r.out)
+		}
+		return all.Bytes()
+	}
+	serial := render(1)
+	parallel := render(len(figs))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel figure output differs from serial (%d vs %d bytes)",
+			len(parallel), len(serial))
 	}
 }

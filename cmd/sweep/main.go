@@ -1,199 +1,157 @@
 // Command sweep runs the experiment grids of EXPERIMENTS.md — the
 // "evaluation in a practical environment" the paper lists as future work.
-// Two tables are available:
+// Three tables are available:
 //
 //	-table collectors   every workload × collector × size: steady-state
 //	                    retained checkpoints and collection ratios (E1)
 //	-table protocols    every workload × protocol × size: forced-checkpoint
-//	                    overhead of the RDT protocol hierarchy
+//	                    overhead of the RDT protocol hierarchy (E2)
 //	-table rollback     every workload × protocol × size: rollback
-//	                    propagation after crashes (Agbaria et al. axis)
+//	                    propagation after crashes (Agbaria et al. axis) (E3)
+//
+// Grid cells are independent, so the engine (internal/sweep) runs them on a
+// bounded worker pool; -workers controls its size and any value renders a
+// byte-identical table. -format json emits the machine-readable form with
+// per-cell timings, and -bench runs the grid twice (serial, then parallel)
+// and emits the comparison recorded in BENCH_sweep.json.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"text/tabwriter"
+	"runtime"
+	"time"
 
-	"repro/internal/metrics"
-	"repro/internal/protocol"
-	"repro/internal/workload"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		ops    = flag.Int("ops", 3000, "operations per run")
-		seeds  = flag.Int("seeds", 3, "seeds averaged per cell")
-		sizes  = flag.String("sizes", "4,8,16", "comma-separated process counts")
-		pcheck = flag.Float64("pcheckpoint", 0.2, "basic checkpoint probability")
-		every  = flag.Int("globalevery", 1, "events between control-message rounds for the global collectors (sync-opt, rl-gc)")
-		table  = flag.String("table", "collectors", "table to produce: collectors|protocols")
+		ops     = flag.Int("ops", 3000, "operations per run")
+		seeds   = flag.Int("seeds", 3, "seeds averaged per cell")
+		sizes   = flag.String("sizes", "4,8,16", "comma-separated process counts")
+		pcheck  = flag.Float64("pcheckpoint", 0.2, "basic checkpoint probability")
+		every   = flag.Int("globalevery", 1, "events between control-message rounds for the global collectors (sync-opt, rl-gc)")
+		table   = flag.String("table", "collectors", "table to produce: collectors|protocols|rollback")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker pool size (result order does not depend on it)")
+		format  = flag.String("format", "text", "output format: text|json")
+		bench   = flag.Bool("bench", false, "run the grid serially and with -workers, emit the timing comparison as JSON")
 	)
 	flag.Parse()
 
+	tab, err := sweep.ParseTable(*table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	ns, err := parseSizes(*sizes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	if *table == "protocols" {
-		protocolTable(w, ns, *ops, *seeds, *pcheck)
-		if err := w.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *table == "rollback" {
-		rollbackTable(w, ns, *ops, *seeds, *pcheck)
-		if err := w.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *table != "collectors" {
-		fmt.Fprintf(os.Stderr, "sweep: unknown table %q\n", *table)
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "sweep: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	fmt.Fprintln(w, "workload\tn\tcollector\tretained/proc mean\tretained/proc max\tglobal peak\tcollect ratio\tforced ckpts")
-	for _, kind := range workload.Kinds() {
-		for _, n := range ns {
-			for _, col := range metrics.CollectorKinds() {
-				var mean, ratio float64
-				var max, peak, forced int
-				for s := 0; s < *seeds; s++ {
-					script := workload.Generate(kind, workload.Options{
-						N: n, Ops: *ops, Seed: int64(1000*s + n), PCheckpoint: *pcheck,
-					})
-					rep, err := metrics.Measure(metrics.MeasureOptions{
-						N: n, Collector: col, Script: script, GlobalEvery: *every,
-					})
-					if err != nil {
-						fmt.Fprintln(os.Stderr, err)
-						os.Exit(1)
-					}
-					mean += rep.PerProcRetained.Mean()
-					ratio += rep.CollectionRatio()
-					if rep.PerProcRetained.Max() > max {
-						max = rep.PerProcRetained.Max()
-					}
-					if rep.GlobalRetained.Max() > peak {
-						peak = rep.GlobalRetained.Max()
-					}
-					forced += rep.Forced
-				}
-				k := float64(*seeds)
-				fmt.Fprintf(w, "%s\t%d\t%s\t%.2f\t%d\t%d\t%.4f\t%d\n",
-					kind, n, col, mean/k, max, peak, ratio/k, forced / *seeds)
-			}
-		}
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "sweep: -seeds must be >= 1, got %d\n", *seeds)
+		os.Exit(2)
 	}
-	if err := w.Flush(); err != nil {
+
+	g := sweep.Default(tab)
+	g.Sizes = ns
+	g.Ops = *ops
+	g.Seeds = *seeds
+	g.PCheckpoint = *pcheck
+	g.GlobalEvery = *every
+	g.Workers = *workers
+	if g.Workers <= 0 {
+		// Normalize here so JSON and bench output record the worker count
+		// that actually ran, not the raw flag value.
+		g.Workers = runtime.NumCPU()
+	}
+
+	if *bench {
+		// Bench output is always the JSON comparison doc; reject an explicit
+		// conflicting -format rather than silently ignoring it.
+		formatSet := false
+		flag.Visit(func(f *flag.Flag) { formatSet = formatSet || f.Name == "format" })
+		if formatSet && *format != "json" {
+			fmt.Fprintln(os.Stderr, "sweep: -bench always emits JSON; drop -format or use -format json")
+			os.Exit(2)
+		}
+		if err := runBench(g); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	results, err := g.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	if *format == "json" {
+		err = sweep.WriteJSON(os.Stdout, g, results, wall)
+	} else {
+		err = sweep.WriteText(os.Stdout, g.Table, results)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-// protocolTable reports the forced-checkpoint overhead of each protocol:
-// the price of the RDT guarantee, per workload and system size.
-func protocolTable(w *tabwriter.Writer, ns []int, ops, seeds int, pcheck float64) {
-	factories := []struct {
-		name string
-		mk   func() protocol.Protocol
-		rdt  bool
-	}{
-		{"CBR", func() protocol.Protocol { return protocol.NewCBR() }, true},
-		{"Russell", func() protocol.Protocol { return protocol.NewRussell() }, true},
-		{"FDI", func() protocol.Protocol { return protocol.NewFDI() }, true},
-		{"FDAS", func() protocol.Protocol { return protocol.NewFDAS() }, true},
-		{"BCS", func() protocol.Protocol { return protocol.NewBCS() }, false},
-		{"none", func() protocol.Protocol { return protocol.NewNone() }, false},
+// runBench times the same grid serially and with the requested pool, checks
+// the two renderings are byte-identical, and prints a sweep.BenchDoc.
+func runBench(g sweep.Grid) error {
+	serial := g
+	serial.Workers = 1
+	t0 := time.Now()
+	serialRes, err := serial.Run()
+	if err != nil {
+		return err
 	}
-	fmt.Fprintln(w, "workload\tn\tprotocol\tRDT\tbasic\tforced\tforced/basic\tretained/proc mean")
-	for _, kind := range workload.Kinds() {
-		for _, n := range ns {
-			for _, pf := range factories {
-				var basic, forced int
-				var mean float64
-				for s := 0; s < seeds; s++ {
-					script := workload.Generate(kind, workload.Options{
-						N: n, Ops: ops, Seed: int64(1000*s + n), PCheckpoint: pcheck,
-					})
-					mk := pf.mk
-					rep, err := metrics.Measure(metrics.MeasureOptions{
-						N: n, Collector: metrics.RDTLGC, Script: script,
-						Protocol: func(int) protocol.Protocol { return mk() },
-					})
-					if err != nil {
-						fmt.Fprintln(os.Stderr, err)
-						os.Exit(1)
-					}
-					basic += rep.Basic
-					forced += rep.Forced
-					mean += rep.PerProcRetained.Mean()
-				}
-				ratio := 0.0
-				if basic > 0 {
-					ratio = float64(forced) / float64(basic)
-				}
-				fmt.Fprintf(w, "%s\t%d\t%s\t%v\t%d\t%d\t%.2f\t%.2f\n",
-					kind, n, pf.name, pf.rdt, basic/seeds, forced/seeds, ratio, mean/float64(seeds))
-			}
-		}
-	}
-}
+	serialSecs := time.Since(t0).Seconds()
 
-// rollbackTable reports rollback propagation per protocol: mean and max
-// stable checkpoints a crash drags non-faulty processes back.
-func rollbackTable(w *tabwriter.Writer, ns []int, ops, seeds int, pcheck float64) {
-	factories := []struct {
-		name string
-		mk   func() protocol.Protocol
-	}{
-		{"FDAS", func() protocol.Protocol { return protocol.NewFDAS() }},
-		{"FDI", func() protocol.Protocol { return protocol.NewFDI() }},
-		{"CBR", func() protocol.Protocol { return protocol.NewCBR() }},
-		{"Russell", func() protocol.Protocol { return protocol.NewRussell() }},
-		{"BCS", func() protocol.Protocol { return protocol.NewBCS() }},
-		{"none", func() protocol.Protocol { return protocol.NewNone() }},
+	t1 := time.Now()
+	parallelRes, err := g.Run()
+	if err != nil {
+		return err
 	}
-	fmt.Fprintln(w, "workload\tn\tprotocol\tmean rolled\tmax rolled\tvolatile lost\tdomino-to-start")
-	for _, kind := range workload.Kinds() {
-		for _, n := range ns {
-			for _, pf := range factories {
-				var mean float64
-				var max, lost, domino, crashes int
-				for s := 0; s < seeds; s++ {
-					script := workload.Generate(kind, workload.Options{
-						N: n, Ops: ops, Seed: int64(1000*s + n), PCheckpoint: pcheck,
-					})
-					mk := pf.mk
-					rep, err := metrics.MeasureRollback(metrics.RollbackOptions{
-						N: n, Script: script,
-						Protocol: func(int) protocol.Protocol { return mk() },
-					})
-					if err != nil {
-						fmt.Fprintln(os.Stderr, err)
-						os.Exit(1)
-					}
-					mean += rep.StableRolled.Mean()
-					if rep.StableRolled.Max() > max {
-						max = rep.StableRolled.Max()
-					}
-					lost += rep.VolatileLost
-					domino += rep.DominoToStart
-					crashes += rep.Crashes
-				}
-				fmt.Fprintf(w, "%s\t%d\t%s\t%.3f\t%d\t%.2f%%\t%d\n",
-					kind, n, pf.name, mean/float64(seeds), max,
-					100*float64(lost)/float64(crashes*(n-1)), domino)
-			}
-		}
+	parallelWall := time.Since(t1)
+
+	var a, b bytes.Buffer
+	if err := sweep.WriteText(&a, g.Table, serialRes); err != nil {
+		return err
 	}
+	if err := sweep.WriteText(&b, g.Table, parallelRes); err != nil {
+		return err
+	}
+
+	doc := sweep.BenchDoc{
+		Table:           g.Table.String(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Cells:           len(serialRes),
+		SerialSecs:      serialSecs,
+		ParallelWorkers: g.Workers,
+		ParallelSecs:    parallelWall.Seconds(),
+		Identical:       bytes.Equal(a.Bytes(), b.Bytes()),
+		Run:             sweep.Doc(g, parallelRes, parallelWall),
+	}
+	if doc.ParallelSecs > 0 {
+		doc.Speedup = doc.SerialSecs / doc.ParallelSecs
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,61 @@
+// Package examples holds no library code — only the smoke test that keeps
+// every runnable example in this directory building and exiting cleanly.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds every examples/* binary and runs it with a
+// timeout, asserting a zero exit. Each example is a self-contained demo of
+// the public API, so this is end-to-end coverage of the facade. Skipped in
+// -short mode: it shells out to the go tool once per example.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no example directories found")
+	}
+
+	bin := t.TempDir()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			exe := filepath.Join(bin, name)
+			build := exec.CommandContext(ctx, goTool, "build", "-o", exe, "./examples/"+name)
+			build.Dir = ".." // module root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+
+			run := exec.CommandContext(ctx, exe)
+			if out, err := run.CombinedOutput(); err != nil {
+				t.Fatalf("example exited non-zero: %v\n%s", err, out)
+			}
+		})
+	}
+}

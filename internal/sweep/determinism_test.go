@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// render runs the grid with the given worker count and returns the text
+// table bytes.
+func render(t *testing.T, g Grid, workers int) []byte {
+	t.Helper()
+	g.Workers = workers
+	results, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteText(&b, g.Table, results); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestParallelTableEqualsSerial is the engine's core contract: for every
+// table, any worker count renders byte-identical output to -workers=1.
+func TestParallelTableEqualsSerial(t *testing.T) {
+	for _, tab := range []Table{Collectors, Protocols, Rollback} {
+		t.Run(tab.String(), func(t *testing.T) {
+			t.Parallel()
+			g := smallGrid(tab)
+			serial := render(t, g, 1)
+			for _, workers := range []int{2, 8} {
+				got := render(t, g, workers)
+				if !bytes.Equal(serial, got) {
+					t.Fatalf("workers=%d output differs from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+						workers, serial, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineSoak extends the repo's soak pattern (soak_test.go) to the
+// experiment engine: repeated saturated-pool runs over a mixed grid under
+// the race detector. Guarded by -short so the CI fast lane skips it.
+func TestEngineSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine soak skipped in -short mode")
+	}
+	for round := 0; round < 3; round++ {
+		for _, tab := range []Table{Collectors, Protocols, Rollback} {
+			g := Default(tab)
+			g.Workloads = []workload.Kind{workload.Uniform, workload.Bursty, workload.AllToAll}
+			g.Sizes = []int{3, 5}
+			g.Seeds = 2
+			g.Ops = 150 + 50*round
+			g.Workers = 8
+			results, err := g.Run()
+			if err != nil {
+				t.Fatalf("round %d %v: %v", round, tab, err)
+			}
+			if len(results) != len(g.Cells()) {
+				t.Fatalf("round %d %v: %d results for %d cells",
+					round, tab, len(results), len(g.Cells()))
+			}
+			for _, r := range results {
+				if r.Elapsed <= 0 {
+					t.Fatalf("round %d %v: cell %d missing timing", round, tab, r.Cell.Index)
+				}
+			}
+		}
+	}
+}

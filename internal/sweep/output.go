@@ -1,0 +1,163 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteText renders results as the tab-aligned table the seed CLI printed,
+// one row per cell in grid order. Because Run's result order is
+// deterministic, the bytes are identical for every worker count.
+func WriteText(w io.Writer, table Table, results []Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	switch table {
+	case Collectors:
+		fmt.Fprintln(tw, "workload\tn\tcollector\tretained/proc mean\tretained/proc max\tglobal peak\tcollect ratio\tforced ckpts")
+		for _, r := range results {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%.2f\t%d\t%d\t%.4f\t%d\n",
+				r.Cell.Workload, r.Cell.N, r.Cell.Variant(),
+				r.RetainedMean, r.RetainedMax, r.GlobalPeak, r.CollectRatio, r.Forced)
+		}
+	case Protocols:
+		fmt.Fprintln(tw, "workload\tn\tprotocol\tRDT\tbasic\tforced\tforced/basic\tretained/proc mean")
+		for _, r := range results {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%v\t%d\t%d\t%.2f\t%.2f\n",
+				r.Cell.Workload, r.Cell.N, r.Cell.Variant(), r.Cell.Protocol.RDT,
+				r.Basic, r.Forced, r.ForcedPerBasic, r.RetainedMean)
+		}
+	case Rollback:
+		fmt.Fprintln(tw, "workload\tn\tprotocol\tmean rolled\tmax rolled\tvolatile lost\tdomino-to-start")
+		for _, r := range results {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%.3f\t%d\t%.2f%%\t%d\n",
+				r.Cell.Workload, r.Cell.N, r.Cell.Variant(),
+				r.MeanRolled, r.MaxRolled, r.VolatileLostPct, r.DominoToStart)
+		}
+	default:
+		return fmt.Errorf("sweep: unknown table %d", int(table))
+	}
+	return tw.Flush()
+}
+
+// RunDoc captures one engine execution for JSON output: every grid
+// parameter needed to reproduce the numbers, the wall clock, and each
+// cell's columns and timing.
+type RunDoc struct {
+	Table       string   `json:"table"`
+	Workers     int      `json:"workers"`
+	Workloads   []string `json:"workloads"`
+	Sizes       []int    `json:"sizes"`
+	Variants    []string `json:"variants"`
+	Seeds       int      `json:"seeds"`
+	Ops         int      `json:"ops"`
+	PCheckpoint float64  `json:"pcheckpoint"`
+	GlobalEvery int      `json:"globalevery"`
+	Cells       int      `json:"cells"`
+	WallSecs    float64  `json:"wall_clock_seconds"`
+	Rows        []RowDoc `json:"rows"`
+}
+
+// RowDoc is one cell in JSON form. Columns that do not apply to the row's
+// table are omitted.
+type RowDoc struct {
+	Workload    string  `json:"workload"`
+	N           int     `json:"n"`
+	Variant     string  `json:"variant"`
+	ElapsedSecs float64 `json:"elapsed_seconds"`
+
+	RetainedMean *float64 `json:"retained_per_proc_mean,omitempty"`
+	RetainedMax  *int     `json:"retained_per_proc_max,omitempty"`
+	GlobalPeak   *int     `json:"global_peak,omitempty"`
+	CollectRatio *float64 `json:"collect_ratio,omitempty"`
+	Forced       *int     `json:"forced,omitempty"`
+
+	RDT            *bool    `json:"rdt,omitempty"`
+	Basic          *int     `json:"basic,omitempty"`
+	ForcedPerBasic *float64 `json:"forced_per_basic,omitempty"`
+
+	MeanRolled      *float64 `json:"mean_rolled,omitempty"`
+	MaxRolled       *int     `json:"max_rolled,omitempty"`
+	VolatileLostPct *float64 `json:"volatile_lost_pct,omitempty"`
+	DominoToStart   *int     `json:"domino_to_start,omitempty"`
+}
+
+// Doc assembles the JSON document for one completed run.
+func Doc(g Grid, results []Result, wall time.Duration) RunDoc {
+	doc := RunDoc{
+		Table:       g.Table.String(),
+		Workers:     g.Workers,
+		Seeds:       g.Seeds,
+		Ops:         g.Ops,
+		PCheckpoint: g.PCheckpoint,
+		GlobalEvery: g.GlobalEvery,
+		Sizes:       g.Sizes,
+		Cells:       len(results),
+		WallSecs:    wall.Seconds(),
+	}
+	for _, k := range g.Workloads {
+		doc.Workloads = append(doc.Workloads, k.String())
+	}
+	if g.Table == Collectors {
+		for _, c := range g.Collectors {
+			doc.Variants = append(doc.Variants, c.String())
+		}
+	} else {
+		for _, p := range g.Protocols {
+			doc.Variants = append(doc.Variants, p.Name)
+		}
+	}
+	for _, r := range results {
+		row := RowDoc{
+			Workload:    r.Cell.Workload.String(),
+			N:           r.Cell.N,
+			Variant:     r.Cell.Variant(),
+			ElapsedSecs: r.Elapsed.Seconds(),
+		}
+		switch g.Table {
+		case Collectors:
+			row.RetainedMean = ptr(r.RetainedMean)
+			row.RetainedMax = ptr(r.RetainedMax)
+			row.GlobalPeak = ptr(r.GlobalPeak)
+			row.CollectRatio = ptr(r.CollectRatio)
+			row.Forced = ptr(r.Forced)
+		case Protocols:
+			row.RDT = ptr(r.Cell.Protocol.RDT)
+			row.Basic = ptr(r.Basic)
+			row.Forced = ptr(r.Forced)
+			row.ForcedPerBasic = ptr(r.ForcedPerBasic)
+			row.RetainedMean = ptr(r.RetainedMean)
+		case Rollback:
+			row.MeanRolled = ptr(r.MeanRolled)
+			row.MaxRolled = ptr(r.MaxRolled)
+			row.VolatileLostPct = ptr(r.VolatileLostPct)
+			row.DominoToStart = ptr(r.DominoToStart)
+		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	return doc
+}
+
+// WriteJSON renders one run as an indented JSON document.
+func WriteJSON(w io.Writer, g Grid, results []Result, wall time.Duration) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Doc(g, results, wall))
+}
+
+// BenchDoc is the serial-versus-parallel comparison recorded in
+// BENCH_sweep.json: the perf trajectory later PRs must beat.
+type BenchDoc struct {
+	Table           string  `json:"table"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Cells           int     `json:"cells"`
+	SerialSecs      float64 `json:"serial_seconds"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	ParallelSecs    float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"tables_byte_identical"`
+	Run             RunDoc  `json:"run"`
+}
+
+func ptr[T any](v T) *T { return &v }

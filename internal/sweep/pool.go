@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Map runs fn over items on a pool of at most workers goroutines and
+// returns the outputs in input order. It is the concurrency core of the
+// engine; cmd/figures reuses it to render figures in parallel.
+//
+// Determinism contract: out[i] corresponds to items[i] regardless of
+// workers, and on failure Map returns the error of the lowest-index failing
+// item — the same error a serial run would report first. In-flight items
+// finish, but no new items are dispatched after a failure.
+func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := safeCall(fn, items[i])
+				if err != nil {
+					record(i, err)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	for i := range items {
+		if failed() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// safeCall shields the pool from a panicking job: one poisoned cell must
+// not kill the whole sweep with a bare goroutine crash. The stack is kept
+// in the error so the faulty line stays findable, as it was when cells ran
+// serially on the main goroutine.
+func safeCall[T, R any](fn func(T) (R, error), item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sweep: job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return fn(item)
+}

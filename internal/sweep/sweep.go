@@ -1,0 +1,370 @@
+// Package sweep is the parallel experiment engine behind cmd/sweep and
+// cmd/figures. A Grid names the axes of one experiment table from
+// EXPERIMENTS.md (workloads × protocols-or-collectors × system sizes, each
+// cell averaged over seeds); Cells expands it into independent jobs; Run
+// executes the jobs on a bounded worker pool and returns results in grid
+// order, so any worker count produces byte-identical tables.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/ccp"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+// Table selects which experiment table a Grid produces.
+type Table int
+
+const (
+	// Collectors measures steady-state retained checkpoints and collection
+	// ratios for every garbage collector (E1).
+	Collectors Table = iota + 1
+	// Protocols measures the forced-checkpoint overhead of the RDT protocol
+	// hierarchy (E2).
+	Protocols
+	// Rollback measures rollback propagation after crashes, the Agbaria et
+	// al. axis (E3).
+	Rollback
+)
+
+// String returns the table name used on the cmd/sweep command line.
+func (t Table) String() string {
+	switch t {
+	case Collectors:
+		return "collectors"
+	case Protocols:
+		return "protocols"
+	case Rollback:
+		return "rollback"
+	default:
+		return fmt.Sprintf("table(%d)", int(t))
+	}
+}
+
+// ParseTable maps a -table flag value to a Table.
+func ParseTable(s string) (Table, error) {
+	switch s {
+	case "collectors":
+		return Collectors, nil
+	case "protocols":
+		return Protocols, nil
+	case "rollback":
+		return Rollback, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown table %q", s)
+	}
+}
+
+// ProtocolSpec names one checkpointing protocol under measurement and how
+// to build a fresh instance of it.
+type ProtocolSpec struct {
+	Name string
+	RDT  bool
+	New  func() protocol.Protocol
+}
+
+// OverheadProtocols is the protocol axis of the Protocols table, ordered
+// from strongest causal tracking to none.
+func OverheadProtocols() []ProtocolSpec {
+	return []ProtocolSpec{
+		{"CBR", true, func() protocol.Protocol { return protocol.NewCBR() }},
+		{"Russell", true, func() protocol.Protocol { return protocol.NewRussell() }},
+		{"FDI", true, func() protocol.Protocol { return protocol.NewFDI() }},
+		{"FDAS", true, func() protocol.Protocol { return protocol.NewFDAS() }},
+		{"BCS", false, func() protocol.Protocol { return protocol.NewBCS() }},
+		{"none", false, func() protocol.Protocol { return protocol.NewNone() }},
+	}
+}
+
+// RollbackProtocols is the protocol axis of the Rollback table, RDT
+// protocols first.
+func RollbackProtocols() []ProtocolSpec {
+	return []ProtocolSpec{
+		{"FDAS", true, func() protocol.Protocol { return protocol.NewFDAS() }},
+		{"FDI", true, func() protocol.Protocol { return protocol.NewFDI() }},
+		{"CBR", true, func() protocol.Protocol { return protocol.NewCBR() }},
+		{"Russell", true, func() protocol.Protocol { return protocol.NewRussell() }},
+		{"BCS", false, func() protocol.Protocol { return protocol.NewBCS() }},
+		{"none", false, func() protocol.Protocol { return protocol.NewNone() }},
+	}
+}
+
+// Grid is one experiment: the cross product of its axes, each cell averaged
+// over Seeds independent runs.
+type Grid struct {
+	Table     Table
+	Workloads []workload.Kind
+	Sizes     []int // process counts
+	// Collectors is the variant axis of the Collectors table.
+	Collectors []metrics.CollectorKind
+	// Protocols is the variant axis of the Protocols and Rollback tables.
+	Protocols []ProtocolSpec
+
+	Seeds       int     // runs averaged per cell
+	Ops         int     // operations per run
+	PCheckpoint float64 // basic checkpoint probability
+	// GlobalEvery is the control-message period for global collectors
+	// (Collectors table only; default 1).
+	GlobalEvery int
+
+	// Workers bounds the worker pool in Run (default runtime.NumCPU()).
+	// The result order never depends on it.
+	Workers int
+}
+
+// Default returns the grid cmd/sweep runs for a table when no flags
+// override the axes.
+func Default(table Table) Grid {
+	g := Grid{
+		Table:       table,
+		Workloads:   workload.Kinds(),
+		Sizes:       []int{4, 8, 16},
+		Seeds:       3,
+		Ops:         3000,
+		PCheckpoint: 0.2,
+		GlobalEvery: 1,
+	}
+	switch table {
+	case Collectors:
+		g.Collectors = metrics.CollectorKinds()
+	case Protocols:
+		g.Protocols = OverheadProtocols()
+	case Rollback:
+		g.Protocols = RollbackProtocols()
+	}
+	return g
+}
+
+// Cell is one independent job: a (workload, size, variant) point of the
+// grid, averaged over the grid's seeds. Index is the cell's position in
+// grid order; results are always returned sorted by it.
+type Cell struct {
+	Index    int
+	Table    Table
+	Workload workload.Kind
+	N        int
+	// Exactly one of Collector / Protocol is meaningful, per Table.
+	Collector metrics.CollectorKind
+	Protocol  ProtocolSpec
+
+	Seeds       int
+	Ops         int
+	PCheckpoint float64
+	GlobalEvery int
+}
+
+// Variant returns the name of the cell's collector or protocol, the third
+// key column of every table.
+func (c Cell) Variant() string {
+	if c.Table == Collectors {
+		return c.Collector.String()
+	}
+	return c.Protocol.Name
+}
+
+// Cells expands the grid into jobs in table order: workload-major, then
+// size, then variant — the row order of the seed CLI tables.
+func (g Grid) Cells() []Cell {
+	var cells []Cell
+	for _, kind := range g.Workloads {
+		for _, n := range g.Sizes {
+			base := Cell{
+				Table: g.Table, Workload: kind, N: n,
+				Seeds: g.Seeds, Ops: g.Ops,
+				PCheckpoint: g.PCheckpoint, GlobalEvery: g.GlobalEvery,
+			}
+			switch g.Table {
+			case Collectors:
+				for _, col := range g.Collectors {
+					c := base
+					c.Index, c.Collector = len(cells), col
+					cells = append(cells, c)
+				}
+			default:
+				for _, pf := range g.Protocols {
+					c := base
+					c.Index, c.Protocol = len(cells), pf
+					cells = append(cells, c)
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Result is the measured row of one cell. The populated columns depend on
+// the cell's table; Elapsed is always the cell's wall-clock cost.
+type Result struct {
+	Cell    Cell
+	Elapsed time.Duration
+
+	// Collectors table.
+	RetainedMean float64 // per-process retained checkpoints, mean over time
+	RetainedMax  int     // per-process retained checkpoints, max over time
+	GlobalPeak   int     // system-wide retained peak
+	CollectRatio float64 // fraction of oracle-obsolete checkpoints collected
+	Forced       int     // forced checkpoints per run (mean over seeds)
+
+	// Protocols table (Forced and RetainedMean are shared with the above).
+	Basic          int     // basic checkpoints per run (mean over seeds)
+	ForcedPerBasic float64 // forced/basic overhead ratio
+
+	// Rollback table.
+	MeanRolled      float64 // stable checkpoints rolled back, mean per crash
+	MaxRolled       int     // stable checkpoints rolled back, worst case
+	VolatileLostPct float64 // % of non-faulty processes losing volatile state
+	DominoToStart   int     // crashes dragging some process back to s^0
+}
+
+// Run measures one cell: Seeds independent generated workloads, each
+// simulated and aggregated exactly as the seed CLI did.
+func (c Cell) Run() (Result, error) {
+	start := time.Now()
+	res := Result{Cell: c}
+	var err error
+	switch c.Table {
+	case Collectors:
+		err = c.runCollectors(&res)
+	case Protocols:
+		err = c.runProtocols(&res)
+	case Rollback:
+		err = c.runRollback(&res)
+	default:
+		err = fmt.Errorf("sweep: unknown table %d", int(c.Table))
+	}
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// script generates the cell's s-th seeded workload. The seed depends only
+// on (s, n), matching the seed CLI, so tables stay comparable across PRs.
+// Generator panics (e.g. N < 2) surface as errors so one bad cell cannot
+// take down the pool.
+func (c Cell) script(s int) (sc ccp.Script, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: cell %d (%s n=%d %s): %v",
+				c.Index, c.Workload, c.N, c.Variant(), r)
+		}
+	}()
+	sc = workload.Generate(c.Workload, workload.Options{
+		N: c.N, Ops: c.Ops, Seed: int64(1000*s + c.N), PCheckpoint: c.PCheckpoint,
+	})
+	return sc, nil
+}
+
+func (c Cell) runCollectors(res *Result) error {
+	var mean, ratio float64
+	var max, peak, forced int
+	for s := 0; s < c.Seeds; s++ {
+		script, err := c.script(s)
+		if err != nil {
+			return err
+		}
+		rep, err := metrics.Measure(metrics.MeasureOptions{
+			N: c.N, Collector: c.Collector, Script: script, GlobalEvery: c.GlobalEvery,
+		})
+		if err != nil {
+			return err
+		}
+		mean += rep.PerProcRetained.Mean()
+		ratio += rep.CollectionRatio()
+		if rep.PerProcRetained.Max() > max {
+			max = rep.PerProcRetained.Max()
+		}
+		if rep.GlobalRetained.Max() > peak {
+			peak = rep.GlobalRetained.Max()
+		}
+		forced += rep.Forced
+	}
+	k := float64(c.Seeds)
+	res.RetainedMean = mean / k
+	res.RetainedMax = max
+	res.GlobalPeak = peak
+	res.CollectRatio = ratio / k
+	res.Forced = forced / c.Seeds
+	return nil
+}
+
+func (c Cell) runProtocols(res *Result) error {
+	var basic, forced int
+	var mean float64
+	for s := 0; s < c.Seeds; s++ {
+		script, err := c.script(s)
+		if err != nil {
+			return err
+		}
+		mk := c.Protocol.New
+		rep, err := metrics.Measure(metrics.MeasureOptions{
+			N: c.N, Collector: metrics.RDTLGC, Script: script,
+			Protocol: func(int) protocol.Protocol { return mk() },
+		})
+		if err != nil {
+			return err
+		}
+		basic += rep.Basic
+		forced += rep.Forced
+		mean += rep.PerProcRetained.Mean()
+	}
+	res.Basic = basic / c.Seeds
+	res.Forced = forced / c.Seeds
+	if basic > 0 {
+		res.ForcedPerBasic = float64(forced) / float64(basic)
+	}
+	res.RetainedMean = mean / float64(c.Seeds)
+	return nil
+}
+
+func (c Cell) runRollback(res *Result) error {
+	var mean float64
+	var max, lost, domino, crashes int
+	for s := 0; s < c.Seeds; s++ {
+		script, err := c.script(s)
+		if err != nil {
+			return err
+		}
+		mk := c.Protocol.New
+		rep, err := metrics.MeasureRollback(metrics.RollbackOptions{
+			N: c.N, Script: script,
+			Protocol: func(int) protocol.Protocol { return mk() },
+		})
+		if err != nil {
+			return err
+		}
+		mean += rep.StableRolled.Mean()
+		if rep.StableRolled.Max() > max {
+			max = rep.StableRolled.Max()
+		}
+		lost += rep.VolatileLost
+		domino += rep.DominoToStart
+		crashes += rep.Crashes
+	}
+	res.MeanRolled = mean / float64(c.Seeds)
+	res.MaxRolled = max
+	// A short run can record no crash points at all; leave the rate at 0
+	// rather than emitting NaN, which json.Encoder rejects outright.
+	if denom := crashes * (c.N - 1); denom > 0 {
+		res.VolatileLostPct = 100 * float64(lost) / float64(denom)
+	}
+	res.DominoToStart = domino
+	return nil
+}
+
+// Run expands the grid and executes every cell on at most g.Workers
+// goroutines (<= 0 means runtime.NumCPU()). Results come back in grid
+// order whatever the worker count, so a parallel run renders byte-for-byte
+// the same table as -workers=1.
+func (g Grid) Run() ([]Result, error) {
+	if g.Seeds < 1 {
+		return nil, fmt.Errorf("sweep: grid needs Seeds >= 1, got %d", g.Seeds)
+	}
+	if g.Workers <= 0 {
+		g.Workers = runtime.NumCPU()
+	}
+	return Map(g.Workers, g.Cells(), Cell.Run)
+}
