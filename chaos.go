@@ -1,0 +1,82 @@
+package rdt
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/runtime"
+	"repro/internal/storage"
+)
+
+// ChaosPattern selects the fault shape a chaos plan injects.
+type ChaosPattern = chaos.Pattern
+
+// Fault patterns. Single crashes one process per cycle; Correlated crashes
+// a random set at once; Rolling sweeps the cluster one process per cycle;
+// Repeated crashes the same process again immediately after each recovery.
+const (
+	ChaosSingle     = chaos.Single
+	ChaosCorrelated = chaos.Correlated
+	ChaosRolling    = chaos.Rolling
+	ChaosRepeated   = chaos.Repeated
+)
+
+// ChaosPlanOptions parameterizes NewChaosPlan.
+type ChaosPlanOptions = chaos.PlanOptions
+
+// ChaosPlan is a seeded fault schedule: crash/restart cycles, survivor
+// traffic windows and network bursts. Same options, same plan.
+type ChaosPlan = chaos.Plan
+
+// ChaosResult aggregates a chaos run's survivability measurements.
+type ChaosResult = chaos.Result
+
+// NewChaosPlan expands the options into a seeded fault schedule.
+func NewChaosPlan(o ChaosPlanOptions) (ChaosPlan, error) { return chaos.NewPlan(o) }
+
+// RunChaos executes the fault plan against a fresh live cluster assembled
+// from the options (protocol, collector, optional file-backed storage) and
+// verifies every recovery session against the ground-truth oracles: the
+// restored cut equals the Lemma 1 recovery line, the post-recovery pattern
+// stays RD-trackable, only obsolete checkpoints were collected, and
+// retention respects the RDT-LGC bound. The engine runs deterministically:
+// the same plan and options yield the same measurements.
+func RunChaos(plan ChaosPlan, net Network, opt ...Option) (ChaosResult, error) {
+	if net.TCP {
+		return ChaosResult{}, fmt.Errorf("rdt: chaos runs do not support the TCP mesh")
+	}
+	o := defaults()
+	for _, f := range opt {
+		f(&o)
+	}
+	pf, err := o.protocol.factory()
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	cfg := chaos.Config{
+		Protocol: pf,
+		Net: runtime.NetworkOptions{
+			MinDelay: net.MinDelay,
+			MaxDelay: net.MaxDelay,
+			Loss:     net.Loss,
+			Seed:     net.Seed,
+		},
+		GlobalLI:      true,
+		Deterministic: true,
+		RDT:           o.protocol.RDT(),
+	}
+	switch o.collector {
+	case RDTLGC:
+		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return core.New(self, n, st) }
+		cfg.CheckNBound = o.protocol.RDT()
+	case NoGC:
+	default:
+		return ChaosResult{}, fmt.Errorf("rdt: chaos runs support RDTLGC and NoGC collectors, not %v", o.collector)
+	}
+	if o.storageDir != "" {
+		cfg.NewStore = fileStores(o.storageDir)
+	}
+	return chaos.Run(cfg, plan)
+}

@@ -1,0 +1,173 @@
+// Command chaos renders the survivability table of EXPERIMENTS.md (E4): it
+// executes seeded crash/restart fault plans against the live runtime —
+// crash a process, drop its volatile state, keep its stable store, run
+// survivor traffic into the hole, rehydrate from stable storage, recover —
+// and verifies every recovery session against the ground-truth oracles
+// before reporting it.
+//
+// The grid is fault pattern × system size × middleware stack
+// (protocol+collector); cells are independent and run on the internal/sweep
+// worker pool. Cells execute the engine in deterministic mode, so any
+// -workers value renders a byte-identical text table. -format json adds
+// per-cell timings and mean recovery latency; -bench runs the grid twice
+// (serial, then parallel) and emits the comparison recorded in
+// BENCH_chaos.json — the recovery-latency baseline later PRs must beat.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		patterns = flag.String("patterns", "single,correlated,rolling,repeated", "comma-separated fault patterns")
+		sizes    = flag.String("sizes", "4,8", "comma-separated process counts")
+		seeds    = flag.Int("seeds", 2, "seeded fault plans averaged per cell")
+		cycles   = flag.Int("cycles", 4, "crash/restart cycles per run")
+		ops      = flag.Int("ops", 150, "application operations per drive phase")
+		pcheck   = flag.Float64("pcheckpoint", 0.2, "basic checkpoint probability")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size (result order does not depend on it)")
+		format   = flag.String("format", "text", "output format: text|json")
+		bench    = flag.Bool("bench", false, "run the grid serially and with -workers, emit the timing comparison as JSON")
+	)
+	flag.Parse()
+
+	pats, err := parsePatterns(*patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ns, err := sweep.ParseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "chaos: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "chaos: -seeds must be >= 1, got %d\n", *seeds)
+		os.Exit(2)
+	}
+	if *cycles < 1 {
+		fmt.Fprintf(os.Stderr, "chaos: -cycles must be >= 1, got %d\n", *cycles)
+		os.Exit(2)
+	}
+
+	g := sweep.Default(sweep.Chaos)
+	g.Patterns = pats
+	g.Sizes = ns
+	g.Seeds = *seeds
+	g.Cycles = *cycles
+	g.Ops = *ops
+	g.PCheckpoint = *pcheck
+	g.Workers = *workers
+	if g.Workers <= 0 {
+		g.Workers = runtime.NumCPU()
+	}
+
+	if *bench {
+		formatSet := false
+		flag.Visit(func(f *flag.Flag) { formatSet = formatSet || f.Name == "format" })
+		if formatSet && *format != "json" {
+			fmt.Fprintln(os.Stderr, "chaos: -bench always emits JSON; drop -format or use -format json")
+			os.Exit(2)
+		}
+		if err := runBench(g); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	results, err := g.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	if *format == "json" {
+		err = sweep.WriteJSON(os.Stdout, g, results, wall)
+	} else {
+		err = sweep.WriteText(os.Stdout, g.Table, results)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runBench times the same survivability grid serially and with the
+// requested pool, checks the two text renderings are byte-identical — the
+// determinism contract of the deterministic engine — and prints a
+// sweep.BenchDoc whose rows carry the mean recovery latency per cell.
+func runBench(g sweep.Grid) error {
+	serial := g
+	serial.Workers = 1
+	t0 := time.Now()
+	serialRes, err := serial.Run()
+	if err != nil {
+		return err
+	}
+	serialSecs := time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	parallelRes, err := g.Run()
+	if err != nil {
+		return err
+	}
+	parallelWall := time.Since(t1)
+
+	var a, b bytes.Buffer
+	if err := sweep.WriteText(&a, g.Table, serialRes); err != nil {
+		return err
+	}
+	if err := sweep.WriteText(&b, g.Table, parallelRes); err != nil {
+		return err
+	}
+
+	doc := sweep.BenchDoc{
+		Table:           g.Table.String(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Cells:           len(serialRes),
+		SerialSecs:      serialSecs,
+		ParallelWorkers: g.Workers,
+		ParallelSecs:    parallelWall.Seconds(),
+		Identical:       bytes.Equal(a.Bytes(), b.Bytes()),
+		Run:             sweep.Doc(g, parallelRes, parallelWall),
+	}
+	if doc.ParallelSecs > 0 {
+		doc.Speedup = doc.SerialSecs / doc.ParallelSecs
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func parsePatterns(s string) ([]chaos.Pattern, error) {
+	if s == "" {
+		return nil, fmt.Errorf("chaos: empty -patterns")
+	}
+	var out []chaos.Pattern
+	for _, name := range strings.Split(s, ",") {
+		p, err := chaos.ParsePattern(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

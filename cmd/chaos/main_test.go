@@ -1,0 +1,24 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestParsePatterns(t *testing.T) {
+	got, err := parsePatterns("single,repeated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chaos.Pattern{chaos.Single, chaos.Repeated}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsePatterns = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "nope", "single,", ",single", "single,,rolling"} {
+		if _, err := parsePatterns(bad); err == nil {
+			t.Errorf("parsePatterns(%q) should fail", bad)
+		}
+	}
+}

@@ -47,7 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ns, err := parseSizes(*sizes)
+	ns, err := sweep.ParseSizes(*sizes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -152,26 +152,4 @@ func runBench(g sweep.Grid) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
-}
-
-func parseSizes(s string) ([]int, error) {
-	var out []int
-	var cur int
-	seen := false
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == ',' {
-			if !seen {
-				return nil, fmt.Errorf("sweep: bad -sizes %q", s)
-			}
-			out = append(out, cur)
-			cur, seen = 0, false
-			continue
-		}
-		if s[i] < '0' || s[i] > '9' {
-			return nil, fmt.Errorf("sweep: bad -sizes %q", s)
-		}
-		cur = cur*10 + int(s[i]-'0')
-		seen = true
-	}
-	return out, nil
 }

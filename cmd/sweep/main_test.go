@@ -3,6 +3,8 @@ package main
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -13,14 +15,14 @@ func TestParseSizes(t *testing.T) {
 		"2,2,2,2": {2, 2, 2, 2},
 	}
 	for in, want := range good {
-		got, err := parseSizes(in)
+		got, err := sweep.ParseSizes(in)
 		if err != nil || !reflect.DeepEqual(got, want) {
-			t.Errorf("parseSizes(%q) = %v, %v; want %v", in, got, err, want)
+			t.Errorf("ParseSizes(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
 	for _, bad := range []string{"", "4,", ",4", "a", "4,b", "4,,8"} {
-		if _, err := parseSizes(bad); err == nil {
-			t.Errorf("parseSizes(%q) should fail", bad)
+		if _, err := sweep.ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%q) should fail", bad)
 		}
 	}
 }

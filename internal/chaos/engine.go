@@ -1,0 +1,343 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/runtime"
+	"repro/internal/storage"
+)
+
+// Config assembles the cluster a plan runs against and selects which oracle
+// checks apply to it.
+type Config struct {
+	// Protocol is the per-process checkpointing protocol (default FDAS).
+	Protocol func(self int) protocol.Protocol
+	// LocalGC is the per-process collector (default: keep everything).
+	LocalGC func(self, n int, store storage.Store) gc.Local
+	// NewStore is the per-process stable store (default: in-memory).
+	// File-backed stores make the crash/rehydration path cross a real disk.
+	NewStore func(self int) (storage.Store, error)
+	// Net shapes the baseline network; bursts override it temporarily.
+	Net runtime.NetworkOptions
+	// GlobalLI selects the Theorem 1 (global-information) rollback variant
+	// for the recovery sessions.
+	GlobalLI bool
+	// PCheckpoint is the probability a drive operation is a basic
+	// checkpoint (default 0.2).
+	PCheckpoint float64
+
+	// Deterministic serializes the drive phases (one operation at a time,
+	// network drained between operations) and zeroes delivery delays, so a
+	// run is a pure function of (plan, config). With it off, drive phases
+	// run one application goroutine per process and deliveries race —
+	// verification still holds, measurements vary.
+	Deterministic bool
+
+	// RDT asserts the protocol guarantees rollback-dependency
+	// trackability: every post-recovery pattern is checked for RDT
+	// violations.
+	RDT bool
+	// CheckNBound asserts the RDT-LGC space bound: no process may retain
+	// more than n stable checkpoints after a recovery. Set it when LocalGC
+	// is RDT-LGC under an RDT protocol.
+	CheckNBound bool
+}
+
+// Result aggregates a run's survivability measurements. All counters are
+// exact for Deterministic runs and sampled-from-races otherwise.
+type Result struct {
+	Crashes    int // processes crashed
+	Recoveries int // recovery sessions run (and verified)
+
+	// RollbackDepth samples, per rolled-back process per recovery, the
+	// number of stable checkpoints the process was dragged back.
+	RollbackDepth metrics.Series
+	// Orphans counts non-faulty processes that lost volatile state in a
+	// recovery (rolled back at all).
+	Orphans int
+	// Replayed counts checkpoint states reloaded from stable storage
+	// across all recoveries (every rolled-back process resumes from one).
+	Replayed int
+	// RetainedAfterMax is the largest per-process stable-checkpoint count
+	// observed right after a recovery session.
+	RetainedAfterMax int
+	// Latency is the total wall clock spent inside Restart calls —
+	// rehydration from stable storage plus the recovery session.
+	Latency time.Duration
+}
+
+// MeanRollbackDepth is the mean of RollbackDepth (0 with no rollbacks).
+func (r Result) MeanRollbackDepth() float64 { return r.RollbackDepth.Mean() }
+
+// MeanLatency is the mean wall clock per recovery session.
+func (r Result) MeanLatency() time.Duration {
+	if r.Recoveries == 0 {
+		return 0
+	}
+	return r.Latency / time.Duration(r.Recoveries)
+}
+
+// Run executes the plan against a fresh cluster and verifies every
+// recovery session against the ground-truth oracles. The first oracle
+// violation aborts the run with an error describing it.
+func Run(cfg Config, plan Plan) (Result, error) {
+	if cfg.Protocol == nil {
+		cfg.Protocol = func(int) protocol.Protocol { return protocol.NewFDAS() }
+	}
+	if cfg.PCheckpoint == 0 {
+		cfg.PCheckpoint = 0.2
+	}
+	base := cfg.Net
+	if cfg.Deterministic {
+		base.MinDelay, base.MaxDelay = 0, 0
+	}
+	c, err := runtime.NewCluster(runtime.Config{
+		N:        plan.N,
+		Protocol: cfg.Protocol,
+		LocalGC:  cfg.LocalGC,
+		NewStore: cfg.NewStore,
+		Net:      base,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer c.Close()
+
+	// The drive RNG is independent of the cluster's network RNG and of the
+	// plan's generation RNG, so traffic decisions, loss draws and fault
+	// schedules stay decoupled but all derive from the plan seed.
+	rng := rand.New(rand.NewSource(plan.Seed ^ 0x5deece66d))
+
+	var res Result
+	burst := false
+	for stepIdx, step := range plan.Steps {
+		switch step.Kind {
+		case StepBurst:
+			maxDelay := step.MaxDelay
+			if cfg.Deterministic {
+				maxDelay = 0
+			}
+			c.SetNetwork(0, maxDelay, step.Loss)
+			burst = true
+		case StepDrive:
+			if err := drive(c, rng, step.Ops, cfg); err != nil {
+				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+			}
+			if burst {
+				c.SetNetwork(base.MinDelay, base.MaxDelay, base.Loss)
+				burst = false
+			}
+		case StepCrash:
+			for _, p := range step.Procs {
+				if err := c.Crash(p); err != nil {
+					return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+				}
+			}
+			res.Crashes += len(step.Procs)
+		case StepRestart:
+			if err := restartAndVerify(c, cfg, &res); err != nil {
+				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+			}
+		default:
+			return res, fmt.Errorf("chaos: step %d: unknown kind %d", stepIdx, int(step.Kind))
+		}
+	}
+	return res, nil
+}
+
+// drive generates application traffic. Deterministic mode issues one
+// operation at a time and drains the network after each, so the linearized
+// history is a pure function of the RNG stream; concurrent mode runs one
+// goroutine per live process and deliberately leaves messages in flight
+// when it returns, so a following crash races real deliveries.
+func drive(c *runtime.Cluster, rng *rand.Rand, ops int, cfg Config) error {
+	n := c.N()
+	var up []int
+	for i := 0; i < n; i++ {
+		if !c.Node(i).Down() {
+			up = append(up, i)
+		}
+	}
+	if len(up) == 0 {
+		return fmt.Errorf("chaos: drive with every process crashed")
+	}
+
+	if cfg.Deterministic {
+		for k := 0; k < ops; k++ {
+			p := up[rng.Intn(len(up))]
+			if rng.Float64() < cfg.PCheckpoint {
+				if err := c.Node(p).Checkpoint(); err != nil {
+					return fmt.Errorf("p%d checkpoint: %w", p, err)
+				}
+			} else {
+				// Any target but self — including crashed processes, whose
+				// messages the network loses in delivery.
+				to := rng.Intn(n - 1)
+				if to >= p {
+					to++
+				}
+				if err := c.Node(p).Send(to); err != nil {
+					return fmt.Errorf("p%d send: %w", p, err)
+				}
+			}
+			c.Quiesce()
+		}
+		return nil
+	}
+
+	// Concurrent mode: seeds are drawn serially so the per-process RNG
+	// streams are reproducible even though interleavings are not.
+	perOps := ops / len(up)
+	if perOps == 0 {
+		perOps = 1
+	}
+	seeds := make([]int64, len(up))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	errs := make([]error, len(up))
+	var wg sync.WaitGroup
+	for k, p := range up {
+		wg.Add(1)
+		go func(k, p int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(seeds[k]))
+			node := c.Node(p)
+			for op := 0; op < perOps; op++ {
+				var err error
+				if prng.Float64() < cfg.PCheckpoint {
+					err = node.Checkpoint()
+				} else {
+					to := prng.Intn(n - 1)
+					if to >= p {
+						to++
+					}
+					err = node.Send(to)
+				}
+				if err != nil {
+					// ErrHalted / ErrCrashed mean a fault overtook this
+					// worker — expected under injection, not a failure.
+					if err == runtime.ErrHalted || err == runtime.ErrCrashed {
+						return
+					}
+					errs[k] = err
+					return
+				}
+			}
+		}(k, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restartAndVerify drains the network, snapshots the pre-failure oracle,
+// restarts the crashed set, and checks the session against ground truth.
+func restartAndVerify(c *runtime.Cluster, cfg Config, res *Result) error {
+	victims := c.Down()
+	if len(victims) == 0 {
+		return fmt.Errorf("chaos: restart step with no crashed process")
+	}
+	// Drain so the pre-failure history is final: anything still in flight
+	// would be dropped by the session's epoch advance anyway, but draining
+	// first makes the captured oracle exactly the pattern the session sees.
+	c.Quiesce()
+	pre := c.Oracle()
+
+	t0 := time.Now()
+	rep, err := c.Restart(cfg.GlobalLI)
+	res.Latency += time.Since(t0)
+	if err != nil {
+		return err
+	}
+	res.Recoveries++
+	return verifyRecovery(c, cfg, pre, victims, rep, res)
+}
+
+// verifyRecovery asserts one recovery session against the oracles:
+//
+//  1. the restored cut equals the Lemma 1 recovery line R_F of the
+//     pre-failure pattern — no process rolled back further than the
+//     paper's bound, and the cut is consistent;
+//  2. the post-recovery pattern is still RD-trackable (RDT protocols);
+//  3. every collected checkpoint is obsolete in the post-recovery pattern
+//     (Theorem 4 safety) and reference counts are intact;
+//  4. retention respects the Section 4.5 n-bound (RDT-LGC);
+//  5. the live middleware state agrees with the replayed history.
+func verifyRecovery(c *runtime.Cluster, cfg Config, pre *ccp.CCP, victims []int, rep runtime.Report, res *Result) error {
+	n := c.N()
+	want := pre.RecoveryLine(victims)
+	for i := range want {
+		if rep.Line[i] != want[i] {
+			return fmt.Errorf("chaos: recovery line %v diverges from the Lemma 1 oracle %v (faulty %v)",
+				rep.Line, want, victims)
+		}
+	}
+	if !pre.IsConsistentGlobal(rep.Line) {
+		return fmt.Errorf("chaos: restored cut %v is not a consistent global checkpoint", rep.Line)
+	}
+
+	isVictim := make([]bool, n)
+	for _, p := range victims {
+		isVictim[p] = true
+	}
+	for _, p := range rep.RolledBack {
+		depth := pre.LastStable(p) - rep.Line[p]
+		if depth < 0 {
+			return fmt.Errorf("chaos: p%d rolled forward? lastS %d, line %d", p, pre.LastStable(p), rep.Line[p])
+		}
+		res.RollbackDepth.Add(depth)
+		if !isVictim[p] {
+			res.Orphans++
+		}
+	}
+	res.Replayed += len(rep.RolledBack)
+
+	post := c.Oracle()
+	if cfg.RDT {
+		if v, bad := post.FirstRDTViolation(); bad {
+			return fmt.Errorf("chaos: post-recovery pattern not RDT: %v", v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		node := c.Node(i)
+		if node.LastStable() != post.LastStable(i) {
+			return fmt.Errorf("chaos: p%d last stable %d disagrees with replayed history %d",
+				i, node.LastStable(), post.LastStable(i))
+		}
+		indices := node.Store().Indices()
+		if len(indices) > res.RetainedAfterMax {
+			res.RetainedAfterMax = len(indices)
+		}
+		if cfg.CheckNBound && len(indices) > n {
+			return fmt.Errorf("chaos: p%d retains %d > n stable checkpoints after recovery", i, len(indices))
+		}
+		stored := make(map[int]bool, len(indices))
+		for _, idx := range indices {
+			stored[idx] = true
+		}
+		for g := 0; g <= post.LastStable(i); g++ {
+			if !stored[g] && !post.Obsolete(i, g) {
+				return fmt.Errorf("chaos: p%d collected non-obsolete s^%d", i, g)
+			}
+		}
+		if lgc, ok := node.Collector().(*core.LGC); ok {
+			if err := lgc.CheckRefCounts(); err != nil {
+				return fmt.Errorf("chaos: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+// Package chaos is the fault-injection engine over the live runtime: it
+// executes seeded plans of crash/restart cycles, message-loss and delay
+// bursts against a runtime.Cluster and, after every recovery session,
+// verifies the survivors and restarted processes against the ground-truth
+// oracles — the restored cut equals the Lemma 1 recovery line of the
+// pre-failure pattern, the post-recovery pattern stays RD-trackable, only
+// oracle-obsolete checkpoints were collected (Theorem 4), and retention
+// respects the RDT-LGC space bound (Section 4.5).
+//
+// The paper's entire purpose is surviving crashes from stable storage;
+// this package is where the repo actually crashes things. A Plan is a pure
+// function of its options (same seed, same steps), and an engine run in
+// Deterministic mode is a pure function of (plan, config), so survivability
+// tables rendered through the sweep pool are byte-identical at any worker
+// count.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Pattern selects the fault shape a plan injects.
+type Pattern int
+
+const (
+	// Single crashes one random process per cycle.
+	Single Pattern = iota + 1
+	// Correlated crashes a random set of processes at once (a rack or
+	// switch failure taking several processes down together).
+	Correlated
+	// Rolling crashes every process in turn, one per cycle, like a rolling
+	// restart sweeping the cluster.
+	Rolling
+	// Repeated crashes the same process again immediately after its
+	// recovery session completes, several times back to back with no
+	// intervening traffic — the process keeps failing during the window in
+	// which the cluster is still digesting its previous recovery.
+	Repeated
+)
+
+// String returns the pattern name used on the cmd/chaos command line.
+func (p Pattern) String() string {
+	switch p {
+	case Single:
+		return "single"
+	case Correlated:
+		return "correlated"
+	case Rolling:
+		return "rolling"
+	case Repeated:
+		return "repeated"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Patterns lists every fault pattern, in table order.
+func Patterns() []Pattern { return []Pattern{Single, Correlated, Rolling, Repeated} }
+
+// ParsePattern maps a -patterns flag element to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range Patterns() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown fault pattern %q", s)
+}
+
+// StepKind discriminates plan steps.
+type StepKind int
+
+const (
+	// StepDrive runs application traffic: seeded sends and basic
+	// checkpoints across the processes that are up.
+	StepDrive StepKind = iota + 1
+	// StepBurst degrades the network (message loss and delay) for the next
+	// drive step only; the engine restores the configured baseline after it.
+	StepBurst
+	// StepCrash fails the listed processes in place.
+	StepCrash
+	// StepRestart rehydrates every crashed process from stable storage and
+	// runs the recovery session, then verifies it against the oracles.
+	StepRestart
+)
+
+// Step is one instruction of a plan.
+type Step struct {
+	Kind StepKind
+	// Procs lists the crash victims (StepCrash).
+	Procs []int
+	// Ops is the number of application operations (StepDrive).
+	Ops int
+	// Loss and MaxDelay shape the burst (StepBurst).
+	Loss     float64
+	MaxDelay time.Duration
+}
+
+// PlanOptions parameterizes NewPlan.
+type PlanOptions struct {
+	N       int     // processes
+	Pattern Pattern // fault shape
+	Cycles  int     // crash/restart cycles
+	Ops     int     // application operations per drive phase
+	Seed    int64   // makes the plan reproducible
+
+	// DowntimeOps is the traffic survivors generate while the victims are
+	// down — messages into the hole are lost, messages the victims sent
+	// before failing keep arriving and orphan their receivers. Default
+	// Ops/4.
+	DowntimeOps int
+	// PBurst is the probability a cycle opens with a network burst
+	// (default 0: no bursts).
+	PBurst float64
+	// BurstLoss is the message-loss probability during a burst
+	// (default 0.3).
+	BurstLoss float64
+	// BurstDelay is the maximum delivery delay during a burst (default 0;
+	// the engine zeroes delays in Deterministic mode regardless).
+	BurstDelay time.Duration
+	// RepeatedCrashes is how many back-to-back crash/restart rounds the
+	// Repeated pattern runs per cycle (default 3; ignored otherwise).
+	RepeatedCrashes int
+}
+
+// Plan is a seeded fault schedule. Plans are pure data: the same options
+// always produce the same steps, and a plan can be executed against any
+// compatible engine configuration.
+type Plan struct {
+	N       int
+	Pattern Pattern
+	Seed    int64
+	Steps   []Step
+}
+
+// Recoveries returns the number of recovery sessions the plan schedules.
+func (p Plan) Recoveries() int {
+	k := 0
+	for _, s := range p.Steps {
+		if s.Kind == StepRestart {
+			k++
+		}
+	}
+	return k
+}
+
+// Crashes returns the number of process crashes the plan schedules.
+func (p Plan) Crashes() int {
+	k := 0
+	for _, s := range p.Steps {
+		if s.Kind == StepCrash {
+			k += len(s.Procs)
+		}
+	}
+	return k
+}
+
+// NewPlan expands the options into a seeded fault schedule.
+func NewPlan(o PlanOptions) (Plan, error) {
+	if o.N < 2 {
+		return Plan{}, fmt.Errorf("chaos: need at least two processes, got %d", o.N)
+	}
+	if o.Cycles < 1 {
+		return Plan{}, fmt.Errorf("chaos: need at least one cycle, got %d", o.Cycles)
+	}
+	if o.Ops < 1 {
+		return Plan{}, fmt.Errorf("chaos: need at least one operation per drive phase, got %d", o.Ops)
+	}
+	switch o.Pattern {
+	case Single, Correlated, Rolling, Repeated:
+	default:
+		return Plan{}, fmt.Errorf("chaos: unknown fault pattern %d", int(o.Pattern))
+	}
+	if o.DowntimeOps == 0 {
+		o.DowntimeOps = o.Ops / 4
+	}
+	if o.BurstLoss == 0 {
+		o.BurstLoss = 0.3
+	}
+	if o.RepeatedCrashes <= 0 {
+		o.RepeatedCrashes = 3
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	plan := Plan{N: o.N, Pattern: o.Pattern, Seed: o.Seed}
+	for cycle := 0; cycle < o.Cycles; cycle++ {
+		if o.PBurst > 0 && rng.Float64() < o.PBurst {
+			plan.Steps = append(plan.Steps, Step{Kind: StepBurst, Loss: o.BurstLoss, MaxDelay: o.BurstDelay})
+		}
+		plan.Steps = append(plan.Steps, Step{Kind: StepDrive, Ops: o.Ops})
+
+		victims := victims(rng, o, cycle)
+		plan.Steps = append(plan.Steps, Step{Kind: StepCrash, Procs: victims})
+		if o.DowntimeOps > 0 {
+			plan.Steps = append(plan.Steps, Step{Kind: StepDrive, Ops: o.DowntimeOps})
+		}
+		plan.Steps = append(plan.Steps, Step{Kind: StepRestart})
+
+		if o.Pattern == Repeated {
+			for r := 1; r < o.RepeatedCrashes; r++ {
+				plan.Steps = append(plan.Steps,
+					Step{Kind: StepCrash, Procs: victims},
+					Step{Kind: StepRestart})
+			}
+		}
+	}
+	return plan, nil
+}
+
+// victims draws the cycle's crash set.
+func victims(rng *rand.Rand, o PlanOptions, cycle int) []int {
+	switch o.Pattern {
+	case Rolling:
+		return []int{cycle % o.N}
+	case Correlated:
+		// Two to roughly half the cluster, always leaving a survivor.
+		max := o.N / 2
+		if max < 2 {
+			max = 2
+		}
+		if max > o.N-1 {
+			max = o.N - 1
+		}
+		size := 2
+		if max > 2 {
+			size += rng.Intn(max - 1)
+		}
+		if size > o.N-1 {
+			size = o.N - 1
+		}
+		set := append([]int(nil), rng.Perm(o.N)[:size]...)
+		sort.Ints(set)
+		return set
+	default: // Single, Repeated
+		return []int{rng.Intn(o.N)}
+	}
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ccp"
 	"repro/internal/gc"
@@ -14,6 +15,90 @@ type Report struct {
 	Faulty     []int
 	Line       []int
 	RolledBack []int
+	// Restarted lists the crashed processes rehydrated from stable storage
+	// by this session (empty for a Recover session on live nodes).
+	Restarted []int
+}
+
+// Crash fails process i: its volatile state — dependency vector, protocol
+// and collector state, application state — is discarded on the spot, while
+// its stable store survives. Until Restart rehydrates the process, its
+// application-facing methods refuse with ErrCrashed and messages addressed
+// to it are lost in delivery, exactly as the model loses messages sent to a
+// failed process. The rest of the cluster keeps running: survivors may keep
+// sending (deliveries to the crashed process are dropped) and may keep
+// receiving messages the crashed process sent before failing — the orphan
+// dependencies this creates are exactly what the recovery session rolls
+// back.
+func (c *Cluster) Crash(i int) error {
+	if i < 0 || i >= c.cfg.N {
+		return fmt.Errorf("runtime: crash of process %d out of range", i)
+	}
+	n := c.nodes[i]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return fmt.Errorf("runtime: p%d is already crashed", i)
+	}
+	n.crashLocked()
+	return nil
+}
+
+// crashLocked discards the node's volatile state and marks it down. The
+// caller must hold the node's lock.
+func (n *Node) crashLocked() {
+	n.down = true
+	n.dv = nil
+	n.lastS = 0
+	n.proto = nil
+	n.gcol = nil
+	n.app = nil
+}
+
+// Down returns the crashed processes, in ascending order.
+func (c *Cluster) Down() []int {
+	var out []int
+	for i, n := range c.nodes {
+		if n.Down() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// rehydrateLocked rebuilds a crashed node's volatile state from stable
+// storage: the dependency vector and interval index come from the most
+// recent stored checkpoint (the one checkpoint no collector ever discards),
+// and fresh protocol, collector and application instances are constructed.
+// The recovery session that follows immediately rolls the process back to
+// its recovery-line component, which rebuilds the collector's UC state from
+// the surviving checkpoints (Algorithm 3) and restores the application
+// snapshot — so the conservatively fresh instances never face traffic.
+// Callers must hold the node's lock and the cluster must be halted.
+func (n *Node) rehydrateLocked() error {
+	indices := n.store.Indices()
+	if len(indices) == 0 {
+		return fmt.Errorf("runtime: restart p%d: stable store holds no checkpoint", n.id)
+	}
+	last := indices[len(indices)-1]
+	cp, err := n.store.Load(last)
+	if err != nil {
+		return fmt.Errorf("runtime: restart p%d: %w", n.id, err)
+	}
+	if cp.DV.Len() != n.c.cfg.N {
+		return fmt.Errorf("runtime: restart p%d: checkpoint %d has a %d-entry vector, want %d",
+			n.id, last, cp.DV.Len(), n.c.cfg.N)
+	}
+	n.dv = cp.DV.Clone()
+	n.dv[n.id]++ // the process resumes in the interval after its last checkpoint
+	n.lastS = last
+	n.proto = n.c.cfg.Protocol(n.id)
+	n.gcol = n.c.cfg.LocalGC(n.id, n.c.cfg.N, n.store)
+	if n.c.cfg.NewApp != nil {
+		n.app = n.c.cfg.NewApp(n.id) // state machine restored by the rollback below
+	}
+	n.down = false
+	return nil
 }
 
 // Recover runs a centralized recovery session on the live cluster for the
@@ -28,7 +113,31 @@ type Report struct {
 //     its collector, with LI when globalLI is true) and release stale UC
 //     entries on the others;
 //  6. truncate the recorded history to the post-recovery pattern, resume.
+//
+// Recover models processes that fail and rejoin within one session. For
+// processes that crashed earlier via Crash use Restart, which rehydrates
+// them from stable storage first; Recover refuses while any process is
+// down.
 func (c *Cluster) Recover(faulty []int, globalLI bool) (Report, error) {
+	return c.session(faulty, globalLI, false)
+}
+
+// Restart rehydrates every crashed process from stable storage — dependency
+// vector and interval index from its last stored checkpoint, fresh protocol
+// and collector state — and runs a recovery session with exactly those
+// processes as the faulty set, rejoining them to the mesh on a consistent
+// recovery line. The whole operation happens with the cluster halted, so
+// survivors never observe a half-rehydrated process.
+func (c *Cluster) Restart(globalLI bool) (Report, error) {
+	down := c.Down()
+	if len(down) == 0 {
+		return Report{}, fmt.Errorf("runtime: restart with no crashed process")
+	}
+	return c.session(down, globalLI, true)
+}
+
+// session is the shared recovery-session body of Recover and Restart.
+func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, error) {
 	c.stateMu.Lock()
 	c.halted = true
 	c.epoch++
@@ -58,6 +167,29 @@ func (c *Cluster) Recover(faulty []int, globalLI bool) (Report, error) {
 		isFaulty[f] = true
 	}
 
+	rep := Report{Faulty: append([]int(nil), faulty...)}
+	for i, n := range c.nodes {
+		if !n.down {
+			continue
+		}
+		if !restart || !isFaulty[i] {
+			// A session cannot compute a recovery line over a process whose
+			// volatile state is gone unless it rehydrates that process.
+			return Report{}, fmt.Errorf("runtime: p%d is crashed; restart it via Restart", i)
+		}
+		if err := n.rehydrateLocked(); err != nil {
+			// Re-crash whatever was already rehydrated: a failed restart
+			// must leave every crashed process crashed, so the cluster
+			// resumes in its pre-call state and Restart can be retried.
+			for _, j := range rep.Restarted {
+				c.nodes[j].crashLocked()
+			}
+			return Report{}, err
+		}
+		rep.Restarted = append(rep.Restarted, i)
+	}
+	sort.Ints(rep.Restarted)
+
 	line, err := gc.ComputeLine(haltedView{c}, faulty)
 	if err != nil {
 		return Report{}, fmt.Errorf("runtime: %w", err)
@@ -72,7 +204,7 @@ func (c *Cluster) Recover(faulty []int, globalLI bool) (Report, error) {
 		}
 	}
 
-	rep := Report{Faulty: append([]int(nil), faulty...), Line: line}
+	rep.Line = line
 	for j, n := range c.nodes {
 		if line[j] > n.lastS {
 			if globalLI {
@@ -122,7 +254,7 @@ func (c *Cluster) Recover(faulty []int, globalLI bool) (Report, error) {
 }
 
 // haltedView adapts a fully locked cluster to gc.View. It must only be used
-// while Recover holds every node lock.
+// while session holds every node lock.
 type haltedView struct{ c *Cluster }
 
 func (v haltedView) N() int                    { return v.c.cfg.N }

@@ -33,6 +33,10 @@ import (
 // in progress.
 var ErrHalted = errors.New("runtime: cluster halted for recovery")
 
+// ErrCrashed is returned by Send, Checkpoint and Update on a process that
+// has crashed and not yet restarted.
+var ErrCrashed = errors.New("runtime: process has crashed")
+
 // NetworkOptions shapes the asynchronous network.
 type NetworkOptions struct {
 	// MinDelay/MaxDelay bound the uniformly random delivery delay.
@@ -49,7 +53,7 @@ type Config struct {
 	N        int
 	Protocol func(self int) protocol.Protocol
 	LocalGC  func(self, n int, store storage.Store) gc.Local
-	NewStore func(self int) storage.Store
+	NewStore func(self int) (storage.Store, error)
 	Net      NetworkOptions
 	// NewApp, if set, attaches an application state machine to each node:
 	// its snapshot is saved with every checkpoint, and a rollback restores
@@ -102,6 +106,11 @@ type Node struct {
 
 	basic  int
 	forced int
+
+	// down marks a crashed process: its volatile state is gone, deliveries
+	// to it are dropped, and every application-facing method refuses with
+	// ErrCrashed until Restart rehydrates it from stable storage.
+	down bool
 }
 
 // NewCluster starts a cluster. As in the model, every node stores its
@@ -114,7 +123,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Protocol = func(int) protocol.Protocol { return protocol.NewFDAS() }
 	}
 	if cfg.NewStore == nil {
-		cfg.NewStore = func(int) storage.Store { return storage.NewMemStore() }
+		cfg.NewStore = func(int) (storage.Store, error) { return storage.NewMemStore(), nil }
 	}
 	if cfg.LocalGC == nil {
 		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return gc.NewNoGC(self, n, st) }
@@ -132,11 +141,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.mesh = mesh
 	}
 	for i := 0; i < cfg.N; i++ {
+		store, err := cfg.NewStore(i)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: stable store of p%d: %w", i, err)
+		}
 		n := &Node{
 			c:     c,
 			id:    i,
 			dv:    vclock.New(cfg.N),
-			store: cfg.NewStore(i),
+			store: store,
 			proto: cfg.Protocol(i),
 		}
 		if cfg.NewApp != nil {
@@ -212,6 +225,16 @@ func (c *Cluster) isHalted() bool {
 	return c.halted
 }
 
+// SetNetwork reshapes the asynchronous network in flight: fault-injection
+// harnesses use it for message-loss and delay bursts. The seeded RNG stream
+// is kept, so a serial sequence of sends still draws a reproducible
+// loss/delay sequence across bursts.
+func (c *Cluster) SetNetwork(minDelay, maxDelay time.Duration, loss float64) {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	c.cfg.Net.MinDelay, c.cfg.Net.MaxDelay, c.cfg.Net.Loss = minDelay, maxDelay, loss
+}
+
 func (c *Cluster) randDelayDrop() (time.Duration, bool) {
 	c.rngMu.Lock()
 	defer c.rngMu.Unlock()
@@ -256,6 +279,10 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 		return ErrHalted
 	}
 	n.mu.Lock()
+	if n.down {
+		n.mu.Unlock()
+		return ErrCrashed
+	}
 	if update != nil {
 		update(n.app)
 	}
@@ -303,7 +330,9 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 func (n *Node) deliver(msg int, pb protocol.Piggyback, epoch uint64, payload []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if epoch != n.c.curEpoch() {
+	if n.down || epoch != n.c.curEpoch() {
+		// A crashed destination loses the message, exactly as the model
+		// loses messages addressed to a failed process.
 		return
 	}
 	if n.proto.ForcedBeforeDelivery(n.dv, pb) {
@@ -331,6 +360,9 @@ func (n *Node) Checkpoint() error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.down {
+		return ErrCrashed
+	}
 	return n.checkpointLocked(true)
 }
 
@@ -379,6 +411,9 @@ func (n *Node) Update(f func(a app.App)) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.down {
+		return ErrCrashed
+	}
 	f(n.app)
 	return nil
 }
@@ -402,6 +437,13 @@ func (n *Node) LastStable() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.lastS
+}
+
+// Down reports whether the process is currently crashed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
 }
 
 // Store exposes the node's stable store.

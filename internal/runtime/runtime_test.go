@@ -188,14 +188,10 @@ func TestFileStoreCluster(t *testing.T) {
 		LocalGC: func(self, n int, st storage.Store) gc.Local {
 			return core.New(self, n, st)
 		},
-		NewStore: func(self int) storage.Store {
+		NewStore: func(self int) (storage.Store, error) {
 			d := dir + "/" + string(rune('a'+self))
 			dirs[self] = d
-			fs, err := storage.OpenFileStore(d)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return fs
+			return storage.OpenFileStore(d)
 		},
 	})
 	if err != nil {

@@ -31,7 +31,7 @@ type Config struct {
 	N        int
 	Protocol func(self int) protocol.Protocol
 	LocalGC  func(self, n int, store storage.Store) gc.Local
-	NewStore func(self int) storage.Store
+	NewStore func(self int) (storage.Store, error)
 	// GlobalGC, if set, runs every GlobalEvery events (default 1).
 	GlobalGC    gc.Global
 	GlobalEvery int
@@ -99,7 +99,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		cfg.Protocol = func(int) protocol.Protocol { return protocol.NewNone() }
 	}
 	if cfg.NewStore == nil {
-		cfg.NewStore = func(int) storage.Store { return storage.NewMemStore() }
+		cfg.NewStore = func(int) (storage.Store, error) { return storage.NewMemStore(), nil }
 	}
 	if cfg.LocalGC == nil {
 		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return gc.NewNoGC(self, n, st) }
@@ -120,10 +120,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.comp = newCompressor()
 	}
 	for i := 0; i < cfg.N; i++ {
+		store, err := cfg.NewStore(i)
+		if err != nil {
+			return nil, fmt.Errorf("sim: stable store of p%d: %w", i, err)
+		}
 		p := &proc{
 			id:    i,
 			dv:    vclock.New(cfg.N),
-			store: cfg.NewStore(i),
+			store: store,
 			proto: cfg.Protocol(i),
 		}
 		// Initial stable checkpoint s^0 with the zero vector.

@@ -31,7 +31,13 @@ type FileStore struct {
 }
 
 // OpenFileStore opens (or creates) a file store rooted at dir. Existing
-// checkpoint files are indexed and counted as live.
+// checkpoint files are indexed and counted as live. Every file is decoded
+// once during the scan: crash recovery rehydrates volatile state from these
+// checkpoints, so a corrupt record (for example a file truncated by a disk
+// fault — the tmp+rename write protocol rules out partial writes, not
+// after-the-fact damage) must fail the open loudly rather than surface as a
+// bogus restart state later. Leftover .tmp files from an interrupted Save
+// are uncommitted and removed.
 func OpenFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
@@ -42,17 +48,30 @@ func OpenFileStore(dir string) (*FileStore, error) {
 		return nil, fmt.Errorf("storage: scan %s: %w", dir, err)
 	}
 	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("storage: discard uncommitted %s: %w", e.Name(), err)
+			}
+			continue
+		}
 		idx, ok := parseName(e.Name())
 		if !ok {
 			continue
 		}
-		info, err := e.Info()
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("storage: stat %s: %w", e.Name(), err)
+			return nil, fmt.Errorf("storage: read %s: %w", e.Name(), err)
 		}
-		fs.live[idx] = int(info.Size())
+		cp, err := decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("storage: corrupt checkpoint file %s: %w", e.Name(), err)
+		}
+		if cp.Index != idx {
+			return nil, fmt.Errorf("storage: checkpoint file %s records index %d", e.Name(), cp.Index)
+		}
+		fs.live[idx] = len(data)
 		fs.stats.Live++
-		fs.stats.LiveBytes += int(info.Size())
+		fs.stats.LiveBytes += len(data)
 	}
 	fs.stats.Peak = fs.stats.Live
 	fs.stats.PeakBytes = fs.stats.LiveBytes

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// TestFileStoreRehydrationRoundTrip is the cold-restart path Restart
+// depends on: save checkpoints, collect one, reopen the directory cold,
+// and check the restored index and contents match exactly.
+func TestFileStoreRehydrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvs := map[int]vclock.DV{
+		0: {1, 0, 0},
+		2: {3, 1, 2},
+		5: {6, 4, 2},
+	}
+	for _, idx := range []int{0, 2, 5} {
+		cp := Checkpoint{Process: 0, Index: idx, DV: dvs[idx], State: []byte{byte(idx), 0xAB, byte(idx * 3)}}
+		if err := fs.Save(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reopen: the process is gone, only the directory survives.
+	re, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.Indices(), []int{0, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened indices %v, want %v", got, want)
+	}
+	for _, idx := range []int{0, 5} {
+		cp, err := re.Load(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Process != 0 || cp.Index != idx {
+			t.Errorf("checkpoint %d came back as p%d idx %d", idx, cp.Process, cp.Index)
+		}
+		if !cp.DV.Equal(dvs[idx]) {
+			t.Errorf("checkpoint %d vector %v, want %v", idx, cp.DV, dvs[idx])
+		}
+		if want := []byte{byte(idx), 0xAB, byte(idx * 3)}; !reflect.DeepEqual(cp.State, want) {
+			t.Errorf("checkpoint %d state %v, want %v", idx, cp.State, want)
+		}
+	}
+	if st := re.Stats(); st.Live != 2 {
+		t.Errorf("reopened Live = %d, want 2", st.Live)
+	}
+	if got := re.Stats().LiveBytes; got != fs.Stats().LiveBytes {
+		t.Errorf("reopened LiveBytes = %d, want %d", got, fs.Stats().LiveBytes)
+	}
+}
+
+// TestFileStoreRejectsTruncatedCheckpoint models a disk fault: a checkpoint
+// file truncated after commit must fail the reopen loudly, not surface as a
+// bogus restart state.
+func TestFileStoreRejectsTruncatedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(Checkpoint{Process: 1, Index: 3, DV: vclock.DV{2, 4}, State: []byte("state bytes")}); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "ckpt-00000003.bin")
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(name, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(dir); err == nil {
+		t.Fatal("reopening a store with a truncated checkpoint should fail")
+	}
+}
+
+// TestFileStoreDiscardsUncommittedTmp checks a Save interrupted before its
+// rename does not resurrect at reopen: the .tmp file is removed and the
+// index is unaffected.
+func TestFileStoreDiscardsUncommittedTmp(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(Checkpoint{Process: 0, Index: 1, DV: vclock.DV{2}, State: nil}); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "ckpt-00000009.bin.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.Indices(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened indices %v, want %v", got, want)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("uncommitted .tmp file survived the reopen")
+	}
+}

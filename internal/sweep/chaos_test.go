@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// smallChaosGrid is a cut-down E4 grid that still covers two patterns and
+// both collector stacks.
+func smallChaosGrid() Grid {
+	g := Default(Chaos)
+	g.Patterns = []chaos.Pattern{chaos.Single, chaos.Correlated}
+	g.Sizes = []int{4}
+	g.Seeds = 1
+	g.Ops = 60
+	g.Cycles = 2
+	return g
+}
+
+// TestChaosTableByteIdentical pins the acceptance contract of the chaos
+// table: the same seeds render byte-identical text output at any worker
+// count — the engine's deterministic mode leaves scheduling no way into
+// the numbers, and the text table carries no wall-clock column.
+func TestChaosTableByteIdentical(t *testing.T) {
+	g := smallChaosGrid()
+	serial := render(t, g, 1)
+	parallel := render(t, g, 4)
+	again := render(t, g, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("worker counts rendered different chaos tables:\n--- workers=1\n%s--- workers=4\n%s", serial, parallel)
+	}
+	if !bytes.Equal(parallel, again) {
+		t.Fatal("two identical chaos runs rendered different tables")
+	}
+}
+
+// TestChaosCellsOrder checks grid expansion: pattern-major, then size,
+// then stack, with indices in row order.
+func TestChaosCellsOrder(t *testing.T) {
+	g := Default(Chaos)
+	cells := g.Cells()
+	want := len(g.Patterns) * len(g.Sizes) * len(g.Chaos)
+	if len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+	}
+	if cells[0].Pattern != g.Patterns[0] || cells[len(cells)-1].Pattern != g.Patterns[len(g.Patterns)-1] {
+		t.Error("cells are not pattern-major")
+	}
+	if cells[0].Variant() != g.Chaos[0].Name() || cells[1].Variant() != g.Chaos[1].Name() {
+		t.Error("stack is not the innermost axis")
+	}
+}
+
+// TestChaosJSONCarriesLatency checks the JSON form carries what the text
+// table deliberately omits: per-cell recovery latency.
+func TestChaosJSONCarriesLatency(t *testing.T) {
+	g := smallChaosGrid()
+	g.Workers = 2
+	results, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteJSON(&b, g, results, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc RunDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Table != "chaos" || len(doc.Rows) != len(results) {
+		t.Fatalf("doc table %q with %d rows, want chaos with %d", doc.Table, len(doc.Rows), len(results))
+	}
+	if len(doc.Patterns) != len(g.Patterns) || len(doc.Workloads) != 0 {
+		t.Errorf("doc axes: patterns %v, workloads %v", doc.Patterns, doc.Workloads)
+	}
+	for _, row := range doc.Rows {
+		if row.Pattern == "" || row.Recoveries == nil || row.RecoverySecs == nil {
+			t.Fatalf("chaos row missing survivability columns: %+v", row)
+		}
+	}
+}

@@ -35,6 +35,17 @@ func WriteText(w io.Writer, table Table, results []Result) error {
 				r.Cell.Workload, r.Cell.N, r.Cell.Variant(),
 				r.MeanRolled, r.MaxRolled, r.VolatileLostPct, r.DominoToStart)
 		}
+	case Chaos:
+		// No wall-clock column here: the text table must be byte-identical
+		// for every worker count and run; recovery latency lives in the
+		// JSON and bench outputs.
+		fmt.Fprintln(tw, "pattern\tn\tstack\tcrashes\trecoveries\tmean rolled\tmax rolled\torphans\treplayed\tretained max")
+		for _, r := range results {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\n",
+				r.Cell.Pattern, r.Cell.N, r.Cell.Variant(),
+				r.Crashes, r.Recoveries, r.MeanRolled, r.MaxRolled,
+				r.Orphans, r.Replayed, r.RetainedAfterMax)
+		}
 	default:
 		return fmt.Errorf("sweep: unknown table %d", int(table))
 	}
@@ -47,13 +58,15 @@ func WriteText(w io.Writer, table Table, results []Result) error {
 type RunDoc struct {
 	Table       string   `json:"table"`
 	Workers     int      `json:"workers"`
-	Workloads   []string `json:"workloads"`
+	Workloads   []string `json:"workloads,omitempty"`
+	Patterns    []string `json:"patterns,omitempty"`
 	Sizes       []int    `json:"sizes"`
 	Variants    []string `json:"variants"`
 	Seeds       int      `json:"seeds"`
 	Ops         int      `json:"ops"`
 	PCheckpoint float64  `json:"pcheckpoint"`
-	GlobalEvery int      `json:"globalevery"`
+	GlobalEvery int      `json:"globalevery,omitempty"`
+	Cycles      int      `json:"cycles,omitempty"`
 	Cells       int      `json:"cells"`
 	WallSecs    float64  `json:"wall_clock_seconds"`
 	Rows        []RowDoc `json:"rows"`
@@ -62,7 +75,8 @@ type RunDoc struct {
 // RowDoc is one cell in JSON form. Columns that do not apply to the row's
 // table are omitted.
 type RowDoc struct {
-	Workload    string  `json:"workload"`
+	Workload    string  `json:"workload,omitempty"`
+	Pattern     string  `json:"pattern,omitempty"`
 	N           int     `json:"n"`
 	Variant     string  `json:"variant"`
 	ElapsedSecs float64 `json:"elapsed_seconds"`
@@ -81,6 +95,13 @@ type RowDoc struct {
 	MaxRolled       *int     `json:"max_rolled,omitempty"`
 	VolatileLostPct *float64 `json:"volatile_lost_pct,omitempty"`
 	DominoToStart   *int     `json:"domino_to_start,omitempty"`
+
+	Crashes          *int     `json:"crashes,omitempty"`
+	Recoveries       *int     `json:"recoveries,omitempty"`
+	Orphans          *int     `json:"orphans,omitempty"`
+	Replayed         *int     `json:"replayed,omitempty"`
+	RetainedAfterMax *int     `json:"retained_after_max,omitempty"`
+	RecoverySecs     *float64 `json:"recovery_latency_seconds,omitempty"`
 }
 
 // Doc assembles the JSON document for one completed run.
@@ -93,27 +114,40 @@ func Doc(g Grid, results []Result, wall time.Duration) RunDoc {
 		PCheckpoint: g.PCheckpoint,
 		GlobalEvery: g.GlobalEvery,
 		Sizes:       g.Sizes,
+		Cycles:      g.Cycles,
 		Cells:       len(results),
 		WallSecs:    wall.Seconds(),
 	}
 	for _, k := range g.Workloads {
 		doc.Workloads = append(doc.Workloads, k.String())
 	}
-	if g.Table == Collectors {
+	for _, p := range g.Patterns {
+		doc.Patterns = append(doc.Patterns, p.String())
+	}
+	switch g.Table {
+	case Collectors:
 		for _, c := range g.Collectors {
 			doc.Variants = append(doc.Variants, c.String())
 		}
-	} else {
+	case Chaos:
+		for _, v := range g.Chaos {
+			doc.Variants = append(doc.Variants, v.Name())
+		}
+	default:
 		for _, p := range g.Protocols {
 			doc.Variants = append(doc.Variants, p.Name)
 		}
 	}
 	for _, r := range results {
 		row := RowDoc{
-			Workload:    r.Cell.Workload.String(),
 			N:           r.Cell.N,
 			Variant:     r.Cell.Variant(),
 			ElapsedSecs: r.Elapsed.Seconds(),
+		}
+		if g.Table == Chaos {
+			row.Pattern = r.Cell.Pattern.String()
+		} else {
+			row.Workload = r.Cell.Workload.String()
 		}
 		switch g.Table {
 		case Collectors:
@@ -133,6 +167,15 @@ func Doc(g Grid, results []Result, wall time.Duration) RunDoc {
 			row.MaxRolled = ptr(r.MaxRolled)
 			row.VolatileLostPct = ptr(r.VolatileLostPct)
 			row.DominoToStart = ptr(r.DominoToStart)
+		case Chaos:
+			row.Crashes = ptr(r.Crashes)
+			row.Recoveries = ptr(r.Recoveries)
+			row.MeanRolled = ptr(r.MeanRolled)
+			row.MaxRolled = ptr(r.MaxRolled)
+			row.Orphans = ptr(r.Orphans)
+			row.Replayed = ptr(r.Replayed)
+			row.RetainedAfterMax = ptr(r.RetainedAfterMax)
+			row.RecoverySecs = ptr(r.RecoverySecs)
 		}
 		doc.Rows = append(doc.Rows, row)
 	}

@@ -12,8 +12,13 @@ import (
 	"time"
 
 	"repro/internal/ccp"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/gc"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	rt "repro/internal/runtime"
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -30,6 +35,10 @@ const (
 	// Rollback measures rollback propagation after crashes, the Agbaria et
 	// al. axis (E3).
 	Rollback
+	// Chaos measures survivability under injected crash/restart faults on
+	// the live runtime: fault pattern × protocol+collector stack →
+	// rollback depth, orphans, checkpoints replayed, retention (E4).
+	Chaos
 )
 
 // String returns the table name used on the cmd/sweep command line.
@@ -41,6 +50,8 @@ func (t Table) String() string {
 		return "protocols"
 	case Rollback:
 		return "rollback"
+	case Chaos:
+		return "chaos"
 	default:
 		return fmt.Sprintf("table(%d)", int(t))
 	}
@@ -55,9 +66,35 @@ func ParseTable(s string) (Table, error) {
 		return Protocols, nil
 	case "rollback":
 		return Rollback, nil
+	case "chaos":
+		return Chaos, nil
 	default:
 		return 0, fmt.Errorf("sweep: unknown table %q", s)
 	}
+}
+
+// ParseSizes maps a -sizes flag value (comma-separated process counts) to
+// the grid's size axis. Shared by the cmd/sweep and cmd/chaos CLIs.
+func ParseSizes(s string) ([]int, error) {
+	var out []int
+	var cur int
+	seen := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if !seen {
+				return nil, fmt.Errorf("sweep: bad -sizes %q", s)
+			}
+			out = append(out, cur)
+			cur, seen = 0, false
+			continue
+		}
+		if s[i] < '0' || s[i] > '9' {
+			return nil, fmt.Errorf("sweep: bad -sizes %q", s)
+		}
+		cur = cur*10 + int(s[i]-'0')
+		seen = true
+	}
+	return out, nil
 }
 
 // ProtocolSpec names one checkpointing protocol under measurement and how
@@ -94,6 +131,32 @@ func RollbackProtocols() []ProtocolSpec {
 	}
 }
 
+// ChaosVariant is one middleware stack of the Chaos table: a checkpointing
+// protocol paired with the collector running under it on the live runtime.
+type ChaosVariant struct {
+	Protocol  ProtocolSpec
+	Collector metrics.CollectorKind
+}
+
+// Name returns the stack name, the third key column of the chaos table.
+func (v ChaosVariant) Name() string {
+	return v.Protocol.Name + "+" + v.Collector.String()
+}
+
+// ChaosVariants is the default stack axis of the Chaos table: the paper's
+// Algorithm 4 merge (FDAS) and the strictest RDT protocol (CBR), each with
+// and without the RDT-LGC collector.
+func ChaosVariants() []ChaosVariant {
+	fdas := ProtocolSpec{"FDAS", true, func() protocol.Protocol { return protocol.NewFDAS() }}
+	cbr := ProtocolSpec{"CBR", true, func() protocol.Protocol { return protocol.NewCBR() }}
+	return []ChaosVariant{
+		{fdas, metrics.RDTLGC},
+		{fdas, metrics.NoGC},
+		{cbr, metrics.RDTLGC},
+		{cbr, metrics.NoGC},
+	}
+}
+
 // Grid is one experiment: the cross product of its axes, each cell averaged
 // over Seeds independent runs.
 type Grid struct {
@@ -104,13 +167,19 @@ type Grid struct {
 	Collectors []metrics.CollectorKind
 	// Protocols is the variant axis of the Protocols and Rollback tables.
 	Protocols []ProtocolSpec
+	// Patterns and Chaos are the fault and stack axes of the Chaos table.
+	Patterns []chaos.Pattern
+	Chaos    []ChaosVariant
 
 	Seeds       int     // runs averaged per cell
-	Ops         int     // operations per run
+	Ops         int     // operations per run (per drive phase for Chaos)
 	PCheckpoint float64 // basic checkpoint probability
 	// GlobalEvery is the control-message period for global collectors
 	// (Collectors table only; default 1).
 	GlobalEvery int
+	// Cycles is the number of crash/restart cycles per run (Chaos table
+	// only; default 4).
+	Cycles int
 
 	// Workers bounds the worker pool in Run (default runtime.NumCPU()).
 	// The result order never depends on it.
@@ -136,6 +205,16 @@ func Default(table Table) Grid {
 		g.Protocols = OverheadProtocols()
 	case Rollback:
 		g.Protocols = RollbackProtocols()
+	case Chaos:
+		// Chaos cells run the live runtime, one operation at a time, so the
+		// grid is kept smaller than the simulator tables.
+		g.Workloads = nil
+		g.Patterns = chaos.Patterns()
+		g.Chaos = ChaosVariants()
+		g.Sizes = []int{4, 8}
+		g.Seeds = 2
+		g.Ops = 150
+		g.Cycles = 4
 	}
 	return g
 }
@@ -148,29 +227,52 @@ type Cell struct {
 	Table    Table
 	Workload workload.Kind
 	N        int
-	// Exactly one of Collector / Protocol is meaningful, per Table.
-	Collector metrics.CollectorKind
-	Protocol  ProtocolSpec
+	// Exactly one of Collector / Protocol / ChaosVariant is meaningful,
+	// per Table.
+	Collector    metrics.CollectorKind
+	Protocol     ProtocolSpec
+	Pattern      chaos.Pattern
+	ChaosVariant ChaosVariant
 
 	Seeds       int
 	Ops         int
 	PCheckpoint float64
 	GlobalEvery int
+	Cycles      int
 }
 
-// Variant returns the name of the cell's collector or protocol, the third
-// key column of every table.
+// Variant returns the name of the cell's collector, protocol or chaos
+// stack, the third key column of every table.
 func (c Cell) Variant() string {
-	if c.Table == Collectors {
+	switch c.Table {
+	case Collectors:
 		return c.Collector.String()
+	case Chaos:
+		return c.ChaosVariant.Name()
+	default:
+		return c.Protocol.Name
 	}
-	return c.Protocol.Name
 }
 
-// Cells expands the grid into jobs in table order: workload-major, then
-// size, then variant — the row order of the seed CLI tables.
+// Cells expands the grid into jobs in table order: workload-major (fault
+// pattern for the chaos table), then size, then variant — the row order of
+// the rendered tables.
 func (g Grid) Cells() []Cell {
 	var cells []Cell
+	if g.Table == Chaos {
+		for _, pat := range g.Patterns {
+			for _, n := range g.Sizes {
+				for _, v := range g.Chaos {
+					cells = append(cells, Cell{
+						Index: len(cells), Table: Chaos, Pattern: pat, N: n,
+						ChaosVariant: v, Seeds: g.Seeds, Ops: g.Ops,
+						PCheckpoint: g.PCheckpoint, Cycles: g.Cycles,
+					})
+				}
+			}
+		}
+		return cells
+	}
 	for _, kind := range g.Workloads {
 		for _, n := range g.Sizes {
 			base := Cell{
@@ -214,11 +316,19 @@ type Result struct {
 	Basic          int     // basic checkpoints per run (mean over seeds)
 	ForcedPerBasic float64 // forced/basic overhead ratio
 
-	// Rollback table.
+	// Rollback table (MeanRolled and MaxRolled are shared with Chaos).
 	MeanRolled      float64 // stable checkpoints rolled back, mean per crash
 	MaxRolled       int     // stable checkpoints rolled back, worst case
 	VolatileLostPct float64 // % of non-faulty processes losing volatile state
 	DominoToStart   int     // crashes dragging some process back to s^0
+
+	// Chaos table.
+	Crashes          int     // processes crashed per run (mean over seeds)
+	Recoveries       int     // verified recovery sessions per run (mean)
+	Orphans          int     // non-faulty processes rolled back per run (mean)
+	Replayed         int     // checkpoints reloaded from stable storage per run (mean)
+	RetainedAfterMax int     // worst per-process retention right after a recovery
+	RecoverySecs     float64 // mean wall clock per recovery session (JSON only)
 }
 
 // Run measures one cell: Seeds independent generated workloads, each
@@ -234,6 +344,8 @@ func (c Cell) Run() (Result, error) {
 		err = c.runProtocols(&res)
 	case Rollback:
 		err = c.runRollback(&res)
+	case Chaos:
+		err = c.runChaos(&res)
 	default:
 		err = fmt.Errorf("sweep: unknown table %d", int(c.Table))
 	}
@@ -352,6 +464,70 @@ func (c Cell) runRollback(res *Result) error {
 		res.VolatileLostPct = 100 * float64(lost) / float64(denom)
 	}
 	res.DominoToStart = domino
+	return nil
+}
+
+// runChaos measures one survivability cell: Seeds independent seeded fault
+// plans executed by the deterministic chaos engine on the live runtime,
+// with every recovery session verified against the ground-truth oracles.
+// Wall-clock recovery latency is the one non-deterministic column; it is
+// reported only through the JSON and bench outputs, so the text table stays
+// byte-identical across runs and worker counts.
+func (c Cell) runChaos(res *Result) error {
+	v := c.ChaosVariant
+	var depth float64
+	var crashes, recoveries, orphans, replayed int
+	var latency time.Duration
+	for s := 0; s < c.Seeds; s++ {
+		plan, err := chaos.NewPlan(chaos.PlanOptions{
+			N: c.N, Pattern: c.Pattern, Cycles: c.Cycles, Ops: c.Ops,
+			Seed: int64(1000*s + c.N), PBurst: 0.25,
+		})
+		if err != nil {
+			return err
+		}
+		mk := v.Protocol.New
+		cfg := chaos.Config{
+			Protocol:      func(int) protocol.Protocol { return mk() },
+			Net:           rt.NetworkOptions{Loss: 0.02, Seed: int64(7000*s + c.N)},
+			GlobalLI:      true,
+			Deterministic: true,
+			PCheckpoint:   c.PCheckpoint,
+			RDT:           v.Protocol.RDT,
+		}
+		switch v.Collector {
+		case metrics.RDTLGC:
+			cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return core.New(self, n, st) }
+			cfg.CheckNBound = v.Protocol.RDT
+		case metrics.NoGC:
+		default:
+			return fmt.Errorf("sweep: chaos table supports RDT-LGC and no-gc stacks, not %v", v.Collector)
+		}
+		r, err := chaos.Run(cfg, plan)
+		if err != nil {
+			return fmt.Errorf("sweep: cell %d (%s n=%d %s): %w", c.Index, c.Pattern, c.N, v.Name(), err)
+		}
+		crashes += r.Crashes
+		recoveries += r.Recoveries
+		orphans += r.Orphans
+		replayed += r.Replayed
+		depth += r.RollbackDepth.Mean()
+		if r.RollbackDepth.Max() > res.MaxRolled {
+			res.MaxRolled = r.RollbackDepth.Max()
+		}
+		if r.RetainedAfterMax > res.RetainedAfterMax {
+			res.RetainedAfterMax = r.RetainedAfterMax
+		}
+		latency += r.Latency
+	}
+	res.Crashes = crashes / c.Seeds
+	res.Recoveries = recoveries / c.Seeds
+	res.Orphans = orphans / c.Seeds
+	res.Replayed = replayed / c.Seeds
+	res.MeanRolled = depth / float64(c.Seeds)
+	if recoveries > 0 {
+		res.RecoverySecs = (latency / time.Duration(recoveries)).Seconds()
+	}
 	return nil
 }
 

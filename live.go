@@ -66,14 +66,7 @@ func NewCluster(n int, net Network, opt ...Option) (*Cluster, error) {
 		return nil, fmt.Errorf("rdt: live clusters support RDTLGC and NoGC collectors, not %v", o.collector)
 	}
 	if o.storageDir != "" {
-		dir := o.storageDir
-		cfg.NewStore = func(self int) storage.Store {
-			fs, err := storage.OpenFileStore(fmt.Sprintf("%s/p%d", dir, self))
-			if err != nil {
-				panic(fmt.Sprintf("rdt: open file store: %v", err))
-			}
-			return fs
-		}
+		cfg.NewStore = fileStores(o.storageDir)
 	}
 	c, err := runtime.NewCluster(cfg)
 	if err != nil {
@@ -94,9 +87,26 @@ func (c *Cluster) Quiesce() { c.c.Quiesce() }
 
 // Recover crashes the faulty set and runs a centralized recovery session on
 // the live cluster; in-transit messages are lost, exactly as a real failure
-// would lose them.
+// would lose them. The faulty processes fail and rejoin within the session;
+// for processes crashed earlier via Crash use Restart instead.
 func (c *Cluster) Recover(faulty []int, globalLI bool) (LiveReport, error) {
 	return c.c.Recover(faulty, globalLI)
+}
+
+// Crash fails process i in place: its volatile state is discarded, its
+// stable store survives, and until Restart its methods refuse with
+// runtime.ErrCrashed while messages addressed to it are lost. Survivors
+// keep running against the hole in the mesh.
+func (c *Cluster) Crash(i int) error { return c.c.Crash(i) }
+
+// Down returns the currently crashed processes, in ascending order.
+func (c *Cluster) Down() []int { return c.c.Down() }
+
+// Restart rehydrates every crashed process from stable storage and runs a
+// recovery session with exactly those processes as the faulty set,
+// rejoining them to the mesh on a consistent recovery line.
+func (c *Cluster) Restart(globalLI bool) (LiveReport, error) {
+	return c.c.Restart(globalLI)
 }
 
 // Oracle rebuilds the ground-truth pattern from the linearized history of

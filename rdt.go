@@ -180,6 +180,15 @@ func WithGlobalPeriod(k int) Option { return func(o *options) { o.globalEvery = 
 // reordered scripts. Simulated systems only.
 func WithCompression() Option { return func(o *options) { o.compress = true } }
 
+// fileStores returns the per-process on-disk store constructor for dir; an
+// unopenable directory surfaces as an error from New/NewCluster rather than
+// a panic.
+func fileStores(dir string) func(self int) (storage.Store, error) {
+	return func(self int) (storage.Store, error) {
+		return storage.OpenFileStore(fmt.Sprintf("%s/p%d", dir, self))
+	}
+}
+
 func (o options) simConfig(n int) (sim.Config, error) {
 	pf, err := o.protocol.factory()
 	if err != nil {
@@ -193,14 +202,7 @@ func (o options) simConfig(n int) (sim.Config, error) {
 		Compress:    o.compress,
 	}
 	if o.storageDir != "" {
-		dir := o.storageDir
-		cfg.NewStore = func(self int) storage.Store {
-			fs, err := storage.OpenFileStore(fmt.Sprintf("%s/p%d", dir, self))
-			if err != nil {
-				panic(fmt.Sprintf("rdt: open file store: %v", err))
-			}
-			return fs
-		}
+		cfg.NewStore = fileStores(o.storageDir)
 	}
 	switch o.collector {
 	case RDTLGC:
