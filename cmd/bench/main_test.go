@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestDocFileRoundTrip(t *testing.T) {
+	doc := bench.Doc{
+		GOMAXPROCS: 1, GoVersion: "go1.24", Quick: true, Sizes: []int{4, 8},
+		Results: []bench.Result{
+			{Path: "vclock/merge", N: 4, Iters: 100, NsPerOp: 8.5},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	if err := writeDoc(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	re, err := readDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Results) != 1 || re.Results[0].Path != "vclock/merge" || re.GoVersion != doc.GoVersion {
+		t.Fatalf("round trip changed the doc: %+v", re)
+	}
+}
+
+func TestReadDocRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readDoc(path); err == nil {
+		t.Fatal("readDoc accepted garbage")
+	}
+}
+
+func TestMetricsColumn(t *testing.T) {
+	r := bench.Result{Metrics: map[string]float64{"retained-mean": 1.5, "collect-ratio": 0.9}}
+	got := metricsCol(r)
+	want := "collect-ratio=0.90 retained-mean=1.50" // sorted key order
+	if got != want {
+		t.Fatalf("metricsCol = %q, want %q", got, want)
+	}
+	if got := metricsCol(bench.Result{}); got != "-" {
+		t.Fatalf("empty metrics rendered %q, want -", got)
+	}
+}

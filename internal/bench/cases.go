@@ -1,0 +1,343 @@
+package bench
+
+import (
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// DefaultSizes is the process-count sweep: the paper's cluster sizes (4, 8)
+// and the production-scale extrapolation up to 128, where the size-n vector
+// every message carries (the Strom–Yemini overhead) starts to dominate.
+var DefaultSizes = []int{4, 8, 16, 32, 64, 128}
+
+// stateBytes is the opaque application state saved with benchmarked
+// checkpoints; 256 B models a small application snapshot.
+const stateBytes = 256
+
+// Suite builds the full case list: every hot path at every size, in
+// deterministic order (path-major, then n ascending) so result diffs are
+// stable.
+func Suite(sizes []int) []Case {
+	var cases []Case
+	add := func(path string, gateNs bool, slack float64, mk func(n int) func(*T)) {
+		for _, n := range sizes {
+			cases = append(cases, Case{Path: path, N: n, GateNs: gateNs, AllocSlack: slack, Fn: mk(n)})
+		}
+	}
+
+	// The DV piggyback merge, exactly as the per-message delivery path
+	// performs it: fold the received vector in and report which entries
+	// rose (what RDT-LGC's OnNewInfo consumes).
+	add("vclock/merge", true, 0, mergeCase)
+	// The DV clone every send piggybacks.
+	add("vclock/clone", true, 0, cloneCase)
+	// FDAS's forced-checkpoint decision on delivery: the new-information
+	// scan over the piggybacked vector (Algorithm 4's test).
+	add("protocol/fdas-decision", true, 0, fdasCase)
+	// RDT-LGC's collect path: the release/link bookkeeping per delivery
+	// carrying new causal information, plus the per-checkpoint CCB work.
+	add("core/collect", true, 0, collectCase)
+	// Checkpoint record encoding + decoding (the storage wire format).
+	add("storage/encode", true, 0, encodeCase)
+	// Durable checkpoint save/delete steady state on a real FileStore.
+	// ns/op is disk-bound, so only allocations are gated; the small slack
+	// absorbs kernel-dependent allocation jitter in the file ops (a real
+	// regression in the encode path adds tens of allocs per op).
+	add("storage/save", false, 2, saveCase)
+	// Crash-recovery rehydration: open a store directory holding n
+	// checkpoints and decode every record.
+	add("storage/rehydrate", false, 2, rehydrateCase)
+	// TCP mesh framing round trip (encode + decode of one message).
+	add("transport/roundtrip", true, 0, transportCase)
+	// Live-runtime end-to-end delivery: send through the asynchronous
+	// in-process network, forced-checkpoint decision, merge, collect.
+	// Concurrent (goroutine per message), so ns/op is scheduler-bound and
+	// the alloc gate allows slight scheduling noise.
+	add("runtime/delivery", false, 2, deliveryCase)
+	// Deterministic simulator: a full uniform-workload run per iteration
+	// (FDAS + RDT-LGC), the grid cell the sweep experiments are made of.
+	// Thousands of allocs per run amortize fractionally, so a slack of 2
+	// absorbs low-iteration jitter while +1 alloc per message (hundreds
+	// per run) still fails loudly.
+	add("sim/run", true, 2, simCase)
+
+	return cases
+}
+
+func mergeCase(n int) func(*T) {
+	return func(t *T) {
+		local := vclock.New(n)
+		base := vclock.New(n)
+		msg := vclock.New(n)
+		for j := 0; j < n; j++ {
+			base[j] = j
+			msg[j] = j // equal — no new info
+			if j%2 == 1 {
+				msg[j] = j + 3 // half the entries carry new info
+			}
+		}
+		buf := make([]int, 0, n) // the per-process scratch the call sites reuse
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			local.CopyFrom(base) // rearm so the merge has work to do
+			buf = local.MergeAppend(msg, buf[:0])
+			Sink += len(buf)
+		}
+	}
+}
+
+func cloneCase(n int) func(*T) {
+	return func(t *T) {
+		dv := vclock.New(n)
+		for j := range dv {
+			dv[j] = j
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			Sink += len(dv.Clone())
+		}
+	}
+}
+
+func fdasCase(n int) func(*T) {
+	return func(t *T) {
+		p := protocol.NewFDAS()
+		local := vclock.New(n)
+		for j := range local {
+			local[j] = j + 1
+		}
+		// The piggyback carries no new information, so the decision scans
+		// the whole vector — FDAS's worst case.
+		pb := protocol.Piggyback{DV: local.Clone()}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			p.OnSend() // the interval has a send, so the scan actually runs
+			if p.ForcedBeforeDelivery(local, pb) {
+				Sink++
+			}
+			p.OnCheckpoint()
+		}
+	}
+}
+
+func collectCase(n int) func(*T) {
+	return func(t *T) {
+		st := storage.NewMemStore()
+		if err := st.Save(storage.Checkpoint{Process: 0, Index: 0, DV: vclock.New(n)}); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		lgc := core.New(0, n, st)
+		dv := vclock.New(n)
+		dv[0] = 1
+		inc := make([]int, 1)
+		idx := 0
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			// One delivery carrying new info about a rotating peer...
+			j := 1 + i%(n-1)
+			dv[j]++
+			inc[0] = j
+			if err := lgc.OnNewInfo(inc, dv); err != nil {
+				t.Fatalf("OnNewInfo: %v", err)
+			}
+			// ...and every fourth event a checkpoint (Algorithm 2's other
+			// driver), so CCBs are created, released and collected.
+			if i%4 == 3 {
+				idx++
+				if err := st.Save(storage.Checkpoint{Process: 0, Index: idx, DV: dv}); err != nil {
+					t.Fatalf("save: %v", err)
+				}
+				if err := lgc.OnCheckpoint(idx, dv); err != nil {
+					t.Fatalf("OnCheckpoint: %v", err)
+				}
+				dv[0]++
+			}
+		}
+		t.Metric("retained", float64(lgc.RetainedCount()))
+	}
+}
+
+func encodeCase(n int) func(*T) {
+	return func(t *T) {
+		cp := storage.Checkpoint{
+			Process: 1, Index: 42,
+			DV:    vclock.New(n),
+			State: make([]byte, stateBytes),
+		}
+		for j := range cp.DV {
+			cp.DV[j] = j
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			b := storage.EncodeCheckpoint(cp)
+			out, err := storage.DecodeCheckpoint(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			Sink += out.Index
+		}
+	}
+}
+
+func saveCase(n int) func(*T) {
+	return func(t *T) {
+		dir, err := os.MkdirTemp("", "bench-save-")
+		if err != nil {
+			t.Fatalf("tempdir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }() // runs after Stop; also on Fatalf
+		fs, err := storage.OpenFileStore(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		cp := storage.Checkpoint{Process: 0, DV: vclock.New(n), State: make([]byte, stateBytes)}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			cp.Index = i
+			if err := fs.Save(cp); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			if err := fs.Delete(i); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		}
+		t.Stop()
+	}
+}
+
+func rehydrateCase(n int) func(*T) {
+	return func(t *T) {
+		// A directory holding n checkpoints — the Section 4.5 bound on what
+		// a process can have retained when it crashes.
+		dir, err := os.MkdirTemp("", "bench-rehydrate-")
+		if err != nil {
+			t.Fatalf("tempdir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }() // runs after Stop; also on Fatalf
+		fs, err := storage.OpenFileStore(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			dv := vclock.New(n)
+			dv[0] = i
+			if err := fs.Save(storage.Checkpoint{Process: 0, Index: i, DV: dv, State: make([]byte, stateBytes)}); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			re, err := storage.OpenFileStore(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			Sink += re.Stats().Live
+		}
+		t.Stop()
+	}
+}
+
+func transportCase(n int) func(*T) {
+	return func(t *T) {
+		m := transport.Message{
+			From: 0, To: 1, Msg: 7, Epoch: 3, Index: 2,
+			DV:      make([]int, n),
+			Payload: make([]byte, 64),
+		}
+		for j := range m.DV {
+			m.DV[j] = j
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			b := transport.Encode(m)
+			out, err := transport.Decode(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			Sink += out.To
+		}
+	}
+}
+
+func deliveryCase(n int) func(*T) {
+	return func(t *T) {
+		c, err := runtime.NewCluster(runtime.Config{
+			N:   n,
+			Net: runtime.NetworkOptions{Seed: 1},
+			// The real collector, so the end-to-end path includes the
+			// RDT-LGC collect work a production delivery performs.
+			LocalGC: func(self, nn int, st storage.Store) gc.Local {
+				return core.New(self, nn, st)
+			},
+		})
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			from := i % n
+			if err := c.Node(from).Send((from + 1) % n); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			// Periodic checkpoints keep the DVs moving, so deliveries keep
+			// carrying new information and the collector keeps working.
+			if i%8 == 7 {
+				if err := c.Node(from).Checkpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+			}
+		}
+		c.Quiesce()
+		t.Stop()
+	}
+}
+
+// simPaperMetrics caches, per size, the paper-predicted quantities of the
+// benchmarked workload (measured once through the oracle-backed pipeline —
+// too expensive to recompute on every calibration pass).
+var simPaperMetrics = map[int]metrics.Report{}
+
+func simCase(n int) func(*T) {
+	return func(t *T) {
+		script := workload.Generate(workload.Uniform, workload.Options{N: n, Ops: 20 * n, Seed: 29})
+		rep, ok := simPaperMetrics[n]
+		if !ok {
+			var err error
+			rep, err = metrics.Measure(metrics.MeasureOptions{N: n, Collector: metrics.RDTLGC, Script: script})
+			if err != nil {
+				t.Fatalf("measure: %v", err)
+			}
+			simPaperMetrics[n] = rep
+		}
+		cfg := sim.Config{
+			N:        n,
+			Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+			LocalGC: func(self, nn int, st storage.Store) gc.Local {
+				return core.New(self, nn, st)
+			},
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			r, err := sim.NewRunner(cfg)
+			if err != nil {
+				t.Fatalf("runner: %v", err)
+			}
+			if err := r.Run(script); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		}
+		t.Stop()
+		t.Metric("retained-mean", rep.PerProcRetained.Mean())
+		t.Metric("collect-ratio", rep.CollectionRatio())
+	}
+}

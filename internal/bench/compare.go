@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// allocEpsilon absorbs float jitter in allocs/op (amortized warm-up
+// allocations make the per-op count fractional). It scales with the
+// baseline — a small absolute wobble on alloc-heavy cases passes while a
+// doubling of a fractional-alloc case (say 0.25 → 0.5 on the collect
+// path) still fails — but is capped at 2 so the gate on thousand-alloc
+// cases stays tight: a genuine regression adds at least one allocation
+// per operation somewhere, often one per message (hundreds per op).
+func allocEpsilon(base float64) float64 {
+	return min(2, max(0.05, 0.02*base))
+}
+
+// minGatedNs is the ns/op floor below which the ns gate is meaningless: on
+// a tens-of-ns operation a single cache miss or preemption tail is a large
+// multiple (observed ±25% between back-to-back quick runs), and the
+// allocation gate (exact, 0 for these paths) is what actually protects
+// them. Baseline entries under the floor are excluded from both the speed
+// median and the ns check.
+const minGatedNs = 50.0
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Path string
+	N    int
+	// Kind is "ns/op", "allocs/op" or "missing".
+	Kind      string
+	Base, Cur float64
+	Limit     float64
+}
+
+func (r Regression) String() string {
+	if r.Kind == "missing" {
+		return fmt.Sprintf("%s n=%d: present in baseline but not measured — bench coverage must not shrink", r.Path, r.N)
+	}
+	return fmt.Sprintf("%s n=%d: %s regressed: baseline %.2f, now %.2f (limit %.2f)", r.Path, r.N, r.Kind, r.Base, r.Cur, r.Limit)
+}
+
+// Compare gates current results against a baseline document:
+//
+//   - allocs/op (machine-independent, the gate with teeth): any increase
+//     beyond the case's AllocSlack fails, on every case;
+//   - ns/op: cases with GateNs are compared after normalizing for overall
+//     machine speed — the limit is base × max(1, median cur/base ratio) ×
+//     (1+tolNs), so a uniformly slower CI runner passes while a single hot
+//     path regressing beyond tolNs (e.g. 0.30 for +30%) fails; a faster
+//     machine never tightens the gate below base × (1+tolNs);
+//   - a baseline case missing from the current run fails, so the gate
+//     cannot be dodged by deleting a benchmark.
+//
+// Cases present only in the current run are new coverage and pass. The
+// gating policy (GateNs, AllocSlack) comes from the current suite, not the
+// baseline file, so policy changes ship with the code they describe.
+func Compare(cases []Case, base Doc, cur []Result, tolNs float64) []Regression {
+	policy := make(map[string]Case, len(cases))
+	for _, c := range cases {
+		policy[key(c.Path, c.N)] = c
+	}
+	curBy := make(map[string]Result, len(cur))
+	for _, r := range cur {
+		curBy[key(r.Path, r.N)] = r
+	}
+
+	// Machine-speed factor: median ns ratio over the ns-gated pairs.
+	var ratios []float64
+	for _, b := range base.Results {
+		c, ok := curBy[key(b.Path, b.N)]
+		if !ok || b.NsPerOp < minGatedNs {
+			continue
+		}
+		if p, ok := policy[key(b.Path, b.N)]; ok && p.GateNs {
+			ratios = append(ratios, c.NsPerOp/b.NsPerOp)
+		}
+	}
+	// Normalization only ever loosens the gate: a slower machine (median
+	// ratio > 1) raises the limits proportionally, but a faster-than-
+	// baseline run keeps them at base*(1+tol) — otherwise every case that
+	// merely matched its baseline would be flagged for not sharing the
+	// speedup, which back-to-back runs show is mostly noise.
+	speed := max(1, median(ratios))
+
+	var regs []Regression
+	for _, b := range base.Results {
+		k := key(b.Path, b.N)
+		c, ok := curBy[k]
+		if !ok {
+			regs = append(regs, Regression{Path: b.Path, N: b.N, Kind: "missing"})
+			continue
+		}
+		p := policy[k] // zero Case (no gates beyond allocs-exact) if unknown
+		allocLimit := b.AllocsPerOp + p.AllocSlack + allocEpsilon(b.AllocsPerOp)
+		if c.AllocsPerOp > allocLimit {
+			regs = append(regs, Regression{
+				Path: b.Path, N: b.N, Kind: "allocs/op",
+				Base: b.AllocsPerOp, Cur: c.AllocsPerOp, Limit: allocLimit,
+			})
+		}
+		if p.GateNs && b.NsPerOp >= minGatedNs {
+			nsLimit := b.NsPerOp * speed * (1 + tolNs)
+			if c.NsPerOp > nsLimit {
+				regs = append(regs, Regression{
+					Path: b.Path, N: b.N, Kind: "ns/op",
+					Base: b.NsPerOp, Cur: c.NsPerOp, Limit: nsLimit,
+				})
+			}
+		}
+	}
+	return regs
+}
+
+func key(path string, n int) string { return fmt.Sprintf("%s#%d", path, n) }
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 1
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -99,7 +99,7 @@ func (b *Builder) Receive(p, id int) {
 		panic(fmt.Sprintf("ccp: process %d receiving its own message %d", p, id))
 	}
 	b.recved[id] = true
-	b.dv[p].Merge(b.sendDV[id])
+	b.dv[p].MaxWith(b.sendDV[id]) // report-free: the mirror only needs the merged vector
 	b.msgs = append(b.msgs, Message{
 		ID:           id,
 		From:         b.sender[id],

@@ -47,6 +47,12 @@ type LGC struct {
 	n     int
 	store storage.Store
 	uc    []*ccb
+
+	// spare recycles CCBs whose checkpoint was eliminated: the collect
+	// path runs on every message delivery, and reusing the blocks keeps it
+	// from allocating one per checkpoint. At most n blocks are live at
+	// once (Section 4.5), so the freelist stays the same size.
+	spare []*ccb
 }
 
 // New returns the collector for process self of n, initialized per
@@ -75,8 +81,21 @@ func (g *LGC) release(j int) error {
 		if err := g.store.Delete(b.ind); err != nil {
 			return fmt.Errorf("core: p%d collecting checkpoint %d: %w", g.self, b.ind, err)
 		}
+		g.spare = append(g.spare, b)
 	}
 	return nil
+}
+
+// newCCB returns a block for a fresh stable checkpoint, recycling a
+// collected one when available.
+func (g *LGC) newCCB(index int) *ccb {
+	if k := len(g.spare); k > 0 {
+		b := g.spare[k-1]
+		g.spare = g.spare[:k-1]
+		b.ind, b.rc = index, 1
+		return b
+	}
+	return &ccb{ind: index, rc: 1}
 }
 
 // link implements Algorithm 1's link(j, i) with i = self: UC[j] references
@@ -97,7 +116,7 @@ func (g *LGC) OnCheckpoint(index int, _ vclock.DV) error {
 	if err := g.release(g.self); err != nil {
 		return err
 	}
-	g.uc[g.self] = &ccb{ind: index, rc: 1}
+	g.uc[g.self] = g.newCCB(index)
 	return nil
 }
 
@@ -130,15 +149,26 @@ func (g *LGC) RetainedFor(f int) (int, bool) {
 }
 
 // RetainedCount returns the number of distinct stable checkpoints currently
-// referenced by UC entries. Section 4.5 proves this never exceeds n.
+// referenced by UC entries. Section 4.5 proves this never exceeds n. The
+// quadratic dedup is allocation-free and bounded by that same n.
 func (g *LGC) RetainedCount() int {
-	seen := map[*ccb]bool{}
-	for _, b := range g.uc {
-		if b != nil {
-			seen[b] = true
+	count := 0
+	for i, b := range g.uc {
+		if b == nil {
+			continue
+		}
+		dup := false
+		for _, prev := range g.uc[:i] {
+			if prev == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			count++
 		}
 	}
-	return len(seen)
+	return count
 }
 
 // UCString renders the UC vector in the paper's Figure 4 notation: the

@@ -38,7 +38,8 @@ func NewMerged(self, n int, store storage.Store) (*Merged, error) {
 		store: store,
 		self:  self,
 	}
-	if err := store.Save(storage.Checkpoint{Process: self, Index: 0, DV: m.dv.Clone()}); err != nil {
+	// Stores copy DV defensively (see storage.Store.Save); no clone needed.
+	if err := store.Save(storage.Checkpoint{Process: self, Index: 0, DV: m.dv}); err != nil {
 		return nil, fmt.Errorf("core: merged initial checkpoint: %w", err)
 	}
 	m.lgc = New(self, n, store)
@@ -93,7 +94,7 @@ func (m *Merged) Checkpoint() error { return m.checkpoint(true) }
 func (m *Merged) checkpoint(basic bool) error {
 	m.sent = false
 	index := m.dv[m.self]
-	if err := m.store.Save(storage.Checkpoint{Process: m.self, Index: index, DV: m.dv.Clone()}); err != nil {
+	if err := m.store.Save(storage.Checkpoint{Process: m.self, Index: index, DV: m.dv}); err != nil {
 		return fmt.Errorf("core: merged checkpoint %d: %w", index, err)
 	}
 	if err := m.lgc.OnCheckpoint(index, m.dv); err != nil {

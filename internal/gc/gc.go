@@ -33,7 +33,9 @@ type Local interface {
 	OnCheckpoint(index int, dv vclock.DV) error
 	// OnNewInfo runs after a delivery merged the piggybacked vector, with
 	// the processes whose entries increased and the post-merge vector
-	// (read-only).
+	// (read-only). increased aliases a scratch buffer the middleware
+	// reuses on the next delivery: implementations must not retain it
+	// (or dv) beyond the call.
 	OnNewInfo(increased []int, dv vclock.DV) error
 	// Rollback runs Algorithm 3 (or the collector's equivalent) when the
 	// process rolls back to stable checkpoint ri; li is the recovery

@@ -49,13 +49,15 @@ type Protocol interface {
 	Name() string
 	// ForcedBeforeDelivery reports whether a forced checkpoint must be
 	// taken before delivering a message with piggyback pb, given the
-	// process's current dependency vector.
+	// process's current dependency vector. pb.DV may alias a buffer the
+	// middleware reuses after the delivery completes: implementations
+	// must not retain it (copy if protocol state needs it later).
 	ForcedBeforeDelivery(local vclock.DV, pb Piggyback) bool
 	// OnSend is called when the process sends a message; it returns the
 	// protocol-specific index to piggyback.
 	OnSend() int
 	// OnDeliver is called after a message is delivered and merged into the
-	// local vector.
+	// local vector. The same non-retention rule applies to pb.DV.
 	OnDeliver(pb Piggyback)
 	// OnCheckpoint is called after any checkpoint, basic or forced.
 	OnCheckpoint()

@@ -107,6 +107,10 @@ type Node struct {
 	basic  int
 	forced int
 
+	// scratch is the reused changed-index buffer for the delivery-path
+	// vector merge (guarded by mu).
+	scratch []int
+
 	// down marks a crashed process: its volatile state is gone, deliveries
 	// to it are dropped, and every application-facing method refuses with
 	// ErrCrashed until Restart rehydrates it from stable storage.
@@ -146,16 +150,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("runtime: stable store of p%d: %w", i, err)
 		}
 		n := &Node{
-			c:     c,
-			id:    i,
-			dv:    vclock.New(cfg.N),
-			store: store,
-			proto: cfg.Protocol(i),
+			c:       c,
+			id:      i,
+			dv:      vclock.New(cfg.N),
+			store:   store,
+			proto:   cfg.Protocol(i),
+			scratch: make([]int, 0, cfg.N),
 		}
 		if cfg.NewApp != nil {
 			n.app = cfg.NewApp(i)
 		}
-		if err := n.store.Save(storage.Checkpoint{Process: i, Index: 0, DV: n.dv.Clone(), State: n.snapshot()}); err != nil {
+		// Stores copy DV and State defensively (see storage.Store.Save), so
+		// the live vector is passed without a clone.
+		if err := n.store.Save(storage.Checkpoint{Process: i, Index: 0, DV: n.dv, State: n.snapshot()}); err != nil {
 			return nil, fmt.Errorf("runtime: initial checkpoint of p%d: %w", i, err)
 		}
 		n.gcol = cfg.LocalGC(i, cfg.N, n.store)
@@ -327,6 +334,9 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 // vector merge, collector update and protocol notification. Messages from a
 // previous epoch (sent before a recovery session) are dropped: they were in
 // transit when the failure hit, and the model treats them as lost.
+//
+// pb.DV is only read for the duration of the call: nothing here (protocols
+// and collectors included, per their interface contracts) may retain it.
 func (n *Node) deliver(msg int, pb protocol.Piggyback, epoch uint64, payload []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -340,7 +350,8 @@ func (n *Node) deliver(msg int, pb protocol.Piggyback, epoch uint64, payload []b
 			panic(fmt.Sprintf("runtime: forced checkpoint on p%d: %v", n.id, err))
 		}
 	}
-	increased := n.dv.Merge(pb.DV)
+	n.scratch = n.dv.MergeAppend(pb.DV, n.scratch[:0])
+	increased := n.scratch
 	if err := n.gcol.OnNewInfo(increased, n.dv); err != nil {
 		panic(fmt.Sprintf("runtime: collector on p%d: %v", n.id, err))
 	}
@@ -368,7 +379,7 @@ func (n *Node) Checkpoint() error {
 
 func (n *Node) checkpointLocked(basic bool) error {
 	index := n.dv[n.id]
-	if err := n.store.Save(storage.Checkpoint{Process: n.id, Index: index, DV: n.dv.Clone(), State: n.snapshot()}); err != nil {
+	if err := n.store.Save(storage.Checkpoint{Process: n.id, Index: index, DV: n.dv, State: n.snapshot()}); err != nil {
 		return fmt.Errorf("runtime: checkpoint %d of p%d: %w", index, n.id, err)
 	}
 	if err := n.gcol.OnCheckpoint(index, n.dv); err != nil {

@@ -78,26 +78,27 @@ func (c *compressor) encode(from, to, ord int, snapshot vclock.DV) ([]sparseEntr
 
 // expand reconstructs, for the protocol's forced-checkpoint test, a vector
 // equivalent to the full piggyback: the receiver's current vector with the
-// transmitted entries folded in. Under FIFO this carries new information
-// exactly when the full vector would.
-func expand(local vclock.DV, entries []sparseEntry) vclock.DV {
-	full := local.Clone()
+// transmitted entries folded in, written into the caller's reused buffer.
+// Under FIFO this carries new information exactly when the full vector
+// would.
+func expand(local vclock.DV, entries []sparseEntry, buf vclock.DV) vclock.DV {
+	buf.CopyFrom(local)
 	for _, e := range entries {
-		if e.V > full[e.K] {
-			full[e.K] = e.V
+		if e.V > buf[e.K] {
+			buf[e.K] = e.V
 		}
 	}
-	return full
+	return buf
 }
 
-// applySparse merges the entries into dv, returning the indices that
-// increased — the same contract as vclock.DV.Merge.
-func applySparse(dv vclock.DV, entries []sparseEntry) (increased []int) {
+// applySparseAppend merges the entries into dv, appending the indices that
+// increased to buf — the same contract as vclock.DV.MergeAppend.
+func applySparseAppend(dv vclock.DV, entries []sparseEntry, buf []int) []int {
 	for _, e := range entries {
 		if e.V > dv[e.K] {
 			dv[e.K] = e.V
-			increased = append(increased, e.K)
+			buf = append(buf, e.K)
 		}
 	}
-	return increased
+	return buf
 }

@@ -131,12 +131,25 @@ func (r *Runner) truncateHistory(line []int) {
 		}
 	}
 	out, remap := ccp.Truncate(r.hist, cut)
-	// Remap the piggyback table to the new numbering, dropping cut sends.
+	// Remap the per-message bookkeeping to the new numbering, dropping cut
+	// sends. Delivered messages have no entries any more (deliver recycles
+	// the snapshot and deletes the id), so only in-transit ones carry
+	// over; the three maps are maintained together, here as in deliver.
 	pbs := make(map[int]protocol.Piggyback, len(remap))
+	ords := make(map[int]int, len(remap))
+	bys := make(map[int]int, len(remap))
 	for old, nw := range remap {
-		pbs[nw] = r.sendPB[old]
+		if pb, ok := r.sendPB[old]; ok {
+			pbs[nw] = pb
+		}
+		if ord, ok := r.sendOrd[old]; ok {
+			ords[nw] = ord
+		}
+		if by, ok := r.sendBy[old]; ok {
+			bys[nw] = by
+		}
 	}
-	r.sendPB = pbs
+	r.sendPB, r.sendOrd, r.sendBy = pbs, ords, bys
 	r.hist = out
 	r.mirror = ccp.NewBuilder(r.cfg.N)
 	replayInto(r.mirror, out)

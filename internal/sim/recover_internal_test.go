@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ccp"
+)
+
+// TestTruncateHistoryDropsDeliveredPiggybacks pins the sendPB invariant
+// after a recovery session: delivered messages (whose snapshot was recycled
+// and entry deleted) must not reappear in the remapped table as zero-value
+// piggybacks; in-transit sends must carry over with their vectors intact.
+func TestTruncateHistoryDropsDeliveredPiggybacks(t *testing.T) {
+	r, err := NewRunner(Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s ccp.Script
+	s.N = 3
+	m0 := s.Send(0)
+	s.Recv(1, m0) // delivered: its sendPB entry is recycled
+	s.Send(0)     // stays in transit
+	if err := r.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.sendPB); got != 1 {
+		t.Fatalf("before recovery: sendPB has %d entries, want 1 (the in-transit send)", got)
+	}
+	if _, err := r.Recover([]int{2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.sendPB); got != 1 {
+		t.Fatalf("after recovery: sendPB has %d entries, want 1", got)
+	}
+	for id, pb := range r.sendPB {
+		if pb.DV == nil {
+			t.Fatalf("after recovery: sendPB[%d] has a nil vector", id)
+		}
+	}
+}

@@ -57,6 +57,12 @@ type proc struct {
 	store storage.Store
 	proto protocol.Protocol
 	gcol  gc.Local
+
+	// scratch is the reused changed-index buffer for the delivery-path
+	// merge; expandBuf (compressed runs only) is the reused vector the
+	// sparse piggyback is expanded into for the protocol's decision.
+	scratch   []int
+	expandBuf vclock.DV
 }
 
 // Metrics counts what happened during execution.
@@ -80,13 +86,20 @@ type Runner struct {
 
 	hist    ccp.Script // executed history, global message numbering
 	mirror  *ccp.Builder
-	sendPB  map[int]protocol.Piggyback // piggyback per global message id
+	sendPB  map[int]protocol.Piggyback // piggyback per in-transit global message id
 	sendOrd map[int]int                // per global message id: order among the sender's sends
 	sendBy  map[int]int                // per global message id: sending process
 	sent    []int                      // sends so far per process
 	comp    *compressor                // non-nil iff Config.Compress
 	metrics Metrics
 	events  int
+
+	// dvFree recycles piggyback snapshot vectors: a send takes one, the
+	// delivery that consumes it puts it back. Scripts are self-contained
+	// (a message cannot be delivered in a later Run call), so a delivered
+	// snapshot can never be read again.
+	dvFree []vclock.DV
+	state  []byte // shared zero state buffer (stores copy defensively)
 }
 
 // NewRunner builds the system: every process stores its initial checkpoint
@@ -125,14 +138,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, fmt.Errorf("sim: stable store of p%d: %w", i, err)
 		}
 		p := &proc{
-			id:    i,
-			dv:    vclock.New(cfg.N),
-			store: store,
-			proto: cfg.Protocol(i),
+			id:      i,
+			dv:      vclock.New(cfg.N),
+			store:   store,
+			proto:   cfg.Protocol(i),
+			scratch: make([]int, 0, cfg.N),
 		}
-		// Initial stable checkpoint s^0 with the zero vector.
+		// Initial stable checkpoint s^0 with the zero vector. Stores copy
+		// DV and State defensively (see storage.Store.Save), so the live
+		// vector is passed without a clone.
 		if err := p.store.Save(storage.Checkpoint{
-			Process: i, Index: 0, DV: p.dv.Clone(), State: r.stateBytes(),
+			Process: i, Index: 0, DV: p.dv, State: r.stateBytes(),
 		}); err != nil {
 			return nil, fmt.Errorf("sim: initial checkpoint of p%d: %w", i, err)
 		}
@@ -147,7 +163,12 @@ func (r *Runner) stateBytes() []byte {
 	if r.cfg.StateBytes <= 0 {
 		return nil
 	}
-	return make([]byte, r.cfg.StateBytes)
+	// One shared zero buffer: stores copy State defensively, so every
+	// checkpoint can hand in the same backing array.
+	if r.state == nil {
+		r.state = make([]byte, r.cfg.StateBytes)
+	}
+	return r.state
 }
 
 // N returns the number of processes.
@@ -183,8 +204,19 @@ func (r *Runner) Run(script ccp.Script) error {
 	return nil
 }
 
+// getDV pops a recycled snapshot vector or allocates a fresh one.
+func (r *Runner) getDV(src vclock.DV) vclock.DV {
+	if k := len(r.dvFree); k > 0 {
+		dv := r.dvFree[k-1]
+		r.dvFree = r.dvFree[:k-1]
+		dv.CopyFrom(src)
+		return dv
+	}
+	return src.Clone()
+}
+
 func (r *Runner) send(p *proc) int {
-	pb := protocol.Piggyback{DV: p.dv.Clone(), Index: p.proto.OnSend()}
+	pb := protocol.Piggyback{DV: r.getDV(p.dv), Index: p.proto.OnSend()}
 	g := r.hist.Send(p.id)
 	r.mirror.Send(p.id)
 	r.sendPB[g] = pb
@@ -199,20 +231,24 @@ func (r *Runner) send(p *proc) int {
 }
 
 func (r *Runner) deliver(p *proc, gmsg int) error {
-	pb, ok := r.sendPB[gmsg]
+	snap, ok := r.sendPB[gmsg]
 	if !ok {
 		return fmt.Errorf("sim: delivery of unknown message %d", gmsg)
 	}
+	pb := snap
 	var entries []sparseEntry
 	if r.comp != nil {
 		from := r.msgSender(gmsg)
 		var err error
-		entries, err = r.comp.encode(from, p.id, r.sendOrd[gmsg], pb.DV)
+		entries, err = r.comp.encode(from, p.id, r.sendOrd[gmsg], snap.DV)
 		if err != nil {
 			return err
 		}
 		r.metrics.PiggybackEntries += len(entries)
-		pb = protocol.Piggyback{DV: expand(p.dv, entries), Index: pb.Index}
+		if p.expandBuf == nil {
+			p.expandBuf = vclock.New(r.cfg.N)
+		}
+		pb = protocol.Piggyback{DV: expand(p.dv, entries, p.expandBuf), Index: snap.Index}
 	}
 	// A forced checkpoint must be stored before the garbage collection for
 	// this receive runs (Section 4.5's ordering remark).
@@ -221,19 +257,24 @@ func (r *Runner) deliver(p *proc, gmsg int) error {
 			return err
 		}
 	}
-	var increased []int
 	if r.comp != nil {
-		increased = applySparse(p.dv, entries)
+		p.scratch = applySparseAppend(p.dv, entries, p.scratch[:0])
 	} else {
-		increased = p.dv.Merge(pb.DV)
+		p.scratch = p.dv.MergeAppend(pb.DV, p.scratch[:0])
 	}
-	if err := p.gcol.OnNewInfo(increased, p.dv); err != nil {
+	if err := p.gcol.OnNewInfo(p.scratch, p.dv); err != nil {
 		return err
 	}
 	p.proto.OnDeliver(pb)
 	r.hist.Recv(p.id, gmsg)
 	r.mirror.Receive(p.id, gmsg)
 	r.metrics.Delivered++
+	// The message is consumed: recycle the snapshot and drop the
+	// bookkeeping for its id (scripts cannot deliver it again).
+	r.dvFree = append(r.dvFree, snap.DV)
+	delete(r.sendPB, gmsg)
+	delete(r.sendOrd, gmsg)
+	delete(r.sendBy, gmsg)
 	return nil
 }
 
@@ -243,7 +284,7 @@ func (r *Runner) msgSender(gmsg int) int { return r.sendBy[gmsg] }
 func (r *Runner) takeCheckpoint(p *proc, basic bool) error {
 	index := p.dv[p.id] // the checkpoint closes the current interval
 	if err := p.store.Save(storage.Checkpoint{
-		Process: p.id, Index: index, DV: p.dv.Clone(), State: r.stateBytes(),
+		Process: p.id, Index: index, DV: p.dv, State: r.stateBytes(),
 	}); err != nil {
 		return fmt.Errorf("sim: checkpoint %d of p%d: %w", index, p.id, err)
 	}

@@ -1,12 +1,12 @@
 package storage
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +28,7 @@ type FileStore struct {
 	dir   string
 	live  map[int]int // index -> state length, for byte accounting
 	stats Stats
+	enc   []byte // reused encode buffer (guarded by mu)
 }
 
 // OpenFileStore opens (or creates) a file store rooted at dir. Existing
@@ -69,9 +70,11 @@ func OpenFileStore(dir string) (*FileStore, error) {
 		if cp.Index != idx {
 			return nil, fmt.Errorf("storage: checkpoint file %s records index %d", e.Name(), cp.Index)
 		}
-		fs.live[idx] = len(data)
+		// LiveBytes counts state bytes only, the same definition MemStore
+		// uses (see Stats), so byte accounting is comparable across stores.
+		fs.live[idx] = len(cp.State)
 		fs.stats.Live++
-		fs.stats.LiveBytes += len(data)
+		fs.stats.LiveBytes += len(cp.State)
 	}
 	fs.stats.Peak = fs.stats.Live
 	fs.stats.PeakBytes = fs.stats.LiveBytes
@@ -93,12 +96,25 @@ func parseName(name string) (int, bool) {
 	return idx, true
 }
 
+// EncodeCheckpoint serializes a checkpoint into the on-disk record format.
+// Exported for the performance harness (internal/bench), which gates the
+// per-checkpoint encoding cost.
+func EncodeCheckpoint(cp Checkpoint) []byte { return encode(nil, cp) }
+
+// DecodeCheckpoint parses one on-disk checkpoint record.
+func DecodeCheckpoint(b []byte) (Checkpoint, error) { return decode(b) }
+
+const ckptMagic = int64(0x5244544C47431) // "RDTLGC" tag
+
 // encode serializes a checkpoint: magic, process, index, vector length,
-// vector entries, state length, state — all little-endian int64.
-func encode(cp Checkpoint) []byte {
-	var buf bytes.Buffer
-	w := func(v int64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
-	w(0x5244544C47431 /* "RDTLGC" tag */)
+// vector entries, state length, state — all little-endian int64. It appends
+// to buf (pass nil for a fresh record), sized exactly up front so the whole
+// record costs at most one allocation; the previous bytes.Buffer +
+// binary.Write form allocated per field, which dominated the save path.
+func encode(buf []byte, cp Checkpoint) []byte {
+	buf = slices.Grow(buf, 8*(5+len(cp.DV))+len(cp.State))
+	w := func(v int64) { buf = binary.LittleEndian.AppendUint64(buf, uint64(v)) }
+	w(ckptMagic)
 	w(int64(cp.Process))
 	w(int64(cp.Index))
 	w(int64(len(cp.DV)))
@@ -106,54 +122,54 @@ func encode(cp Checkpoint) []byte {
 		w(int64(v))
 	}
 	w(int64(len(cp.State)))
-	buf.Write(cp.State)
-	return buf.Bytes()
+	return append(buf, cp.State...)
 }
 
 func decode(b []byte) (Checkpoint, error) {
-	r := bytes.NewReader(b)
-	rd := func() (int64, error) {
-		var v int64
-		err := binary.Read(r, binary.LittleEndian, &v)
-		return v, err
+	off := 0
+	rd := func() (int64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := int64(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		return v, true
 	}
-	magic, err := rd()
-	if err != nil || magic != 0x5244544C47431 {
+	magic, ok := rd()
+	if !ok || magic != ckptMagic {
 		return Checkpoint{}, fmt.Errorf("storage: bad checkpoint file header")
 	}
 	var cp Checkpoint
-	p, err := rd()
-	if err != nil {
-		return Checkpoint{}, err
+	p, ok := rd()
+	if !ok {
+		return Checkpoint{}, io.ErrUnexpectedEOF
 	}
-	idx, err := rd()
-	if err != nil {
-		return Checkpoint{}, err
+	idx, ok := rd()
+	if !ok {
+		return Checkpoint{}, io.ErrUnexpectedEOF
 	}
-	n, err := rd()
-	if err != nil || n < 0 || n > 1<<20 {
+	n, ok := rd()
+	if !ok || n < 0 || n > 1<<20 || n > int64(len(b)-off)/8 {
 		return Checkpoint{}, fmt.Errorf("storage: bad vector length")
 	}
 	cp.Process, cp.Index = int(p), int(idx)
 	cp.DV = vclock.New(int(n))
 	for i := range cp.DV {
-		v, err := rd()
-		if err != nil {
-			return Checkpoint{}, err
+		v, ok := rd()
+		if !ok {
+			return Checkpoint{}, io.ErrUnexpectedEOF
 		}
 		cp.DV[i] = int(v)
 	}
-	sl, err := rd()
-	if err != nil || sl < 0 || sl > int64(r.Len()) {
+	sl, ok := rd()
+	if !ok || sl < 0 || sl > int64(len(b)-off) {
 		// The state length must not exceed the bytes actually present;
 		// otherwise a corrupted header could demand an arbitrary
 		// allocation (found by FuzzDecode).
 		return Checkpoint{}, fmt.Errorf("storage: bad state length")
 	}
 	cp.State = make([]byte, sl)
-	if _, err := io.ReadFull(r, cp.State); err != nil {
-		return Checkpoint{}, err
-	}
+	copy(cp.State, b[off:off+int(sl)])
 	return cp, nil
 }
 
@@ -164,7 +180,8 @@ func (fs *FileStore) Save(cp Checkpoint) error {
 	if _, dup := fs.live[cp.Index]; dup {
 		return fmt.Errorf("storage: duplicate save of checkpoint %d of p%d", cp.Index, cp.Process)
 	}
-	data := encode(cp)
+	fs.enc = encode(fs.enc[:0], cp)
+	data := fs.enc
 	tmp := fs.path(cp.Index) + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("storage: write %s: %w", tmp, err)
@@ -172,10 +189,10 @@ func (fs *FileStore) Save(cp Checkpoint) error {
 	if err := os.Rename(tmp, fs.path(cp.Index)); err != nil {
 		return fmt.Errorf("storage: commit %s: %w", tmp, err)
 	}
-	fs.live[cp.Index] = len(data)
+	fs.live[cp.Index] = len(cp.State)
 	fs.stats.Saved++
 	fs.stats.Live++
-	fs.stats.LiveBytes += len(data)
+	fs.stats.LiveBytes += len(cp.State)
 	if fs.stats.Live > fs.stats.Peak {
 		fs.stats.Peak = fs.stats.Live
 	}

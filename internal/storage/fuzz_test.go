@@ -12,13 +12,13 @@ import (
 func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("garbage"))
-	f.Add(encode(Checkpoint{Process: 1, Index: 2, DV: vclock.DV{3, 4}, State: []byte("s")}))
+	f.Add(EncodeCheckpoint(Checkpoint{Process: 1, Index: 2, DV: vclock.DV{3, 4}, State: []byte("s")}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cp, err := decode(data)
 		if err != nil {
 			return
 		}
-		re, err := decode(encode(cp))
+		re, err := decode(encode(nil, cp))
 		if err != nil {
 			t.Fatalf("re-decode of accepted checkpoint failed: %v", err)
 		}

@@ -32,7 +32,10 @@ type Checkpoint struct {
 // middleware and the garbage collectors.
 type Store interface {
 	// Save durably writes a checkpoint. Saving the same index twice is an
-	// error: checkpoint indices are unique per process.
+	// error: checkpoint indices are unique per process. Implementations
+	// must not retain cp.DV or cp.State (copy or encode them before
+	// returning), so callers can pass live vectors and reused buffers —
+	// the per-message paths depend on this to stay allocation-lean.
 	Save(cp Checkpoint) error
 	// Delete removes the checkpoint with the given index. Deleting an
 	// absent index is an error: the collectors must never double-free.

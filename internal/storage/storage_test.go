@@ -134,7 +134,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			cp.DV[i] = rng.Intn(50)
 		}
 		rng.Read(cp.State)
-		got, err := decode(encode(cp))
+		got, err := decode(encode(nil, cp))
 		return err == nil && got.Process == cp.Process && got.Index == cp.Index &&
 			got.DV.Equal(cp.DV) && bytes.Equal(got.State, cp.State)
 	}

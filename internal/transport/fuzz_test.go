@@ -10,13 +10,13 @@ import (
 func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a frame"))
-	f.Add(encode(Message{From: 1, To: 2, Msg: 3, Epoch: 4, Index: 5, DV: []int{6, 7}}))
+	f.Add(Encode(Message{From: 1, To: 2, Msg: 3, Epoch: 4, Index: 5, DV: []int{6, 7}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := decode(data)
 		if err != nil {
 			return
 		}
-		re, err := decode(encode(m))
+		re, err := decode(appendEncode(nil, m))
 		if err != nil {
 			t.Fatalf("re-decode of accepted frame failed: %v", err)
 		}

@@ -9,12 +9,12 @@
 package transport
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 )
 
@@ -33,10 +33,25 @@ type Message struct {
 
 const magic = int64(0x52445457495245) // "RDTWIRE"
 
-// encode frames a message: magic, fixed header, vector length, entries.
-func encode(m Message) []byte {
-	var buf bytes.Buffer
-	w := func(v int64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+// Encode frames a message into its wire form. Exported for the performance
+// harness (internal/bench), which gates the per-message framing cost.
+func Encode(m Message) []byte { return appendEncode(nil, m) }
+
+// Decode parses one wire frame.
+func Decode(b []byte) (Message, error) { return decode(b) }
+
+// encodedSize is the exact wire size of a message (excluding the frame
+// length prefix).
+func encodedSize(m Message) int { return 8*(8+len(m.DV)) + len(m.Payload) }
+
+// appendEncode frames a message — magic, fixed header, vector length,
+// entries, payload — appending to buf. Sized exactly up front, the whole
+// frame costs at most one allocation (none when the caller reuses a
+// buffer); the previous bytes.Buffer + binary.Write form allocated per
+// field on every message.
+func appendEncode(buf []byte, m Message) []byte {
+	buf = slices.Grow(buf, encodedSize(m))
+	w := func(v int64) { buf = binary.LittleEndian.AppendUint64(buf, uint64(v)) }
 	w(magic)
 	w(int64(m.From))
 	w(int64(m.To))
@@ -48,63 +63,59 @@ func encode(m Message) []byte {
 		w(int64(v))
 	}
 	w(int64(len(m.Payload)))
-	buf.Write(m.Payload)
-	return buf.Bytes()
+	return append(buf, m.Payload...)
 }
 
 // decode parses one frame payload.
 func decode(b []byte) (Message, error) {
-	r := bytes.NewReader(b)
-	rd := func() (int64, error) {
-		var v int64
-		err := binary.Read(r, binary.LittleEndian, &v)
-		return v, err
+	off := 0
+	rd := func() (int64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := int64(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		return v, true
 	}
-	mg, err := rd()
-	if err != nil || mg != magic {
+	mg, ok := rd()
+	if !ok || mg != magic {
 		return Message{}, errors.New("transport: bad frame magic")
 	}
 	var m Message
-	fields := []*int{&m.From, &m.To, &m.Msg}
-	for _, f := range fields {
-		v, err := rd()
-		if err != nil {
-			return Message{}, fmt.Errorf("transport: short frame: %w", err)
+	for _, f := range [...]*int{&m.From, &m.To, &m.Msg} {
+		v, ok := rd()
+		if !ok {
+			return Message{}, fmt.Errorf("transport: short frame: %w", io.ErrUnexpectedEOF)
 		}
 		*f = int(v)
 	}
-	ep, err := rd()
-	if err != nil {
-		return Message{}, fmt.Errorf("transport: short frame: %w", err)
+	ep, ok := rd()
+	if !ok {
+		return Message{}, fmt.Errorf("transport: short frame: %w", io.ErrUnexpectedEOF)
 	}
 	m.Epoch = uint64(ep)
-	idx, err := rd()
-	if err != nil {
-		return Message{}, fmt.Errorf("transport: short frame: %w", err)
+	idx, ok := rd()
+	if !ok {
+		return Message{}, fmt.Errorf("transport: short frame: %w", io.ErrUnexpectedEOF)
 	}
 	m.Index = int(idx)
-	n, err := rd()
-	if err != nil || n < 0 || n > int64(r.Len())/8 {
+	n, ok := rd()
+	if !ok || n < 0 || n > int64(len(b)-off)/8 {
 		// Entries are 8 bytes each; a length beyond the bytes present is a
 		// corrupted frame and must not drive the allocation.
 		return Message{}, errors.New("transport: bad vector length")
 	}
 	m.DV = make([]int, n)
 	for i := range m.DV {
-		v, err := rd()
-		if err != nil {
-			return Message{}, fmt.Errorf("transport: short vector: %w", err)
-		}
+		v, _ := rd() // length was validated against the bytes present
 		m.DV[i] = int(v)
 	}
-	pl, err := rd()
-	if err != nil || pl < 0 || pl > int64(r.Len()) {
+	pl, ok := rd()
+	if !ok || pl < 0 || pl > int64(len(b)-off) {
 		return Message{}, errors.New("transport: bad payload length")
 	}
 	m.Payload = make([]byte, pl)
-	if _, err := io.ReadFull(r, m.Payload); err != nil {
-		return Message{}, fmt.Errorf("transport: short payload: %w", err)
-	}
+	copy(m.Payload, b[off:off+int(pl)])
 	return m, nil
 }
 
@@ -124,8 +135,9 @@ type TCP struct {
 }
 
 type sendConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	mu  sync.Mutex
+	c   net.Conn
+	buf []byte // reused frame buffer (guarded by mu)
 }
 
 // NewTCP opens one loopback listener per node. Call Start to begin
@@ -179,15 +191,20 @@ func (t *TCP) Start(deliver func(Message)) error {
 
 func (t *TCP) readLoop(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
+	var hdr [8]byte
+	var payload []byte // reused across frames; decode copies what escapes
 	for {
-		var size int64
-		if err := binary.Read(conn, binary.LittleEndian, &size); err != nil {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
+		size := int64(binary.LittleEndian.Uint64(hdr[:]))
 		if size <= 0 || size > 1<<20 {
 			return
 		}
-		payload := make([]byte, size)
+		if int64(cap(payload)) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
@@ -221,14 +238,13 @@ func (t *TCP) Send(m Message) error {
 	}
 	t.mu.Unlock()
 
-	payload := encode(m)
-	var frame bytes.Buffer
-	_ = binary.Write(&frame, binary.LittleEndian, int64(len(payload)))
-	frame.Write(payload)
-
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if _, err := sc.c.Write(frame.Bytes()); err != nil {
+	// One reused buffer holds the length prefix and the frame, so a send
+	// costs a single Write and, steady-state, zero allocations.
+	sc.buf = binary.LittleEndian.AppendUint64(sc.buf[:0], uint64(encodedSize(m)))
+	sc.buf = appendEncode(sc.buf, m)
+	if _, err := sc.c.Write(sc.buf); err != nil {
 		return fmt.Errorf("transport: send to node %d: %w", m.To, err)
 	}
 	return nil

@@ -25,7 +25,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			m.DV[i] = rng.Intn(1000)
 		}
 		rng.Read(m.Payload)
-		got, err := decode(encode(m))
+		got, err := decode(appendEncode(nil, m))
 		if err != nil {
 			return false
 		}

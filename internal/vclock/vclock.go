@@ -60,17 +60,43 @@ func (dv DV) CopyFrom(src DV) {
 //
 // This is exactly the receive-side update of Algorithm 2: for every j with
 // m.DV[j] > DV[j], the receiver learns of a newer checkpoint interval of p_j.
+//
+// Merge allocates the result; per-message call sites use MergeAppend with a
+// reused scratch buffer instead.
 func (dv DV) Merge(m DV) (increased []int) {
+	return dv.MergeAppend(m, nil)
+}
+
+// MergeAppend is the allocation-free form of Merge: the indices that
+// strictly increased are appended to buf (usually a per-process scratch
+// buffer truncated to buf[:0] by the caller) and the extended slice is
+// returned. With cap(buf) >= len(dv) no allocation occurs; a merge can
+// raise at most len(dv) entries.
+func (dv DV) MergeAppend(m DV, buf []int) []int {
 	if len(dv) != len(m) {
 		panic(fmt.Sprintf("vclock: Merge length mismatch: %d != %d", len(dv), len(m)))
 	}
 	for j, v := range m {
 		if v > dv[j] {
 			dv[j] = v
-			increased = append(increased, j)
+			buf = append(buf, j)
 		}
 	}
-	return increased
+	return buf
+}
+
+// MaxWith folds m into dv by component-wise maximum without reporting
+// which entries rose — the merge for mirrors and oracles that only need
+// the resulting vector. It never allocates.
+func (dv DV) MaxWith(m DV) {
+	if len(dv) != len(m) {
+		panic(fmt.Sprintf("vclock: MaxWith length mismatch: %d != %d", len(dv), len(m)))
+	}
+	for j, v := range m {
+		if v > dv[j] {
+			dv[j] = v
+		}
+	}
 }
 
 // NewInfo reports, without mutating dv, whether merging m would increase any

@@ -79,6 +79,88 @@ func TestMergeLengthMismatchPanics(t *testing.T) {
 	New(2).Merge(New(3))
 }
 
+func TestMergeAppendMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]int, 0, 8) // reused across trials, like the call sites do
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		a, b := randomDV(rng, n), randomDV(rng, n)
+		want := a.Clone()
+		wantInc := want.Merge(b)
+		got := a.Clone()
+		buf = got.MergeAppend(b, buf[:0])
+		if len(wantInc) != len(buf) || (len(buf) > 0 && !reflect.DeepEqual(wantInc, buf)) {
+			t.Fatalf("MergeAppend(%v, %v) reported %v, Merge reported %v", a, b, buf, wantInc)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("MergeAppend merged to %v, Merge to %v", got, want)
+		}
+	}
+}
+
+func TestMergeAppendExtendsBuffer(t *testing.T) {
+	dv := DV{0, 5, 0}
+	buf := []int{99}
+	buf = dv.MergeAppend(DV{1, 1, 2}, buf)
+	if !reflect.DeepEqual(buf, []int{99, 0, 2}) {
+		t.Fatalf("buf = %v, want [99 0 2]", buf)
+	}
+	if !dv.Equal(DV{1, 5, 2}) {
+		t.Fatalf("dv = %v, want (1, 5, 2)", dv)
+	}
+}
+
+func TestMergeAppendDoesNotAllocate(t *testing.T) {
+	local, msg := New(64), New(64)
+	buf := make([]int, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := range msg {
+			msg[j]++ // every entry carries new info, worst case
+		}
+		buf = local.MergeAppend(msg, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("MergeAppend with a sized buffer allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestMergeAppendLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(2).MergeAppend(New(3), nil)
+}
+
+func TestMaxWithMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		a, b := randomDV(rng, n), randomDV(rng, n)
+		want := a.Clone()
+		want.Merge(b)
+		got := a.Clone()
+		got.MaxWith(b)
+		if !got.Equal(want) {
+			t.Fatalf("MaxWith(%v, %v) = %v, Merge = %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMaxWithDoesNotAllocate(t *testing.T) {
+	local, msg := New(64), New(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := range msg {
+			msg[j]++
+		}
+		local.MaxWith(msg)
+	})
+	if allocs != 0 {
+		t.Fatalf("MaxWith allocated %.1f times per op, want 0", allocs)
+	}
+}
+
 func TestNewInfoMatchesMerge(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 500; trial++ {
