@@ -65,6 +65,7 @@ func RunChaos(plan ChaosPlan, net Network, opt ...Option) (ChaosResult, error) {
 		},
 		GlobalLI:      true,
 		Deterministic: true,
+		Compress:      o.compress,
 		RDT:           o.protocol.RDT(),
 	}
 	switch o.collector {

@@ -8,6 +8,9 @@
 //	                    overhead of the RDT protocol hierarchy (E2)
 //	-table rollback     every workload × protocol × size: rollback
 //	                    propagation after crashes (Agbaria et al. axis) (E3)
+//	-table compress     size × engine × piggyback mode: control-information
+//	                    cost of incremental dependency-vector piggybacking,
+//	                    through both kernel drivers (E6)
 //
 // Grid cells are independent, so the engine (internal/sweep) runs them on a
 // bounded worker pool; -workers controls its size and any value renders a
@@ -35,7 +38,7 @@ func main() {
 		sizes   = flag.String("sizes", "4,8,16", "comma-separated process counts")
 		pcheck  = flag.Float64("pcheckpoint", 0.2, "basic checkpoint probability")
 		every   = flag.Int("globalevery", 1, "events between control-message rounds for the global collectors (sync-opt, rl-gc)")
-		table   = flag.String("table", "collectors", "table to produce: collectors|protocols|rollback")
+		table   = flag.String("table", "collectors", "table to produce: collectors|protocols|rollback|compress")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker pool size (result order does not depend on it)")
 		format  = flag.String("format", "text", "output format: text|json")
 		bench   = flag.Bool("bench", false, "run the grid serially and with -workers, emit the timing comparison as JSON")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gc"
 	"repro/internal/metrics"
+	"repro/internal/node"
 	"repro/internal/protocol"
 	"repro/internal/runtime"
 	"repro/internal/sim"
@@ -57,6 +58,16 @@ func Suite(sizes []int) []Case {
 	// Crash-recovery rehydration: open a store directory holding n
 	// checkpoints and decode every record.
 	add("storage/rehydrate", false, 2, rehydrateCase)
+	// The shared middleware kernel's end-to-end delivery path: FIFO
+	// bookkeeping-free full-vector deliver — forced-checkpoint decision,
+	// merge, RDT-LGC collect, periodic forced checkpoints — exactly what
+	// both engines now execute per message. Forced-checkpoint saves hit
+	// the in-memory store, whose map growth adds slight allocation jitter.
+	add("node/deliver", true, 1, nodeDeliverCase)
+	// The kernel's compressed send path: incremental encode against the
+	// per-destination state, plus the receiving kernel's sparse expand,
+	// FIFO verification and merge — the hot path of WithCompression runs.
+	add("node/send-compressed", true, 1, nodeSendCompressedCase)
 	// TCP mesh framing round trip (encode + decode of one message).
 	add("transport/roundtrip", true, 0, transportCase)
 	// Live-runtime end-to-end delivery: send through the asynchronous
@@ -244,6 +255,74 @@ func rehydrateCase(n int) func(*T) {
 			Sink += re.Stats().Live
 		}
 		t.Stop()
+	}
+}
+
+// benchKernel assembles a kernel with the production stack (FDAS +
+// RDT-LGC on an in-memory store), the configuration both engine-level
+// benchmarks ultimately exercise.
+func benchKernel(t *T, id, n int, compress bool) *node.Kernel {
+	k, err := node.New(node.Config{
+		ID: id, N: n,
+		Store:    storage.NewMemStore(),
+		Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+		LocalGC: func(self, nn int, st storage.Store) gc.Local {
+			return core.New(self, nn, st)
+		},
+		Compress: compress,
+	})
+	if err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	return k
+}
+
+func nodeDeliverCase(n int) func(*T) {
+	return func(t *T) {
+		k := benchKernel(t, 0, n, false)
+		peer := vclock.New(n)
+		pb := node.Piggyback{DV: peer}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			// One delivery carrying new info about a rotating peer...
+			j := 1 + i%(n-1)
+			peer[j]++
+			if i%8 == 7 {
+				// ...and periodically a send arming FDAS, so the next
+				// delivery takes the forced-checkpoint branch and the
+				// collector's per-checkpoint work runs too.
+				if _, err := k.Send(j); err != nil {
+					t.Fatalf("send: %v", err)
+				}
+			}
+			if _, err := k.Deliver(pb); err != nil {
+				t.Fatalf("deliver: %v", err)
+			}
+		}
+		t.Metric("retained", float64(len(k.Store().Indices())))
+	}
+}
+
+func nodeSendCompressedCase(n int) func(*T) {
+	return func(t *T) {
+		a := benchKernel(t, 0, n, true)
+		b := benchKernel(t, 1, n, true)
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			// A checkpoint changes exactly one entry of a's vector, so the
+			// incremental encode ships one entry instead of n.
+			if _, err := a.Checkpoint(true); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			pb, err := a.Send(1)
+			if err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			if _, err := b.Deliver(pb); err != nil {
+				t.Fatalf("deliver: %v", err)
+			}
+		}
+		t.Metric("entries/msg", float64(a.PiggybackEntries())/float64(t.N))
 	}
 }
 

@@ -41,6 +41,12 @@ type Config struct {
 	// verification still holds, measurements vary.
 	Deterministic bool
 
+	// Compress enables incremental dependency-vector piggybacking on the
+	// cluster under test. The technique requires reliable channels, so the
+	// baseline network must be lossless (Run refuses otherwise) and the
+	// loss component of burst steps is ignored; delay bursts still apply.
+	Compress bool
+
 	// RDT asserts the protocol guarantees rollback-dependency
 	// trackability: every post-recovery pattern is checked for RDT
 	// violations.
@@ -99,12 +105,16 @@ func Run(cfg Config, plan Plan) (Result, error) {
 	if cfg.Deterministic {
 		base.MinDelay, base.MaxDelay = 0, 0
 	}
+	if cfg.Compress && base.Loss > 0 {
+		return Result{}, fmt.Errorf("chaos: compressed piggybacking requires a lossless baseline network (loss %g)", base.Loss)
+	}
 	c, err := runtime.NewCluster(runtime.Config{
 		N:        plan.N,
 		Protocol: cfg.Protocol,
 		LocalGC:  cfg.LocalGC,
 		NewStore: cfg.NewStore,
 		Net:      base,
+		Compress: cfg.Compress,
 	})
 	if err != nil {
 		return Result{}, err
@@ -125,14 +135,24 @@ func Run(cfg Config, plan Plan) (Result, error) {
 			if cfg.Deterministic {
 				maxDelay = 0
 			}
-			c.SetNetwork(0, maxDelay, step.Loss)
+			loss := step.Loss
+			if cfg.Compress {
+				// Incremental piggybacks cannot survive silent loss; the
+				// burst keeps its delay component only.
+				loss = 0
+			}
+			if err := c.SetNetwork(0, maxDelay, loss); err != nil {
+				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+			}
 			burst = true
 		case StepDrive:
 			if err := drive(c, rng, step.Ops, cfg); err != nil {
 				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
 			}
 			if burst {
-				c.SetNetwork(base.MinDelay, base.MaxDelay, base.Loss)
+				if err := c.SetNetwork(base.MinDelay, base.MaxDelay, base.Loss); err != nil {
+					return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+				}
 				burst = false
 			}
 		case StepCrash:

@@ -1,0 +1,136 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// This file implements the Singhal–Kshemkalyani incremental technique for
+// dependency-vector piggybacking as a kernel capability: a sender
+// transmits, per destination, only the vector entries that changed since
+// its previous message to that destination. Under reliable FIFO channels
+// the receiver provably misses nothing — an unchanged entry was already
+// covered by the previous message — so the middleware behaves identically
+// to full-vector piggybacking (the equivalence tests assert this) while
+// the control information shrinks from n entries per message to the number
+// of recently changed ones.
+//
+// Both engines use it through the same state: the live runtime encodes at
+// send time (Kernel.Send, the destination is known) and sequences the
+// network per pair; the deterministic simulator encodes lazily at delivery
+// time (Kernel.EncodeFor, scripts bind the destination at the receive
+// operation), which under per-pair FIFO is identical to sender-side
+// encoding. Every compressed delivery is verified against the per-pair
+// encode order, so a lost or reordered message fails loudly instead of
+// silently corrupting causal knowledge.
+
+// Entry is one transmitted vector entry: process K's interval index V.
+type Entry struct {
+	K, V int
+}
+
+// compressor holds one kernel's per-pair incremental-piggyback state.
+type compressor struct {
+	lastSent map[int]vclock.DV // per destination: vector covered by the previous encode
+	lastOrd  map[int]int       // per destination: send order of the last encoded message
+	encCnt   map[int]int       // per destination: encodes so far (the wire Ord)
+	recvNext map[int]int       // per source: next expected wire Ord
+}
+
+func newCompressor() *compressor {
+	return &compressor{
+		lastSent: make(map[int]vclock.DV),
+		lastOrd:  make(map[int]int),
+		encCnt:   make(map[int]int),
+		recvNext: make(map[int]int),
+	}
+}
+
+// reset discards all per-pair state, restarting every pair from a full
+// set of entries.
+func (c *compressor) reset() {
+	c.lastSent = make(map[int]vclock.DV)
+	c.lastOrd = make(map[int]int)
+	c.encCnt = make(map[int]int)
+	c.recvNext = make(map[int]int)
+}
+
+// nextOrd returns the send order the kernel's own send path uses for the
+// next encode to dest (encode order and send order coincide when encoding
+// happens at send time).
+func (c *compressor) nextOrd(dest int) int { return c.encCnt[dest] }
+
+// encode returns the entries of snapshot that changed since the previous
+// encode for dest, plus the message's per-pair wire order. sendOrd is the
+// message's position among the sender's sends, for FIFO enforcement when
+// encoding lazily at delivery time.
+func (c *compressor) encode(dest, sendOrd int, snapshot vclock.DV) ([]Entry, int, error) {
+	if last, ok := c.lastOrd[dest]; ok && sendOrd < last {
+		return nil, 0, fmt.Errorf("node: compressed piggybacking requires FIFO channels: →p%d delivered send %d after %d",
+			dest, sendOrd, last)
+	}
+	c.lastOrd[dest] = sendOrd
+	ord := c.encCnt[dest]
+	c.encCnt[dest] = ord + 1
+	prev, ok := c.lastSent[dest]
+	var entries []Entry
+	if !ok {
+		for k, v := range snapshot {
+			if v != 0 {
+				entries = append(entries, Entry{K: k, V: v})
+			}
+		}
+		c.lastSent[dest] = snapshot.Clone()
+		return entries, ord, nil
+	}
+	for k, v := range snapshot {
+		if v != prev[k] {
+			entries = append(entries, Entry{K: k, V: v})
+			prev[k] = v
+		}
+	}
+	return entries, ord, nil
+}
+
+// verifyArrival checks a compressed message arrives exactly in per-pair
+// encode order: a gap means a message was lost (the deltas it carried are
+// unrecoverable), an inversion means the channel is not FIFO.
+func (c *compressor) verifyArrival(from, ord int) error {
+	if c == nil {
+		return fmt.Errorf("node: compressed piggyback delivered to a non-compressing kernel")
+	}
+	if want := c.recvNext[from]; ord != want {
+		return fmt.Errorf("node: compressed piggybacking requires reliable per-pair FIFO delivery: p%d's message %d arrived, want %d",
+			from, ord, want)
+	}
+	c.recvNext[from]++
+	return nil
+}
+
+// expand reconstructs, for the protocol's forced-checkpoint test, a vector
+// equivalent to the full piggyback: the receiver's current vector with the
+// transmitted entries folded in, written into the caller's reused buffer.
+// Under FIFO this carries new information exactly when the full vector
+// would.
+func expand(local vclock.DV, entries []Entry, buf vclock.DV) vclock.DV {
+	buf.CopyFrom(local)
+	for _, e := range entries {
+		if e.V > buf[e.K] {
+			buf[e.K] = e.V
+		}
+	}
+	return buf
+}
+
+// applySparseAppend merges the entries into dv, appending the indices that
+// increased to buf — the same contract as vclock.DV.MergeAppend.
+func applySparseAppend(dv vclock.DV, entries []Entry, buf []int) []int {
+	for _, e := range entries {
+		if e.V > dv[e.K] {
+			dv[e.K] = e.V
+			buf = append(buf, e.K)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,244 @@
+package node_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/node"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+func kernel(t *testing.T, id, n int, compress bool) *node.Kernel {
+	t.Helper()
+	k, err := node.New(node.Config{
+		ID: id, N: n,
+		Store:    storage.NewMemStore(),
+		Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+		LocalGC:  func(self, nn int, st storage.Store) gc.Local { return core.New(self, nn, st) },
+		Compress: compress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestNewStoresInitialCheckpoint checks the model's precondition: s^0 is in
+// stable storage before any activity and the kernel starts in interval 1.
+func TestNewStoresInitialCheckpoint(t *testing.T) {
+	k := kernel(t, 0, 3, false)
+	idx := k.Store().Indices()
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Fatalf("store holds %v, want [0]", idx)
+	}
+	want := vclock.DV{1, 0, 0}
+	if !k.DV().Equal(want) {
+		t.Fatalf("initial DV = %v, want %v", k.DV(), want)
+	}
+	if k.LastStable() != 0 {
+		t.Fatalf("lastS = %d, want 0", k.LastStable())
+	}
+}
+
+// TestConfigValidation checks the kernel refuses unusable configurations.
+func TestConfigValidation(t *testing.T) {
+	if _, err := node.New(node.Config{ID: 0, N: 0, Store: storage.NewMemStore()}); err == nil {
+		t.Error("N=0 should be rejected")
+	}
+	if _, err := node.New(node.Config{ID: 3, N: 2, Store: storage.NewMemStore()}); err == nil {
+		t.Error("out-of-range ID should be rejected")
+	}
+	if _, err := node.New(node.Config{ID: 0, N: 2}); err == nil {
+		t.Error("nil store should be rejected")
+	}
+}
+
+// TestDeliverEquivalence runs the same traffic through a full-vector pair
+// and a compressed pair of kernels and checks bit-for-bit equivalent
+// middleware state: same vectors, same forced checkpoints, same stores —
+// the Singhal–Kshemkalyani guarantee under FIFO, now at the kernel level.
+func TestDeliverEquivalence(t *testing.T) {
+	const n = 2
+	run := func(compress bool) [2]*node.Kernel {
+		ks := [2]*node.Kernel{kernel(t, 0, n, compress), kernel(t, 1, n, compress)}
+		step := func(from, to int) {
+			pb, err := ks[from].Send(to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !compress {
+				// Full-vector engines may defer destination binding; both
+				// forms must behave identically.
+				if pb.Compressed {
+					t.Fatal("uncompressed kernel produced a sparse piggyback")
+				}
+			}
+			if _, err := ks[to].Deliver(pb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ckpt := func(p int) {
+			if _, err := ks[p].Checkpoint(true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step(0, 1)
+		ckpt(1)
+		step(1, 0)
+		step(0, 1) // FDAS: send in interval + new info forces a checkpoint
+		ckpt(0)
+		step(1, 0)
+		step(0, 1)
+		return ks
+	}
+	full, comp := run(false), run(true)
+	for i := 0; i < n; i++ {
+		if !full[i].DV().Equal(comp[i].DV()) {
+			t.Errorf("p%d DV full %v != compressed %v", i, full[i].DV(), comp[i].DV())
+		}
+		fb, ff := full[i].Counts()
+		cb, cf := comp[i].Counts()
+		if fb != cb || ff != cf {
+			t.Errorf("p%d checkpoint counts diverge: full (%d,%d) vs compressed (%d,%d)", i, fb, ff, cb, cf)
+		}
+	}
+	if comp[0].PiggybackEntries() > full[0].PiggybackEntries() {
+		t.Errorf("compression grew the piggyback: %d > %d",
+			comp[0].PiggybackEntries(), full[0].PiggybackEntries())
+	}
+}
+
+// TestDeliverRejectsGapsAndReordering checks the per-pair FIFO contract is
+// enforced at delivery: a skipped or repeated compressed message fails
+// loudly instead of silently corrupting causal knowledge.
+func TestDeliverRejectsGapsAndReordering(t *testing.T) {
+	a, b := kernel(t, 0, 2, true), kernel(t, 1, 2, true)
+	pb1, err := a.Send(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb2, err := a.Send(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver the second message first: a gap from the receiver's view.
+	if _, err := b.Deliver(pb2); err == nil {
+		t.Fatal("out-of-order compressed delivery should fail")
+	}
+	if _, err := b.Deliver(pb1); err != nil {
+		t.Fatalf("in-order delivery failed: %v", err)
+	}
+	// A replay of the same message is an inversion.
+	if _, err := b.Deliver(pb1); err == nil {
+		t.Fatal("duplicate compressed delivery should fail")
+	}
+}
+
+// TestDeliverSparseToFullKernel checks a compressed piggyback handed to a
+// kernel that is not compressing fails instead of being misread.
+func TestDeliverSparseToFullKernel(t *testing.T) {
+	a := kernel(t, 0, 2, true)
+	b := kernel(t, 1, 2, false)
+	pb, err := a.Send(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Deliver(pb); err == nil {
+		t.Fatal("sparse piggyback on a non-compressing kernel should fail")
+	} else if !strings.Contains(err.Error(), "non-compressing") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCrashRehydrateRollback walks the crash lifecycle: volatile state is
+// discarded, rehydration resumes from the last stored checkpoint, and the
+// rollback that a recovery session performs restores a consistent vector.
+// The keep-everything collector is used so every index stays a valid
+// rollback target.
+func TestCrashRehydrateRollback(t *testing.T) {
+	k, err := node.New(node.Config{
+		ID: 0, N: 2,
+		Store:    storage.NewMemStore(),
+		Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(true); err != nil {
+		t.Fatal(err)
+	}
+	preDV := k.DV()
+	k.CrashVolatile()
+	if k.DV().Len() != 0 {
+		t.Fatal("crash left a dependency vector behind")
+	}
+	if len(k.Store().Indices()) == 0 {
+		t.Fatal("crash destroyed stable storage")
+	}
+	if err := k.Rehydrate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !k.DV().Equal(preDV) {
+		t.Fatalf("rehydrated DV %v, want %v (last checkpoint + resumed interval)", k.DV(), preDV)
+	}
+	if k.LastStable() != 2 {
+		t.Fatalf("rehydrated lastS = %d, want 2", k.LastStable())
+	}
+	// A session rolls back to checkpoint 1: the store is trimmed and the
+	// vector recreated from the stored one.
+	if err := k.Rollback(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.LastStable() != 1 {
+		t.Fatalf("after rollback lastS = %d, want 1", k.LastStable())
+	}
+	want := vclock.DV{2, 0}
+	if !k.DV().Equal(want) {
+		t.Fatalf("after rollback DV = %v, want %v", k.DV(), want)
+	}
+}
+
+// TestResetCompressionRestartsPairs checks that after a reset the next
+// message carries the full set of non-zero entries again, the property
+// recovery sessions rely on.
+func TestResetCompressionRestartsPairs(t *testing.T) {
+	a, b := kernel(t, 0, 2, true), kernel(t, 1, 2, true)
+	for i := 0; i < 3; i++ {
+		pb, err := a.Send(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Deliver(pb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Checkpoint(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.PiggybackEntries()
+	a.ResetCompression()
+	b.ResetCompression()
+	pb, err := a.Send(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, v := range a.DVRef() {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if got := a.PiggybackEntries() - before; got != nonzero {
+		t.Fatalf("post-reset piggyback carried %d entries, want all %d non-zero", got, nonzero)
+	}
+	if _, err := b.Deliver(pb); err != nil {
+		t.Fatalf("post-reset delivery failed: %v", err)
+	}
+}

@@ -40,19 +40,9 @@ func (c *Cluster) Crash(i int) error {
 	if n.down {
 		return fmt.Errorf("runtime: p%d is already crashed", i)
 	}
-	n.crashLocked()
-	return nil
-}
-
-// crashLocked discards the node's volatile state and marks it down. The
-// caller must hold the node's lock.
-func (n *Node) crashLocked() {
+	n.k.CrashVolatile()
 	n.down = true
-	n.dv = nil
-	n.lastS = 0
-	n.proto = nil
-	n.gcol = nil
-	n.app = nil
+	return nil
 }
 
 // Down returns the crashed processes, in ascending order.
@@ -64,41 +54,6 @@ func (c *Cluster) Down() []int {
 		}
 	}
 	return out
-}
-
-// rehydrateLocked rebuilds a crashed node's volatile state from stable
-// storage: the dependency vector and interval index come from the most
-// recent stored checkpoint (the one checkpoint no collector ever discards),
-// and fresh protocol, collector and application instances are constructed.
-// The recovery session that follows immediately rolls the process back to
-// its recovery-line component, which rebuilds the collector's UC state from
-// the surviving checkpoints (Algorithm 3) and restores the application
-// snapshot — so the conservatively fresh instances never face traffic.
-// Callers must hold the node's lock and the cluster must be halted.
-func (n *Node) rehydrateLocked() error {
-	indices := n.store.Indices()
-	if len(indices) == 0 {
-		return fmt.Errorf("runtime: restart p%d: stable store holds no checkpoint", n.id)
-	}
-	last := indices[len(indices)-1]
-	cp, err := n.store.Load(last)
-	if err != nil {
-		return fmt.Errorf("runtime: restart p%d: %w", n.id, err)
-	}
-	if cp.DV.Len() != n.c.cfg.N {
-		return fmt.Errorf("runtime: restart p%d: checkpoint %d has a %d-entry vector, want %d",
-			n.id, last, cp.DV.Len(), n.c.cfg.N)
-	}
-	n.dv = cp.DV.Clone()
-	n.dv[n.id]++ // the process resumes in the interval after its last checkpoint
-	n.lastS = last
-	n.proto = n.c.cfg.Protocol(n.id)
-	n.gcol = n.c.cfg.LocalGC(n.id, n.c.cfg.N, n.store)
-	if n.c.cfg.NewApp != nil {
-		n.app = n.c.cfg.NewApp(n.id) // state machine restored by the rollback below
-	}
-	n.down = false
-	return nil
 }
 
 // Recover runs a centralized recovery session on the live cluster for the
@@ -177,15 +132,17 @@ func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, er
 			// volatile state is gone unless it rehydrates that process.
 			return Report{}, fmt.Errorf("runtime: p%d is crashed; restart it via Restart", i)
 		}
-		if err := n.rehydrateLocked(); err != nil {
+		if err := n.k.Rehydrate(nil); err != nil {
 			// Re-crash whatever was already rehydrated: a failed restart
 			// must leave every crashed process crashed, so the cluster
 			// resumes in its pre-call state and Restart can be retried.
 			for _, j := range rep.Restarted {
-				c.nodes[j].crashLocked()
+				c.nodes[j].k.CrashVolatile()
+				c.nodes[j].down = true
 			}
-			return Report{}, err
+			return Report{}, fmt.Errorf("runtime: restart p%d: %w", i, err)
 		}
+		n.down = false
 		rep.Restarted = append(rep.Restarted, i)
 	}
 	sort.Ints(rep.Restarted)
@@ -197,18 +154,18 @@ func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, er
 
 	li := make([]int, c.cfg.N)
 	for j, n := range c.nodes {
-		if line[j] <= n.lastS {
+		if line[j] <= n.k.LastStable() {
 			li[j] = line[j] + 1
 		} else {
-			li[j] = n.lastS + 1
+			li[j] = n.k.LastStable() + 1
 		}
 	}
 
 	rep.Line = line
 	for j, n := range c.nodes {
-		if line[j] > n.lastS {
+		if line[j] > n.k.LastStable() {
 			if globalLI {
-				if err := n.gcol.ReleaseStale(li, n.dv); err != nil {
+				if err := n.k.ReleaseStale(li); err != nil {
 					return rep, err
 				}
 			}
@@ -219,22 +176,16 @@ func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, er
 		if globalLI {
 			liArg = li
 		}
-		dv, err := n.gcol.Rollback(line[j], liArg)
-		if err != nil {
+		if err := n.k.Rollback(line[j], liArg); err != nil {
 			return rep, err
 		}
-		n.dv = dv
-		n.lastS = line[j]
-		n.proto.OnRollback()
-		if n.app != nil {
-			cp, err := n.store.Load(line[j])
-			if err != nil {
-				return rep, fmt.Errorf("runtime: restore p%d: %w", j, err)
-			}
-			if err := n.app.Restore(cp.State); err != nil {
-				return rep, fmt.Errorf("runtime: restore p%d: %w", j, err)
-			}
-		}
+	}
+
+	// Rolled-back receivers lost knowledge the incremental encoders assumed
+	// covered, and the epoch advance dropped in-transit messages; every
+	// pair restarts from a full set of entries.
+	for _, n := range c.nodes {
+		n.k.ResetCompression()
 	}
 
 	// Truncate the recorded history at the line so the oracle reflects the
@@ -258,6 +209,6 @@ func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, er
 type haltedView struct{ c *Cluster }
 
 func (v haltedView) N() int                    { return v.c.cfg.N }
-func (v haltedView) LastStable(i int) int      { return v.c.nodes[i].lastS }
-func (v haltedView) CurrentDV(i int) vclock.DV { return v.c.nodes[i].dv.Clone() }
-func (v haltedView) Store(i int) storage.Store { return v.c.nodes[i].store }
+func (v haltedView) LastStable(i int) int      { return v.c.nodes[i].k.LastStable() }
+func (v haltedView) CurrentDV(i int) vclock.DV { return v.c.nodes[i].k.DV() }
+func (v haltedView) Store(i int) storage.Store { return v.c.nodes[i].k.Store() }

@@ -1,10 +1,15 @@
-// Package runtime is the live concurrent counterpart of internal/sim: one
-// goroutine-safe middleware node per process, connected by an asynchronous
-// in-process network with configurable delivery delay and message loss.
-// It realizes the "evaluation in a practical environment" the paper lists
-// as future work (Section 6): the same protocol and collector code that
-// runs under the deterministic simulator here runs under real concurrency,
-// with deliveries racing application activity.
+// Package runtime is the live concurrent driver of the shared middleware
+// kernel (internal/node): one goroutine-safe node per process, each
+// wrapping a kernel, connected by an asynchronous in-process network with
+// configurable delivery delay and message loss. All per-process middleware
+// logic — dependency-vector merge, piggyback build and compression, the
+// forced-checkpoint decision, stable-store writes, rollback and
+// rehydration — lives in the kernel, exactly the code the deterministic
+// simulator drives; this package contributes what a practical deployment
+// needs: locks, the asynchronous network (optionally a loopback TCP mesh),
+// network epochs, and the crash/restart lifecycle. It realizes the
+// "evaluation in a practical environment" the paper lists as future work
+// (Section 6), with deliveries racing application activity.
 //
 // The cluster records every middleware event in a linearized history (each
 // event is appended while its node's lock is held, and a receive is only
@@ -23,6 +28,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/ccp"
 	"repro/internal/gc"
+	"repro/internal/node"
 	"repro/internal/protocol"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -64,6 +70,14 @@ type Config struct {
 	// (internal/transport) instead of direct in-process delivery, so the
 	// piggybacked vectors cross a real network path.
 	TCP bool
+	// Compress piggybacks only the dependency-vector entries changed since
+	// the previous send to the same destination (Singhal–Kshemkalyani).
+	// The technique requires reliable per-pair FIFO channels: NewCluster
+	// rejects a lossy network, SetNetwork rejects loss bursts, and the
+	// in-process network sequences each (sender, receiver) pair in send
+	// order (the TCP mesh is FIFO per pair by construction, and its
+	// hand-off is sequenced the same way).
+	Compress bool
 	// OnDeliver, if set, is the application-level message handler: it runs
 	// under the receiving node's middleware lock, after the forced
 	// checkpoint (if any) and the vector merge, so state it mutates is
@@ -88,28 +102,23 @@ type Cluster struct {
 	recMu sync.Mutex
 	rec   ccp.Script // linearized history of middleware events
 
+	// pairs sequences per-(from,to) delivery when Compress is on: tickets
+	// are taken in send order under the sender's lock, and a delivery (or
+	// mesh hand-off) only proceeds when its ticket is up. The n×n table is
+	// built once at construction (compressed clusters only), so the send
+	// path reaches its sequencer without any shared lock.
+	pairs []pairSeq
+
 	mesh *transport.TCP // nil for direct in-process delivery
 }
 
-// Node is one process's middleware endpoint. All exported methods are safe
-// for concurrent use.
+// Node is one process's middleware endpoint: a kernel behind a lock. All
+// exported methods are safe for concurrent use.
 type Node struct {
-	c     *Cluster
-	id    int
-	mu    sync.Mutex
-	dv    vclock.DV
-	lastS int
-	store storage.Store
-	proto protocol.Protocol
-	gcol  gc.Local
-	app   app.App
-
-	basic  int
-	forced int
-
-	// scratch is the reused changed-index buffer for the delivery-path
-	// vector merge (guarded by mu).
-	scratch []int
+	c  *Cluster
+	id int
+	mu sync.Mutex
+	k  *node.Kernel
 
 	// down marks a crashed process: its volatile state is gone, deliveries
 	// to it are dropped, and every application-facing method refuses with
@@ -123,19 +132,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("runtime: need at least one process")
 	}
+	if cfg.Compress && cfg.Net.Loss > 0 {
+		return nil, fmt.Errorf("runtime: compressed piggybacking requires reliable channels; configure Loss=0, not %g", cfg.Net.Loss)
+	}
 	if cfg.Protocol == nil {
 		cfg.Protocol = func(int) protocol.Protocol { return protocol.NewFDAS() }
 	}
 	if cfg.NewStore == nil {
 		cfg.NewStore = func(int) (storage.Store, error) { return storage.NewMemStore(), nil }
 	}
-	if cfg.LocalGC == nil {
-		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return gc.NewNoGC(self, n, st) }
-	}
 	c := &Cluster{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Net.Seed)),
 		rec: ccp.Script{N: cfg.N},
+	}
+	if cfg.Compress {
+		c.pairs = make([]pairSeq, cfg.N*cfg.N)
+		for i := range c.pairs {
+			c.pairs[i].cond = sync.NewCond(&c.pairs[i].mu)
+		}
 	}
 	if cfg.TCP {
 		mesh, err := transport.NewTCP(cfg.N)
@@ -149,25 +164,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runtime: stable store of p%d: %w", i, err)
 		}
-		n := &Node{
-			c:       c,
-			id:      i,
-			dv:      vclock.New(cfg.N),
-			store:   store,
-			proto:   cfg.Protocol(i),
-			scratch: make([]int, 0, cfg.N),
+		k, err := node.New(node.Config{
+			ID: i, N: cfg.N,
+			Store:    store,
+			Protocol: cfg.Protocol,
+			LocalGC:  cfg.LocalGC,
+			NewApp:   cfg.NewApp,
+			Compress: cfg.Compress,
+			Driver:   c,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
 		}
-		if cfg.NewApp != nil {
-			n.app = cfg.NewApp(i)
-		}
-		// Stores copy DV and State defensively (see storage.Store.Save), so
-		// the live vector is passed without a clone.
-		if err := n.store.Save(storage.Checkpoint{Process: i, Index: 0, DV: n.dv, State: n.snapshot()}); err != nil {
-			return nil, fmt.Errorf("runtime: initial checkpoint of p%d: %w", i, err)
-		}
-		n.gcol = cfg.LocalGC(i, cfg.N, n.store)
-		n.dv[i] = 1
-		c.nodes = append(c.nodes, n)
+		c.nodes = append(c.nodes, &Node{c: c, id: i, k: k})
 	}
 	if c.mesh != nil {
 		if err := c.mesh.Start(c.onWire); err != nil {
@@ -182,8 +191,34 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // inflight increment happened at Send.
 func (c *Cluster) onWire(m transport.Message) {
 	defer c.inflight.Done()
-	pb := protocol.Piggyback{DV: vclock.DV(m.DV), Index: m.Index}
+	pb := node.Piggyback{Index: m.Index}
+	if m.Sparse {
+		pb.Compressed = true
+		pb.From = m.From
+		pb.Ord = m.Ord
+		pb.Entries = entriesFromWire(m.DV)
+	} else {
+		pb.DV = vclock.DV(m.DV)
+	}
 	c.nodes[m.To].deliver(m.Msg, pb, m.Epoch, m.Payload)
+}
+
+// entriesToWire flattens sparse entries into the transport's vector slot.
+func entriesToWire(entries []node.Entry) []int {
+	out := make([]int, 0, 2*len(entries))
+	for _, e := range entries {
+		out = append(out, e.K, e.V)
+	}
+	return out
+}
+
+// entriesFromWire rebuilds sparse entries from their flattened wire form.
+func entriesFromWire(flat []int) []node.Entry {
+	out := make([]node.Entry, 0, len(flat)/2)
+	for i := 0; i+1 < len(flat); i += 2 {
+		out = append(out, node.Entry{K: flat[i], V: flat[i+1]})
+	}
+	return out
 }
 
 // Close releases the network resources of a TCP-backed cluster. Clusters
@@ -220,10 +255,52 @@ func (c *Cluster) Oracle() *ccp.CCP {
 	return h.BuildCCP()
 }
 
+// PiggybackEntries returns the total dependency-vector entries piggybacked
+// on messages so far, summed over the nodes — n per full-vector send, only
+// the changed entries per send with Compress.
+func (c *Cluster) PiggybackEntries() int {
+	total := 0
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		total += n.k.PiggybackEntries()
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// CloneDV implements node.Driver with a plain clone; the live runtime has
+// no snapshot freelist (piggybacks escape onto network goroutines).
+func (c *Cluster) CloneDV(src vclock.DV) vclock.DV { return src.Clone() }
+
+// CheckpointState implements node.Driver: live checkpoints carry the
+// application snapshot (handled by the kernel), never an accounting
+// payload.
+func (c *Cluster) CheckpointState() []byte { return nil }
+
+// OnKernelCheckpoint implements node.Driver: checkpoints (basic and the
+// forced ones the delivery path takes) land in the linearized history the
+// instant they become durable, while the node's lock is held.
+func (c *Cluster) OnKernelCheckpoint(self, index int, basic bool) {
+	c.recMu.Lock()
+	c.rec.Checkpoint(self)
+	c.recMu.Unlock()
+}
+
 func (c *Cluster) curEpoch() uint64 {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	return c.epoch
+}
+
+// state reads the halt flag and the epoch as one atomic snapshot. The send
+// path must use this combined form: reading them separately can pair a
+// stale "not halted" with a post-session epoch, which would let a message
+// encoded against pre-session compressor state sail into the new epoch
+// (and trip the receiver's FIFO verification).
+func (c *Cluster) state() (halted bool, epoch uint64) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.halted, c.epoch
 }
 
 func (c *Cluster) isHalted() bool {
@@ -235,11 +312,16 @@ func (c *Cluster) isHalted() bool {
 // SetNetwork reshapes the asynchronous network in flight: fault-injection
 // harnesses use it for message-loss and delay bursts. The seeded RNG stream
 // is kept, so a serial sequence of sends still draws a reproducible
-// loss/delay sequence across bursts.
-func (c *Cluster) SetNetwork(minDelay, maxDelay time.Duration, loss float64) {
+// loss/delay sequence across bursts. A compressed cluster rejects loss
+// bursts: incremental piggybacks cannot survive silent message loss.
+func (c *Cluster) SetNetwork(minDelay, maxDelay time.Duration, loss float64) error {
+	if c.cfg.Compress && loss > 0 {
+		return fmt.Errorf("runtime: compressed piggybacking requires reliable channels; cannot set loss %g", loss)
+	}
 	c.rngMu.Lock()
 	defer c.rngMu.Unlock()
 	c.cfg.Net.MinDelay, c.cfg.Net.MaxDelay, c.cfg.Net.Loss = minDelay, maxDelay, loss
+	return nil
 }
 
 func (c *Cluster) randDelayDrop() (time.Duration, bool) {
@@ -252,6 +334,43 @@ func (c *Cluster) randDelayDrop() (time.Duration, bool) {
 		d += time.Duration(c.rng.Int63n(int64(span)))
 	}
 	return d, drop
+}
+
+// pairSeq orders one (sender, receiver) pair's deliveries: tickets are
+// taken in send order and redeemed in that order, whatever delivery delays
+// the network draws — the FIFO channel compressed piggybacking needs.
+type pairSeq struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next uint64
+	tail uint64
+}
+
+func (c *Cluster) pair(from, to int) *pairSeq {
+	return &c.pairs[from*c.cfg.N+to]
+}
+
+func (ps *pairSeq) take() uint64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	t := ps.tail
+	ps.tail++
+	return t
+}
+
+func (ps *pairSeq) wait(ticket uint64) {
+	ps.mu.Lock()
+	for ps.next != ticket {
+		ps.cond.Wait()
+	}
+	ps.mu.Unlock()
+}
+
+func (ps *pairSeq) done() {
+	ps.mu.Lock()
+	ps.next++
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
 }
 
 // Send transmits a message to process "to" through the asynchronous
@@ -272,9 +391,6 @@ func (n *Node) SendPayload(to int, payload []byte) error {
 // transactional applications (debit locally, credit remotely) must use the
 // middleware — see examples/bank.
 func (n *Node) UpdateAndSend(to int, f func(a app.App), payload []byte) error {
-	if n.app == nil {
-		return fmt.Errorf("runtime: p%d has no application attached", n.id)
-	}
 	return n.sendPayload(to, payload, f)
 }
 
@@ -282,39 +398,79 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 	if to < 0 || to >= n.c.cfg.N || to == n.id {
 		return fmt.Errorf("runtime: p%d sending to invalid target %d", n.id, to)
 	}
-	if n.c.isHalted() {
+	n.mu.Lock()
+	// Halt and epoch are snapshotted together, under the node's lock and
+	// before the piggyback is built: a send that straddles a recovery
+	// session either refuses with ErrHalted before consuming compressor
+	// state, or carries the pre-session epoch and is dropped in delivery.
+	halted, epoch := n.c.state()
+	if halted {
+		n.mu.Unlock()
 		return ErrHalted
 	}
-	n.mu.Lock()
 	if n.down {
 		n.mu.Unlock()
 		return ErrCrashed
 	}
 	if update != nil {
-		update(n.app)
+		if n.k.App() == nil {
+			n.mu.Unlock()
+			return fmt.Errorf("runtime: p%d has no application attached", n.id)
+		}
+		update(n.k.App())
 	}
-	pb := protocol.Piggyback{DV: n.dv.Clone(), Index: n.proto.OnSend()}
-	epoch := n.c.curEpoch()
+	pb, err := n.k.Send(to)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
 	n.c.recMu.Lock()
 	msg := n.c.rec.Send(n.id)
 	n.c.recMu.Unlock()
+	// The FIFO ticket must be taken under the sender's lock, so the
+	// per-pair delivery order matches the per-pair encode order.
+	var ps *pairSeq
+	var ticket uint64
+	if n.c.cfg.Compress {
+		ps = n.c.pair(n.id, to)
+		ticket = ps.take()
+	}
 	n.mu.Unlock()
 
 	delay, drop := n.c.randDelayDrop()
 	n.c.inflight.Add(1)
 	go func() {
 		if drop {
+			// A compressed cluster never draws drops (loss is rejected at
+			// configuration time), so a dropped message cannot strand a
+			// FIFO ticket.
 			n.c.inflight.Done()
 			return
 		}
 		if delay > 0 {
 			time.Sleep(delay)
 		}
+		if ps != nil {
+			ps.wait(ticket)
+		}
 		if mesh := n.c.mesh; mesh != nil {
-			err := mesh.Send(transport.Message{
+			wire := transport.Message{
 				From: n.id, To: to, Msg: msg, Epoch: epoch,
-				Index: pb.Index, DV: pb.DV, Payload: payload,
-			})
+				Index: pb.Index, Payload: payload,
+			}
+			if pb.Compressed {
+				wire.Sparse = true
+				wire.Ord = pb.Ord
+				wire.DV = entriesToWire(pb.Entries)
+			} else {
+				wire.DV = pb.DV
+			}
+			err := mesh.Send(wire)
+			if ps != nil {
+				// The mesh is FIFO per connection, so sequencing the
+				// hand-off sequences the delivery.
+				ps.done()
+			}
 			if err != nil {
 				// The mesh is closing; the message is lost, which the
 				// model permits.
@@ -323,21 +479,25 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 			// On success the delivery callback calls Done.
 			return
 		}
-		defer n.c.inflight.Done()
 		n.c.nodes[to].deliver(msg, pb, epoch, payload)
+		if ps != nil {
+			ps.done()
+		}
+		n.c.inflight.Done()
 	}()
 	return nil
 }
 
-// deliver processes an incoming message: forced checkpoint first if the
-// protocol demands one (stored before the GC work, per Section 4.5), then
-// vector merge, collector update and protocol notification. Messages from a
-// previous epoch (sent before a recovery session) are dropped: they were in
-// transit when the failure hit, and the model treats them as lost.
+// deliver hands an incoming message to the kernel: forced checkpoint first
+// if the protocol demands one (stored before the GC work, per Section 4.5),
+// then vector merge, collector update and protocol notification. Messages
+// from a previous epoch (sent before a recovery session) are dropped: they
+// were in transit when the failure hit, and the model treats them as lost.
 //
-// pb.DV is only read for the duration of the call: nothing here (protocols
-// and collectors included, per their interface contracts) may retain it.
-func (n *Node) deliver(msg int, pb protocol.Piggyback, epoch uint64, payload []byte) {
+// pb's vector is only read for the duration of the call: nothing here
+// (protocols and collectors included, per their interface contracts) may
+// retain it.
+func (n *Node) deliver(msg int, pb node.Piggyback, epoch uint64, payload []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.down || epoch != n.c.curEpoch() {
@@ -345,19 +505,11 @@ func (n *Node) deliver(msg int, pb protocol.Piggyback, epoch uint64, payload []b
 		// loses messages addressed to a failed process.
 		return
 	}
-	if n.proto.ForcedBeforeDelivery(n.dv, pb) {
-		if err := n.checkpointLocked(false); err != nil {
-			panic(fmt.Sprintf("runtime: forced checkpoint on p%d: %v", n.id, err))
-		}
+	if _, err := n.k.Deliver(pb); err != nil {
+		panic(fmt.Sprintf("runtime: delivery on p%d: %v", n.id, err))
 	}
-	n.scratch = n.dv.MergeAppend(pb.DV, n.scratch[:0])
-	increased := n.scratch
-	if err := n.gcol.OnNewInfo(increased, n.dv); err != nil {
-		panic(fmt.Sprintf("runtime: collector on p%d: %v", n.id, err))
-	}
-	n.proto.OnDeliver(pb)
 	if n.c.cfg.OnDeliver != nil {
-		n.c.cfg.OnDeliver(n.id, n.app, payload)
+		n.c.cfg.OnDeliver(n.id, n.k.App(), payload)
 	}
 	n.c.recMu.Lock()
 	n.c.rec.Recv(n.id, msg)
@@ -374,49 +526,17 @@ func (n *Node) Checkpoint() error {
 	if n.down {
 		return ErrCrashed
 	}
-	return n.checkpointLocked(true)
-}
-
-func (n *Node) checkpointLocked(basic bool) error {
-	index := n.dv[n.id]
-	if err := n.store.Save(storage.Checkpoint{Process: n.id, Index: index, DV: n.dv, State: n.snapshot()}); err != nil {
-		return fmt.Errorf("runtime: checkpoint %d of p%d: %w", index, n.id, err)
-	}
-	if err := n.gcol.OnCheckpoint(index, n.dv); err != nil {
-		return err
-	}
-	n.dv[n.id]++
-	n.lastS = index
-	n.proto.OnCheckpoint()
-	if basic {
-		n.basic++
-	} else {
-		n.forced++
-	}
-	n.c.recMu.Lock()
-	n.c.rec.Checkpoint(n.id)
-	n.c.recMu.Unlock()
-	return nil
-}
-
-// snapshot captures the attached application's state, or nil without one.
-func (n *Node) snapshot() []byte {
-	if n.app == nil {
-		return nil
-	}
-	return n.app.Snapshot()
+	_, err := n.k.Checkpoint(true)
+	return err
 }
 
 // App returns the node's attached application state machine, or nil.
-func (n *Node) App() app.App { return n.app }
+func (n *Node) App() app.App { return n.k.App() }
 
 // Update mutates the application state under the middleware lock, so the
 // mutation is atomic with respect to checkpoints: a checkpoint either
 // includes it or does not.
 func (n *Node) Update(f func(a app.App)) error {
-	if n.app == nil {
-		return fmt.Errorf("runtime: p%d has no application attached", n.id)
-	}
 	if n.c.isHalted() {
 		return ErrHalted
 	}
@@ -425,7 +545,10 @@ func (n *Node) Update(f func(a app.App)) error {
 	if n.down {
 		return ErrCrashed
 	}
-	f(n.app)
+	if n.k.App() == nil {
+		return fmt.Errorf("runtime: p%d has no application attached", n.id)
+	}
+	f(n.k.App())
 	return nil
 }
 
@@ -433,21 +556,22 @@ func (n *Node) Update(f func(a app.App)) error {
 func (n *Node) Stats() (basic, forced int, store storage.Stats) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.basic, n.forced, n.store.Stats()
+	basic, forced = n.k.Counts()
+	return basic, forced, n.k.Store().Stats()
 }
 
 // CurrentDV returns a copy of the node's dependency vector.
 func (n *Node) CurrentDV() vclock.DV {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.dv.Clone()
+	return n.k.DV()
 }
 
 // LastStable returns last_s for this node.
 func (n *Node) LastStable() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.lastS
+	return n.k.LastStable()
 }
 
 // Down reports whether the process is currently crashed.
@@ -458,7 +582,7 @@ func (n *Node) Down() bool {
 }
 
 // Store exposes the node's stable store.
-func (n *Node) Store() storage.Store { return n.store }
+func (n *Node) Store() storage.Store { return n.k.Store() }
 
 // Collector exposes the node's local collector (for test inspection).
-func (n *Node) Collector() gc.Local { return n.gcol }
+func (n *Node) Collector() gc.Local { return n.k.Collector() }

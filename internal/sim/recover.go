@@ -53,7 +53,7 @@ func (r *Runner) ApplyLine(line []int, globalLI bool) (RecoveryReport, error) {
 		return RecoveryReport{}, fmt.Errorf("sim: line has %d entries, want %d", len(line), r.cfg.N)
 	}
 	for j, idx := range line {
-		if idx < 0 || idx > r.procs[j].lastS+1 {
+		if idx < 0 || idx > r.procs[j].LastStable()+1 {
 			return RecoveryReport{}, fmt.Errorf("sim: line[%d] = %d out of range", j, idx)
 		}
 	}
@@ -66,47 +66,43 @@ func (r *Runner) ApplyLine(line []int, globalLI bool) (RecoveryReport, error) {
 	// a volatile component keeps its last_s.
 	li := make([]int, r.cfg.N)
 	for j := 0; j < r.cfg.N; j++ {
-		if line[j] <= r.procs[j].lastS {
+		if line[j] <= r.procs[j].LastStable() {
 			li[j] = line[j] + 1
 		} else {
-			li[j] = r.procs[j].lastS + 1
+			li[j] = r.procs[j].LastStable() + 1
 		}
 	}
 
 	rep := RecoveryReport{Line: line}
 	for j := 0; j < r.cfg.N; j++ {
 		p := r.procs[j]
-		if line[j] > p.lastS {
+		if line[j] > p.LastStable() {
 			// Volatile component: the process resumes where it was.
 			if globalLI {
-				if err := p.gcol.ReleaseStale(li, p.dv); err != nil {
+				if err := p.ReleaseStale(li); err != nil {
 					return rep, err
 				}
 			}
 			continue
 		}
 		rep.RolledBack = append(rep.RolledBack, j)
-		rep.LostCheckpoints += p.lastS - line[j]
+		rep.LostCheckpoints += p.LastStable() - line[j]
 		var liArg []int
 		if globalLI {
 			liArg = li
 		}
-		dv, err := p.gcol.Rollback(line[j], liArg)
-		if err != nil {
+		if err := p.Rollback(line[j], liArg); err != nil {
 			return rep, err
 		}
-		p.dv = dv
-		p.lastS = line[j]
-		p.proto.OnRollback()
 	}
 
 	// Rebuild the ground-truth mirror as the post-recovery pattern: each
 	// process's history is truncated at its line component.
 	r.truncateHistory(line)
-	if r.comp != nil {
-		// Rolled-back receivers may have lost knowledge the incremental
-		// encoder assumed covered; restart every pair from a full vector.
-		r.comp.reset()
+	// Rolled-back receivers may have lost knowledge the incremental
+	// encoders assumed covered; restart every pair from a full vector.
+	for _, p := range r.procs {
+		p.ResetCompression()
 	}
 	r.metrics.Rollbacks += len(rep.RolledBack)
 	r.metrics.RolledCkpts += rep.LostCheckpoints
@@ -124,7 +120,7 @@ func (r *Runner) ApplyLine(line []int, globalLI bool) (RecoveryReport, error) {
 func (r *Runner) truncateHistory(line []int) {
 	cut := make([]int, r.cfg.N) // number of checkpoint ops to keep per process
 	for p := 0; p < r.cfg.N; p++ {
-		if line[p] > r.procs[p].lastS {
+		if line[p] > r.procs[p].LastStable() {
 			cut[p] = -1 // volatile component: keep everything
 		} else {
 			cut[p] = line[p]

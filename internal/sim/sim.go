@@ -1,16 +1,19 @@
 // Package sim executes distributed checkpointing executions deterministically.
 //
-// A Runner drives n middleware processes through an application-level
-// script (sends, receives, basic checkpoints). Each process owns a
-// dependency vector, a stable store, a checkpointing protocol (which may
-// insert forced checkpoints before deliveries) and a local garbage
-// collector. In parallel the runner maintains a ground-truth mirror of the
-// pattern through internal/ccp, so every experiment can compare what the
-// collectors did against what the oracles say.
+// A Runner is the deterministic driver of the shared middleware kernel
+// (internal/node): it drives n kernels through an application-level script
+// (sends, receives, basic checkpoints) in a fixed total order. All
+// per-process middleware logic — dependency-vector merge, piggyback build
+// and compression, the forced-checkpoint decision, stable-store writes and
+// rollback — lives in the kernel; the runner contributes what a
+// deterministic experiment needs: script execution, global message
+// numbering, a ground-truth mirror of the pattern through internal/ccp, and
+// execution metrics, so every experiment can compare what the collectors
+// did against what the oracles say.
 //
 // The runner also orchestrates recovery sessions (Section 2.4): Recover
 // crashes a faulty set, computes the recovery line per Lemma 1 from the
-// stored vectors (as a centralized recovery manager would), rolls processes
+// stored vectors (as a centralized recovery manager would), rolls kernels
 // back, runs Algorithm 3 on the collectors, and truncates the mirror to the
 // post-recovery pattern. Execution can then continue with further scripts.
 package sim
@@ -20,6 +23,7 @@ import (
 
 	"repro/internal/ccp"
 	"repro/internal/gc"
+	"repro/internal/node"
 	"repro/internal/protocol"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -49,22 +53,6 @@ type Config struct {
 	AfterEvent func() error
 }
 
-// proc is one middleware process.
-type proc struct {
-	id    int
-	dv    vclock.DV
-	lastS int
-	store storage.Store
-	proto protocol.Protocol
-	gcol  gc.Local
-
-	// scratch is the reused changed-index buffer for the delivery-path
-	// merge; expandBuf (compressed runs only) is the reused vector the
-	// sparse piggyback is expanded into for the protocol's decision.
-	scratch   []int
-	expandBuf vclock.DV
-}
-
 // Metrics counts what happened during execution.
 type Metrics struct {
 	Basic       int // basic checkpoints taken
@@ -82,7 +70,7 @@ type Metrics struct {
 // Runner executes scripts against the configured middleware stack.
 type Runner struct {
 	cfg   Config
-	procs []*proc
+	procs []*node.Kernel
 
 	hist    ccp.Script // executed history, global message numbering
 	mirror  *ccp.Builder
@@ -90,7 +78,6 @@ type Runner struct {
 	sendOrd map[int]int                // per global message id: order among the sender's sends
 	sendBy  map[int]int                // per global message id: sending process
 	sent    []int                      // sends so far per process
-	comp    *compressor                // non-nil iff Config.Compress
 	metrics Metrics
 	events  int
 
@@ -102,7 +89,7 @@ type Runner struct {
 	state  []byte // shared zero state buffer (stores copy defensively)
 }
 
-// NewRunner builds the system: every process stores its initial checkpoint
+// NewRunner builds the system: every kernel stores its initial checkpoint
 // s^0 before execution starts, as the model requires.
 func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.N < 1 {
@@ -113,9 +100,6 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.NewStore == nil {
 		cfg.NewStore = func(int) (storage.Store, error) { return storage.NewMemStore(), nil }
-	}
-	if cfg.LocalGC == nil {
-		cfg.LocalGC = func(self, n int, st storage.Store) gc.Local { return gc.NewNoGC(self, n, st) }
 	}
 	if cfg.GlobalEvery <= 0 {
 		cfg.GlobalEvery = 1
@@ -129,37 +113,30 @@ func NewRunner(cfg Config) (*Runner, error) {
 		sendBy:  make(map[int]int),
 		sent:    make([]int, cfg.N),
 	}
-	if cfg.Compress {
-		r.comp = newCompressor()
-	}
 	for i := 0; i < cfg.N; i++ {
 		store, err := cfg.NewStore(i)
 		if err != nil {
 			return nil, fmt.Errorf("sim: stable store of p%d: %w", i, err)
 		}
-		p := &proc{
-			id:      i,
-			dv:      vclock.New(cfg.N),
-			store:   store,
-			proto:   cfg.Protocol(i),
-			scratch: make([]int, 0, cfg.N),
+		k, err := node.New(node.Config{
+			ID: i, N: cfg.N,
+			Store:    store,
+			Protocol: cfg.Protocol,
+			LocalGC:  cfg.LocalGC,
+			Compress: cfg.Compress,
+			Driver:   r,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
 		}
-		// Initial stable checkpoint s^0 with the zero vector. Stores copy
-		// DV and State defensively (see storage.Store.Save), so the live
-		// vector is passed without a clone.
-		if err := p.store.Save(storage.Checkpoint{
-			Process: i, Index: 0, DV: p.dv, State: r.stateBytes(),
-		}); err != nil {
-			return nil, fmt.Errorf("sim: initial checkpoint of p%d: %w", i, err)
-		}
-		p.gcol = cfg.LocalGC(i, cfg.N, p.store)
-		p.dv[i] = 1
-		r.procs = append(r.procs, p)
+		r.procs = append(r.procs, k)
 	}
 	return r, nil
 }
 
-func (r *Runner) stateBytes() []byte {
+// CheckpointState implements node.Driver: the opaque payload stored with
+// each checkpoint for byte accounting.
+func (r *Runner) CheckpointState() []byte {
 	if r.cfg.StateBytes <= 0 {
 		return nil
 	}
@@ -169,6 +146,19 @@ func (r *Runner) stateBytes() []byte {
 		r.state = make([]byte, r.cfg.StateBytes)
 	}
 	return r.state
+}
+
+// OnKernelCheckpoint implements node.Driver: checkpoints (basic and the
+// forced ones Deliver takes) are recorded in the history and mirror at the
+// instant they become durable, keeping the linearized order exact.
+func (r *Runner) OnKernelCheckpoint(self, index int, basic bool) {
+	r.hist.Checkpoint(self)
+	r.mirror.Checkpoint(self)
+	if basic {
+		r.metrics.Basic++
+	} else {
+		r.metrics.Forced++
+	}
 }
 
 // N returns the number of processes.
@@ -187,8 +177,8 @@ func (r *Runner) Run(script ccp.Script) error {
 	for _, op := range script.Ops {
 		switch op.Kind {
 		case ccp.OpCheckpoint:
-			if err := r.takeCheckpoint(r.procs[op.P], true); err != nil {
-				return err
+			if _, err := r.procs[op.P].Checkpoint(true); err != nil {
+				return fmt.Errorf("sim: %w", err)
 			}
 		case ccp.OpSend:
 			msgMap[op.Msg] = r.send(r.procs[op.P])
@@ -204,8 +194,10 @@ func (r *Runner) Run(script ccp.Script) error {
 	return nil
 }
 
-// getDV pops a recycled snapshot vector or allocates a fresh one.
-func (r *Runner) getDV(src vclock.DV) vclock.DV {
+// CloneDV implements node.Driver: it pops a recycled snapshot vector or
+// allocates a fresh one, so every full-vector piggyback draws from the
+// runner's freelist.
+func (r *Runner) CloneDV(src vclock.DV) vclock.DV {
 	if k := len(r.dvFree); k > 0 {
 		dv := r.dvFree[k-1]
 		r.dvFree = r.dvFree[:k-1]
@@ -215,59 +207,41 @@ func (r *Runner) getDV(src vclock.DV) vclock.DV {
 	return src.Clone()
 }
 
-func (r *Runner) send(p *proc) int {
-	pb := protocol.Piggyback{DV: r.getDV(p.dv), Index: p.proto.OnSend()}
-	g := r.hist.Send(p.id)
-	r.mirror.Send(p.id)
-	r.sendPB[g] = pb
-	r.sendOrd[g] = r.sent[p.id]
-	r.sendBy[g] = p.id
-	r.sent[p.id]++
+func (r *Runner) send(p *node.Kernel) int {
+	// Scripts bind the destination at the receive operation, so the kernel
+	// produces a full snapshot here; compressed runs encode lazily at
+	// delivery (EncodeFor), which under per-pair FIFO is identical to
+	// sender-side encoding.
+	pb := p.SendSnapshot()
+	g := r.hist.Send(p.ID())
+	r.mirror.Send(p.ID())
+	r.sendPB[g] = protocol.Piggyback{DV: pb.DV, Index: pb.Index}
+	r.sendOrd[g] = r.sent[p.ID()]
+	r.sendBy[g] = p.ID()
+	r.sent[p.ID()]++
 	r.metrics.Sends++
-	if r.comp == nil {
-		r.metrics.PiggybackEntries += r.cfg.N
-	}
 	return g
 }
 
-func (r *Runner) deliver(p *proc, gmsg int) error {
+func (r *Runner) deliver(p *node.Kernel, gmsg int) error {
 	snap, ok := r.sendPB[gmsg]
 	if !ok {
 		return fmt.Errorf("sim: delivery of unknown message %d", gmsg)
 	}
-	pb := snap
-	var entries []sparseEntry
-	if r.comp != nil {
+	pb := node.Piggyback{DV: snap.DV, Index: snap.Index}
+	if r.cfg.Compress {
 		from := r.msgSender(gmsg)
-		var err error
-		entries, err = r.comp.encode(from, p.id, r.sendOrd[gmsg], snap.DV)
+		entries, ord, err := r.procs[from].EncodeFor(p.ID(), r.sendOrd[gmsg], snap.DV)
 		if err != nil {
-			return err
+			return fmt.Errorf("sim: %w", err)
 		}
-		r.metrics.PiggybackEntries += len(entries)
-		if p.expandBuf == nil {
-			p.expandBuf = vclock.New(r.cfg.N)
-		}
-		pb = protocol.Piggyback{DV: expand(p.dv, entries, p.expandBuf), Index: snap.Index}
+		pb = node.Piggyback{Entries: entries, Compressed: true, From: from, Ord: ord, Index: snap.Index}
 	}
-	// A forced checkpoint must be stored before the garbage collection for
-	// this receive runs (Section 4.5's ordering remark).
-	if p.proto.ForcedBeforeDelivery(p.dv, pb) {
-		if err := r.takeCheckpoint(p, false); err != nil {
-			return err
-		}
+	if _, err := p.Deliver(pb); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
-	if r.comp != nil {
-		p.scratch = applySparseAppend(p.dv, entries, p.scratch[:0])
-	} else {
-		p.scratch = p.dv.MergeAppend(pb.DV, p.scratch[:0])
-	}
-	if err := p.gcol.OnNewInfo(p.scratch, p.dv); err != nil {
-		return err
-	}
-	p.proto.OnDeliver(pb)
-	r.hist.Recv(p.id, gmsg)
-	r.mirror.Receive(p.id, gmsg)
+	r.hist.Recv(p.ID(), gmsg)
+	r.mirror.Receive(p.ID(), gmsg)
 	r.metrics.Delivered++
 	// The message is consumed: recycle the snapshot and drop the
 	// bookkeeping for its id (scripts cannot deliver it again).
@@ -280,29 +254,6 @@ func (r *Runner) deliver(p *proc, gmsg int) error {
 
 // msgSender returns the sending process of a global message id.
 func (r *Runner) msgSender(gmsg int) int { return r.sendBy[gmsg] }
-
-func (r *Runner) takeCheckpoint(p *proc, basic bool) error {
-	index := p.dv[p.id] // the checkpoint closes the current interval
-	if err := p.store.Save(storage.Checkpoint{
-		Process: p.id, Index: index, DV: p.dv, State: r.stateBytes(),
-	}); err != nil {
-		return fmt.Errorf("sim: checkpoint %d of p%d: %w", index, p.id, err)
-	}
-	if err := p.gcol.OnCheckpoint(index, p.dv); err != nil {
-		return err
-	}
-	p.dv[p.id]++
-	p.lastS = index
-	p.proto.OnCheckpoint()
-	r.hist.Checkpoint(p.id)
-	r.mirror.Checkpoint(p.id)
-	if basic {
-		r.metrics.Basic++
-	} else {
-		r.metrics.Forced++
-	}
-	return nil
-}
 
 func (r *Runner) afterEvent() error {
 	r.events++
@@ -329,20 +280,27 @@ func (r *Runner) History() ccp.Script {
 	return out
 }
 
-// Metrics returns execution counters.
-func (r *Runner) Metrics() Metrics { return r.metrics }
+// Metrics returns execution counters. Piggyback-entry counts are
+// aggregated from the kernels, which own the encode paths.
+func (r *Runner) Metrics() Metrics {
+	m := r.metrics
+	for _, p := range r.procs {
+		m.PiggybackEntries += p.PiggybackEntries()
+	}
+	return m
+}
 
 // Store returns process i's stable store.
-func (r *Runner) Store(i int) storage.Store { return r.procs[i].store }
+func (r *Runner) Store(i int) storage.Store { return r.procs[i].Store() }
 
 // CurrentDV returns a copy of process i's dependency vector.
-func (r *Runner) CurrentDV(i int) vclock.DV { return r.procs[i].dv.Clone() }
+func (r *Runner) CurrentDV(i int) vclock.DV { return r.procs[i].DV() }
 
 // LastStable returns last_s(i).
-func (r *Runner) LastStable(i int) int { return r.procs[i].lastS }
+func (r *Runner) LastStable(i int) int { return r.procs[i].LastStable() }
 
 // LocalGC returns process i's local collector (for inspection in tests).
-func (r *Runner) LocalGC(i int) gc.Local { return r.procs[i].gcol }
+func (r *Runner) LocalGC(i int) gc.Local { return r.procs[i].Collector() }
 
 // View adapts the runner to the gc.View interface.
 func (r *Runner) View() gc.View { return runnerView{r} }
@@ -350,6 +308,6 @@ func (r *Runner) View() gc.View { return runnerView{r} }
 type runnerView struct{ r *Runner }
 
 func (v runnerView) N() int                    { return v.r.cfg.N }
-func (v runnerView) LastStable(i int) int      { return v.r.procs[i].lastS }
-func (v runnerView) CurrentDV(i int) vclock.DV { return v.r.procs[i].dv.Clone() }
-func (v runnerView) Store(i int) storage.Store { return v.r.procs[i].store }
+func (v runnerView) LastStable(i int) int      { return v.r.procs[i].LastStable() }
+func (v runnerView) CurrentDV(i int) vclock.DV { return v.r.procs[i].DV() }
+func (v runnerView) Store(i int) storage.Store { return v.r.procs[i].Store() }

@@ -46,6 +46,13 @@ func WriteText(w io.Writer, table Table, results []Result) error {
 				r.Crashes, r.Recoveries, r.MeanRolled, r.MaxRolled,
 				r.Orphans, r.Replayed, r.RetainedAfterMax)
 		}
+	case Compression:
+		fmt.Fprintln(tw, "n\tengine/mode\tsends\tpb entries\tentries/msg\tpb bytes/msg\t% of full")
+		for _, r := range results {
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.2f\t%.1f\t%.1f%%\n",
+				r.Cell.N, r.Cell.Variant(), r.Sends, r.PBEntries,
+				r.EntriesPerMsg, r.PBBytesPerMsg, r.PBOfFullPct)
+		}
 	default:
 		return fmt.Errorf("sweep: unknown table %d", int(table))
 	}
@@ -102,6 +109,12 @@ type RowDoc struct {
 	Replayed         *int     `json:"replayed,omitempty"`
 	RetainedAfterMax *int     `json:"retained_after_max,omitempty"`
 	RecoverySecs     *float64 `json:"recovery_latency_seconds,omitempty"`
+
+	Sends         *int     `json:"sends,omitempty"`
+	PBEntries     *int     `json:"pb_entries,omitempty"`
+	EntriesPerMsg *float64 `json:"entries_per_msg,omitempty"`
+	PBBytesPerMsg *float64 `json:"pb_bytes_per_msg,omitempty"`
+	PBOfFullPct   *float64 `json:"pb_pct_of_full,omitempty"`
 }
 
 // Doc assembles the JSON document for one completed run.
@@ -133,6 +146,10 @@ func Doc(g Grid, results []Result, wall time.Duration) RunDoc {
 		for _, v := range g.Chaos {
 			doc.Variants = append(doc.Variants, v.Name())
 		}
+	case Compression:
+		for _, v := range g.Compress {
+			doc.Variants = append(doc.Variants, v.Name())
+		}
 	default:
 		for _, p := range g.Protocols {
 			doc.Variants = append(doc.Variants, p.Name)
@@ -144,9 +161,13 @@ func Doc(g Grid, results []Result, wall time.Duration) RunDoc {
 			Variant:     r.Cell.Variant(),
 			ElapsedSecs: r.Elapsed.Seconds(),
 		}
-		if g.Table == Chaos {
+		switch g.Table {
+		case Chaos:
 			row.Pattern = r.Cell.Pattern.String()
-		} else {
+		case Compression:
+			// The compression table has no workload axis; its rows are
+			// keyed by (n, engine/mode) alone.
+		default:
 			row.Workload = r.Cell.Workload.String()
 		}
 		switch g.Table {
@@ -176,6 +197,12 @@ func Doc(g Grid, results []Result, wall time.Duration) RunDoc {
 			row.Replayed = ptr(r.Replayed)
 			row.RetainedAfterMax = ptr(r.RetainedAfterMax)
 			row.RecoverySecs = ptr(r.RecoverySecs)
+		case Compression:
+			row.Sends = ptr(r.Sends)
+			row.PBEntries = ptr(r.PBEntries)
+			row.EntriesPerMsg = ptr(r.EntriesPerMsg)
+			row.PBBytesPerMsg = ptr(r.PBBytesPerMsg)
+			row.PBOfFullPct = ptr(r.PBOfFullPct)
 		}
 		doc.Rows = append(doc.Rows, row)
 	}

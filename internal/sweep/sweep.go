@@ -39,6 +39,10 @@ const (
 	// the live runtime: fault pattern × protocol+collector stack →
 	// rollback depth, orphans, checkpoints replayed, retention (E4).
 	Chaos
+	// Compression measures the piggyback cost of full-vector versus
+	// incremental dependency-vector transmission, through both engines of
+	// the shared middleware kernel (E6).
+	Compression
 )
 
 // String returns the table name used on the cmd/sweep command line.
@@ -52,6 +56,8 @@ func (t Table) String() string {
 		return "rollback"
 	case Chaos:
 		return "chaos"
+	case Compression:
+		return "compress"
 	default:
 		return fmt.Sprintf("table(%d)", int(t))
 	}
@@ -68,6 +74,8 @@ func ParseTable(s string) (Table, error) {
 		return Rollback, nil
 	case "chaos":
 		return Chaos, nil
+	case "compress":
+		return Compression, nil
 	default:
 		return 0, fmt.Errorf("sweep: unknown table %q", s)
 	}
@@ -170,6 +178,8 @@ type Grid struct {
 	// Patterns and Chaos are the fault and stack axes of the Chaos table.
 	Patterns []chaos.Pattern
 	Chaos    []ChaosVariant
+	// Compress is the engine×mode axis of the Compression table.
+	Compress []CompressVariant
 
 	Seeds       int     // runs averaged per cell
 	Ops         int     // operations per run (per drive phase for Chaos)
@@ -215,6 +225,14 @@ func Default(table Table) Grid {
 		g.Seeds = 2
 		g.Ops = 150
 		g.Cycles = 4
+	case Compression:
+		// Compression cells replay one seeded traffic stream through both
+		// engines; workloads don't apply (the stream must be FIFO per
+		// pair), and the live rows drain the network per operation.
+		g.Workloads = nil
+		g.Compress = CompressVariants()
+		g.Sizes = []int{4, 8, 16, 32}
+		g.Ops = 1500
 	}
 	return g
 }
@@ -227,12 +245,13 @@ type Cell struct {
 	Table    Table
 	Workload workload.Kind
 	N        int
-	// Exactly one of Collector / Protocol / ChaosVariant is meaningful,
-	// per Table.
-	Collector    metrics.CollectorKind
-	Protocol     ProtocolSpec
-	Pattern      chaos.Pattern
-	ChaosVariant ChaosVariant
+	// Exactly one of Collector / Protocol / ChaosVariant / CompressVariant
+	// is meaningful, per Table.
+	Collector       metrics.CollectorKind
+	Protocol        ProtocolSpec
+	Pattern         chaos.Pattern
+	ChaosVariant    ChaosVariant
+	CompressVariant CompressVariant
 
 	Seeds       int
 	Ops         int
@@ -249,6 +268,8 @@ func (c Cell) Variant() string {
 		return c.Collector.String()
 	case Chaos:
 		return c.ChaosVariant.Name()
+	case Compression:
+		return c.CompressVariant.Name()
 	default:
 		return c.Protocol.Name
 	}
@@ -269,6 +290,18 @@ func (g Grid) Cells() []Cell {
 						PCheckpoint: g.PCheckpoint, Cycles: g.Cycles,
 					})
 				}
+			}
+		}
+		return cells
+	}
+	if g.Table == Compression {
+		for _, n := range g.Sizes {
+			for _, v := range g.Compress {
+				cells = append(cells, Cell{
+					Index: len(cells), Table: Compression, N: n,
+					CompressVariant: v, Seeds: g.Seeds, Ops: g.Ops,
+					PCheckpoint: g.PCheckpoint,
+				})
 			}
 		}
 		return cells
@@ -329,6 +362,13 @@ type Result struct {
 	Replayed         int     // checkpoints reloaded from stable storage per run (mean)
 	RetainedAfterMax int     // worst per-process retention right after a recovery
 	RecoverySecs     float64 // mean wall clock per recovery session (JSON only)
+
+	// Compression table.
+	Sends         int     // messages sent per run (mean over seeds)
+	PBEntries     int     // dependency-vector entries piggybacked per run (mean)
+	EntriesPerMsg float64 // piggybacked entries per message
+	PBBytesPerMsg float64 // piggyback bytes per message
+	PBOfFullPct   float64 // piggyback bytes as % of the full n-entry vector
 }
 
 // Run measures one cell: Seeds independent generated workloads, each
@@ -346,6 +386,8 @@ func (c Cell) Run() (Result, error) {
 		err = c.runRollback(&res)
 	case Chaos:
 		err = c.runChaos(&res)
+	case Compression:
+		err = c.runCompress(&res)
 	default:
 		err = fmt.Errorf("sweep: unknown table %d", int(c.Table))
 	}

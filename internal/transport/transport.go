@@ -27,7 +27,9 @@ type Message struct {
 	Msg     int    // global message number
 	Epoch   uint64 // network epoch; stale messages are dropped as lost
 	Index   int    // protocol-specific index (BCS)
-	DV      []int  // piggybacked dependency vector
+	Ord     int    // per-(From,To) send order (compressed piggybacks)
+	Sparse  bool   // DV holds flattened (k,v) changed entries, not a full vector
+	DV      []int  // piggybacked dependency vector, or sparse entries when Sparse
 	Payload []byte // application payload
 }
 
@@ -42,7 +44,7 @@ func Decode(b []byte) (Message, error) { return decode(b) }
 
 // encodedSize is the exact wire size of a message (excluding the frame
 // length prefix).
-func encodedSize(m Message) int { return 8*(8+len(m.DV)) + len(m.Payload) }
+func encodedSize(m Message) int { return 8*(10+len(m.DV)) + len(m.Payload) }
 
 // appendEncode frames a message — magic, fixed header, vector length,
 // entries, payload — appending to buf. Sized exactly up front, the whole
@@ -58,6 +60,12 @@ func appendEncode(buf []byte, m Message) []byte {
 	w(int64(m.Msg))
 	w(int64(m.Epoch))
 	w(int64(m.Index))
+	w(int64(m.Ord))
+	if m.Sparse {
+		w(1)
+	} else {
+		w(0)
+	}
 	w(int64(len(m.DV)))
 	for _, v := range m.DV {
 		w(int64(v))
@@ -99,6 +107,16 @@ func decode(b []byte) (Message, error) {
 		return Message{}, fmt.Errorf("transport: short frame: %w", io.ErrUnexpectedEOF)
 	}
 	m.Index = int(idx)
+	ord, ok := rd()
+	if !ok {
+		return Message{}, fmt.Errorf("transport: short frame: %w", io.ErrUnexpectedEOF)
+	}
+	m.Ord = int(ord)
+	kind, ok := rd()
+	if !ok || (kind != 0 && kind != 1) {
+		return Message{}, errors.New("transport: bad piggyback kind")
+	}
+	m.Sparse = kind == 1
 	n, ok := rd()
 	if !ok || n < 0 || n > int64(len(b)-off)/8 {
 		// Entries are 8 bytes each; a length beyond the bytes present is a

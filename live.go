@@ -51,6 +51,7 @@ func NewCluster(n int, net Network, opt ...Option) (*Cluster, error) {
 		N:        n,
 		Protocol: pf,
 		TCP:      net.TCP,
+		Compress: o.compress,
 		Net: runtime.NetworkOptions{
 			MinDelay: net.MinDelay,
 			MaxDelay: net.MaxDelay,

@@ -176,8 +176,12 @@ func WithGlobalPeriod(k int) Option { return func(o *options) { o.globalEvery = 
 
 // WithCompression piggybacks only the dependency-vector entries changed
 // since the previous send to the same destination (the Singhal–Kshemkalyani
-// incremental technique). Requires per-pair FIFO delivery; Run fails on
-// reordered scripts. Simulated systems only.
+// incremental technique). It means the same thing in every engine — a
+// capability of the shared middleware kernel (internal/node) — and requires
+// reliable per-pair FIFO channels: simulated systems fail on reordered
+// scripts, live clusters reject lossy networks at construction (the
+// in-process network sequences each pair; the TCP mesh is FIFO per pair),
+// and chaos runs refuse lossy baselines while keeping delay bursts.
 func WithCompression() Option { return func(o *options) { o.compress = true } }
 
 // fileStores returns the per-process on-disk store constructor for dir; an

@@ -1,0 +1,34 @@
+#!/bin/sh
+# check_layering.sh — the kernel/driver boundary, mechanically enforced.
+#
+# internal/node is the shared middleware kernel; internal/sim and
+# internal/runtime are its drivers. The dependency must point from the
+# drivers to the kernel, never back — otherwise the layering silently
+# inverts and the "one hot path" property the refactor bought is lost.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+node_deps=$(go list -deps repro/internal/node)
+for bad in repro/internal/sim repro/internal/runtime; do
+	if printf '%s\n' "$node_deps" | grep -qx "$bad"; then
+		echo "layering violation: internal/node imports $bad" >&2
+		fail=1
+	fi
+done
+
+# The inverse direction must hold: both engines are kernel drivers. A
+# drift where an engine stops importing the kernel means middleware logic
+# grew back inside it.
+for engine in repro/internal/sim repro/internal/runtime; do
+	if ! go list -deps "$engine" | grep -qx repro/internal/node; then
+		echo "layering violation: $engine no longer drives internal/node" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "layering ok: internal/node imports neither engine; both engines drive it"
