@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		sizes     = flag.String("sizes", "4,8,16,32,64,128", "comma-separated process counts")
+		sizes     = flag.String("sizes", "4,8,16,32,64,128,256,512,1024", "comma-separated process counts")
 		quick     = flag.Bool("quick", false, "short per-case budget (CI-sized run)")
 		jsonOut   = flag.Bool("json", false, "emit the JSON document instead of the table")
 		outFile   = flag.String("out", "", "also write the JSON document to this file")

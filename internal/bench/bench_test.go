@@ -38,10 +38,12 @@ func TestSuiteRunsEveryCase(t *testing.T) {
 // "missing case" check ever has to.
 func TestSuiteCoversTheHotPaths(t *testing.T) {
 	want := []string{
-		"vclock/merge", "vclock/clone", "protocol/fdas-decision",
-		"core/collect", "storage/encode", "storage/save",
-		"storage/rehydrate", "transport/roundtrip", "runtime/delivery",
-		"sim/run",
+		"vclock/merge", "vclock/merge-delta", "vclock/clone",
+		"protocol/fdas-decision", "core/collect", "storage/encode",
+		"storage/save", "storage/save-delta", "storage/rehydrate",
+		"storage/rehydrate-delta", "transport/roundtrip",
+		"transport/roundtrip-sparse", "runtime/delivery",
+		"runtime/delivery-compressed", "sim/run",
 	}
 	have := map[string]bool{}
 	for _, c := range Suite([]int{4}) {
@@ -59,8 +61,8 @@ func TestFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 2 {
-		t.Fatalf("filter vclock matched %d cases, want 2", len(results))
+	if len(results) != 3 {
+		t.Fatalf("filter vclock matched %d cases, want 3", len(results))
 	}
 	for _, r := range results {
 		if !strings.HasPrefix(r.Path, "vclock/") {

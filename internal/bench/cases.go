@@ -17,9 +17,12 @@ import (
 )
 
 // DefaultSizes is the process-count sweep: the paper's cluster sizes (4, 8)
-// and the production-scale extrapolation up to 128, where the size-n vector
-// every message carries (the Strom–Yemini overhead) starts to dominate.
-var DefaultSizes = []int{4, 8, 16, 32, 64, 128}
+// and the production-scale extrapolation up to 1024. Past n=128 the size-n
+// vector every message carries (the Strom–Yemini overhead) dominates the
+// dense paths; the delta-path cases alongside them are what must stay flat
+// there — a reintroduced O(n) cost shows up as a gated ns/op regression at
+// the large sizes.
+var DefaultSizes = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // stateBytes is the opaque application state saved with benchmarked
 // checkpoints; 256 B models a small application snapshot.
@@ -30,16 +33,26 @@ const stateBytes = 256
 // stable.
 func Suite(sizes []int) []Case {
 	var cases []Case
-	add := func(path string, gateNs bool, slack float64, mk func(n int) func(*T)) {
+	addTo := func(path string, gateNs bool, slack float64, maxN int, mk func(n int) func(*T)) {
 		for _, n := range sizes {
+			if n > maxN {
+				continue
+			}
 			cases = append(cases, Case{Path: path, N: n, GateNs: gateNs, AllocSlack: slack, Fn: mk(n)})
 		}
+	}
+	const noCap = 1 << 30
+	add := func(path string, gateNs bool, slack float64, mk func(n int) func(*T)) {
+		addTo(path, gateNs, slack, noCap, mk)
 	}
 
 	// The DV piggyback merge, exactly as the per-message delivery path
 	// performs it: fold the received vector in and report which entries
 	// rose (what RDT-LGC's OnNewInfo consumes).
 	add("vclock/merge", true, 0, mergeCase)
+	// The sparse form: a compressed delivery merges only the changed
+	// entries, so the cost is O(changed) — flat across the size sweep.
+	add("vclock/merge-delta", true, 0, mergeDeltaCase)
 	// The DV clone every send piggybacks.
 	add("vclock/clone", true, 0, cloneCase)
 	// FDAS's forced-checkpoint decision on delivery: the new-information
@@ -50,14 +63,24 @@ func Suite(sizes []int) []Case {
 	add("core/collect", true, 0, collectCase)
 	// Checkpoint record encoding + decoding (the storage wire format).
 	add("storage/encode", true, 0, encodeCase)
-	// Durable checkpoint save/delete steady state on a real FileStore.
-	// ns/op is disk-bound, so only allocations are gated; the small slack
-	// absorbs kernel-dependent allocation jitter in the file ops (a real
+	// Durable checkpoint save/delete steady state on a real FileStore,
+	// with incompressible vectors so every record is a full one — the
+	// dense gauge the delta case below is compared against. ns/op is
+	// disk-bound, so only allocations are gated; the small slack absorbs
+	// kernel-dependent allocation jitter in the file ops (a real
 	// regression in the encode path adds tens of allocs per op).
 	add("storage/save", false, 2, saveCase)
+	// The delta-encoded save path: one vector entry changes per
+	// checkpoint (the sparse-traffic shape), so the record written is
+	// O(changed) + state however large the system is.
+	add("storage/save-delta", false, 2, saveDeltaCase)
 	// Crash-recovery rehydration: open a store directory holding n
-	// checkpoints and decode every record.
+	// checkpoints and decode every record (full records, the dense gauge).
 	add("storage/rehydrate", false, 2, rehydrateCase)
+	// Rehydration over delta chains: the same n checkpoints stored as
+	// full-every-K chains of single-entry deltas, so the scan decodes
+	// O(changed) per record.
+	add("storage/rehydrate-delta", false, 2, rehydrateDeltaCase)
 	// The shared middleware kernel's end-to-end delivery path: FIFO
 	// bookkeeping-free full-vector deliver — forced-checkpoint decision,
 	// merge, RDT-LGC collect, periodic forced checkpoints — exactly what
@@ -70,17 +93,29 @@ func Suite(sizes []int) []Case {
 	add("node/send-compressed", true, 1, nodeSendCompressedCase)
 	// TCP mesh framing round trip (encode + decode of one message).
 	add("transport/roundtrip", true, 0, transportCase)
+	// Sparse frame round trip: a handful of changed entries instead of a
+	// size-n vector, so framing cost is O(changed).
+	add("transport/roundtrip-sparse", true, 0, transportSparseCase)
 	// Live-runtime end-to-end delivery: send through the asynchronous
 	// in-process network, forced-checkpoint decision, merge, collect.
 	// Concurrent (goroutine per message), so ns/op is scheduler-bound and
-	// the alloc gate allows slight scheduling noise.
+	// the alloc gate allows slight scheduling noise. The snapshot
+	// freelist keeps the piggyback clone out of the per-message allocs.
 	add("runtime/delivery", false, 2, deliveryCase)
+	// The same live path with compressed piggybacks: encode O(changed) at
+	// send, sparse decision + merge at delivery.
+	add("runtime/delivery-compressed", false, 2, deliveryCompressedCase)
 	// Deterministic simulator: a full uniform-workload run per iteration
 	// (FDAS + RDT-LGC), the grid cell the sweep experiments are made of.
 	// Thousands of allocs per run amortize fractionally, so a slack of 2
 	// absorbs low-iteration jitter while +1 alloc per message (hundreds
-	// per run) still fails loudly.
-	add("sim/run", true, 2, simCase)
+	// per run) still fails loudly. Capped at 256: one run is a whole
+	// 20n-operation experiment, which at n=1024 costs most of a second —
+	// the per-message paths above are what the large sizes gate.
+	addTo("sim/run", true, 2, 256, simCase(false))
+	// The same grid cell with compressed piggybacks: the deterministic
+	// engine's lazy encode (snapshot + send-time log position) end to end.
+	addTo("sim/run-compressed", true, 2, 256, simCase(true))
 
 	return cases
 }
@@ -102,6 +137,38 @@ func mergeCase(n int) func(*T) {
 		for i := 0; i < t.N; i++ {
 			local.CopyFrom(base) // rearm so the merge has work to do
 			buf = local.MergeAppend(msg, buf[:0])
+			Sink += len(buf)
+		}
+	}
+}
+
+func mergeDeltaCase(n int) func(*T) {
+	return func(t *T) {
+		local := vclock.New(n)
+		base := vclock.New(n)
+		for j := 0; j < n; j++ {
+			base[j] = j
+		}
+		// Four changed entries, whatever the system size — the sparse
+		// client-server shape, where a message moves a handful of entries.
+		d := vclock.Delta{}
+		for i := 0; i < 4 && i < n; i++ {
+			k := i * (n / 4)
+			if k >= n {
+				k = n - 1
+			}
+			d = append(d, vclock.Entry{K: k, V: k + 3})
+		}
+		buf := make([]int, 0, n)
+		local.CopyFrom(base)
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			// Rearm only the touched entries, so the measured loop is the
+			// sparse merge alone — O(changed) end to end.
+			for _, e := range d {
+				local[e.K] = base[e.K]
+			}
+			buf = d.MergeAppend(local, buf[:0])
 			Sink += len(buf)
 		}
 	}
@@ -214,6 +281,11 @@ func saveCase(n int) func(*T) {
 		cp := storage.Checkpoint{Process: 0, DV: vclock.New(n), State: make([]byte, stateBytes)}
 		t.Start()
 		for i := 0; i < t.N; i++ {
+			// Every entry moves, so the delta is never smaller than the
+			// vector and each record is written full — the dense gauge.
+			for j := range cp.DV {
+				cp.DV[j]++
+			}
 			cp.Index = i
 			if err := fs.Save(cp); err != nil {
 				t.Fatalf("save: %v", err)
@@ -226,10 +298,48 @@ func saveCase(n int) func(*T) {
 	}
 }
 
+func saveDeltaCase(n int) func(*T) {
+	return func(t *T) {
+		dir, err := os.MkdirTemp("", "bench-save-delta-")
+		if err != nil {
+			t.Fatalf("tempdir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }() // runs after Stop; also on Fatalf
+		fs, err := storage.OpenFileStore(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		cp := storage.Checkpoint{Process: 0, DV: vclock.New(n), State: make([]byte, stateBytes)}
+		// A trailing window of live checkpoints, as a collector would keep:
+		// deletes land on chain interiors and exercise the promotion path
+		// alongside the delta saves.
+		const window = 16
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			cp.DV[0] = i + 1 // the sender's own entry moves; the rest stand
+			cp.Index = i
+			if err := fs.Save(cp); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			if i >= window {
+				if err := fs.Delete(i - window); err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+			}
+		}
+		t.Stop()
+	}
+}
+
+// rehydrateCkpts is the store size of the rehydrate cases: what a process
+// has retained when it crashes. E1 measures RDT-LGC's steady-state retained
+// count at a handful per process across every workload — holding it fixed
+// makes the size sweep isolate the per-record cost of the size-n vectors,
+// which is the quantity the delta format attacks.
+const rehydrateCkpts = 16
+
 func rehydrateCase(n int) func(*T) {
 	return func(t *T) {
-		// A directory holding n checkpoints — the Section 4.5 bound on what
-		// a process can have retained when it crashes.
 		dir, err := os.MkdirTemp("", "bench-rehydrate-")
 		if err != nil {
 			t.Fatalf("tempdir: %v", err)
@@ -239,9 +349,47 @@ func rehydrateCase(n int) func(*T) {
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}
-		for i := 0; i < n; i++ {
-			dv := vclock.New(n)
-			dv[0] = i
+		dv := vclock.New(n)
+		for i := 0; i < rehydrateCkpts; i++ {
+			// Every entry moves between checkpoints, so each record stores
+			// a full vector: the scan decodes n entries per record — the
+			// dense gauge the delta case below is compared against.
+			for j := range dv {
+				dv[j]++
+			}
+			if err := fs.Save(storage.Checkpoint{Process: 0, Index: i, DV: dv, State: make([]byte, stateBytes)}); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			re, err := storage.OpenFileStore(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			Sink += re.Stats().Live
+		}
+		t.Stop()
+	}
+}
+
+func rehydrateDeltaCase(n int) func(*T) {
+	return func(t *T) {
+		dir, err := os.MkdirTemp("", "bench-rehydrate-delta-")
+		if err != nil {
+			t.Fatalf("tempdir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }() // runs after Stop; also on Fatalf
+		fs, err := storage.OpenFileStore(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		dv := vclock.New(n)
+		for i := 0; i < rehydrateCkpts; i++ {
+			// One entry moves per checkpoint: the store writes chains of
+			// single-entry deltas with a full record every K-th, so the
+			// crash-recovery scan decodes O(changed) per record.
+			dv[0] = i + 1
 			if err := fs.Save(storage.Checkpoint{Process: 0, Index: i, DV: dv, State: make([]byte, stateBytes)}); err != nil {
 				t.Fatalf("save: %v", err)
 			}
@@ -348,6 +496,29 @@ func transportCase(n int) func(*T) {
 	}
 }
 
+func transportSparseCase(n int) func(*T) {
+	return func(t *T) {
+		m := transport.Message{
+			From: 0, To: 1, Msg: 7, Epoch: 3, Index: 2, Sparse: true,
+			Payload: make([]byte, 64),
+		}
+		// Four changed entries regardless of n: the steady-state sparse
+		// frame of client-server traffic.
+		for i := 0; i < 4 && i < n; i++ {
+			m.Entries = append(m.Entries, vclock.Entry{K: i, V: i + 1})
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			b := transport.Encode(m)
+			out, err := transport.Decode(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			Sink += out.To
+		}
+	}
+}
+
 func deliveryCase(n int) func(*T) {
 	return func(t *T) {
 		c, err := runtime.NewCluster(runtime.Config{
@@ -381,42 +552,94 @@ func deliveryCase(n int) func(*T) {
 	}
 }
 
-// simPaperMetrics caches, per size, the paper-predicted quantities of the
-// benchmarked workload (measured once through the oracle-backed pipeline —
-// too expensive to recompute on every calibration pass).
-var simPaperMetrics = map[int]metrics.Report{}
-
-func simCase(n int) func(*T) {
+func deliveryCompressedCase(n int) func(*T) {
 	return func(t *T) {
-		script := workload.Generate(workload.Uniform, workload.Options{N: n, Ops: 20 * n, Seed: 29})
-		rep, ok := simPaperMetrics[n]
-		if !ok {
-			var err error
-			rep, err = metrics.Measure(metrics.MeasureOptions{N: n, Collector: metrics.RDTLGC, Script: script})
-			if err != nil {
-				t.Fatalf("measure: %v", err)
-			}
-			simPaperMetrics[n] = rep
-		}
-		cfg := sim.Config{
+		c, err := runtime.NewCluster(runtime.Config{
 			N:        n,
-			Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+			Net:      runtime.NetworkOptions{Seed: 1},
+			Compress: true,
 			LocalGC: func(self, nn int, st storage.Store) gc.Local {
 				return core.New(self, nn, st)
 			},
+		})
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
 		}
+		// Warm every pair the loop uses: the first message of a pair is a
+		// full sync (all non-zero entries, fresh per-pair state), so cold
+		// pairs would dominate low-iteration runs at large n. Steady-state
+		// compressed delivery is what this case gates.
+		for from := 0; from < n; from++ {
+			if err := c.Node(from).Send((from + 1) % n); err != nil {
+				t.Fatalf("warmup send: %v", err)
+			}
+		}
+		c.Quiesce()
 		t.Start()
 		for i := 0; i < t.N; i++ {
-			r, err := sim.NewRunner(cfg)
-			if err != nil {
-				t.Fatalf("runner: %v", err)
+			from := i % n
+			if err := c.Node(from).Send((from + 1) % n); err != nil {
+				t.Fatalf("send: %v", err)
 			}
-			if err := r.Run(script); err != nil {
-				t.Fatalf("run: %v", err)
+			if i%8 == 7 {
+				if err := c.Node(from).Checkpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
 			}
 		}
+		c.Quiesce()
 		t.Stop()
-		t.Metric("retained-mean", rep.PerProcRetained.Mean())
-		t.Metric("collect-ratio", rep.CollectionRatio())
+	}
+}
+
+// simPaperMetrics caches, per size and workload, the paper-predicted
+// quantities of the benchmarked run (measured once through the
+// oracle-backed pipeline — too expensive to recompute on every
+// calibration pass).
+var simPaperMetrics = map[[2]int]metrics.Report{}
+
+func simCase(compress bool) func(n int) func(*T) {
+	return func(n int) func(*T) {
+		return func(t *T) {
+			// The dense case runs the historical uniform grid cell; the
+			// compressed one runs client-server traffic — the repeat-pair
+			// sparse shape compression targets, and (unlike uniform
+			// scripts) per-pair FIFO, which compression requires.
+			kind, key := workload.Uniform, [2]int{n, 0}
+			if compress {
+				kind, key = workload.ClientServer, [2]int{n, 1}
+			}
+			script := workload.Generate(kind, workload.Options{N: n, Ops: 20 * n, Seed: 29})
+			rep, ok := simPaperMetrics[key]
+			if !ok {
+				var err error
+				rep, err = metrics.Measure(metrics.MeasureOptions{N: n, Collector: metrics.RDTLGC, Script: script})
+				if err != nil {
+					t.Fatalf("measure: %v", err)
+				}
+				simPaperMetrics[key] = rep
+			}
+			cfg := sim.Config{
+				N:        n,
+				Protocol: func(int) protocol.Protocol { return protocol.NewFDAS() },
+				LocalGC: func(self, nn int, st storage.Store) gc.Local {
+					return core.New(self, nn, st)
+				},
+				Compress: compress,
+			}
+			t.Start()
+			for i := 0; i < t.N; i++ {
+				r, err := sim.NewRunner(cfg)
+				if err != nil {
+					t.Fatalf("runner: %v", err)
+				}
+				if err := r.Run(script); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+			}
+			t.Stop()
+			t.Metric("retained-mean", rep.PerProcRetained.Mean())
+			t.Metric("collect-ratio", rep.CollectionRatio())
+		}
 	}
 }

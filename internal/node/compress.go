@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/vclock"
 )
@@ -16,44 +17,110 @@ import (
 // the control information shrinks from n entries per message to the number
 // of recently changed ones.
 //
+// The encoder pays O(changed) too, not just the wire: instead of keeping a
+// full vector copy per destination (O(n) memory each, O(n) scan per
+// encode), the kernel appends every entry change to a shared change log
+// and remembers, per destination, the log position its last message
+// covered. An encode replays only the log suffix since that position —
+// exactly the changed entries, because vector entries only ever increase
+// between compression resets — so neither the encode cost nor the encoder
+// state scales with the system size.
+//
 // Both engines use it through the same state: the live runtime encodes at
 // send time (Kernel.Send, the destination is known) and sequences the
 // network per pair; the deterministic simulator encodes lazily at delivery
 // time (Kernel.EncodeFor, scripts bind the destination at the receive
-// operation), which under per-pair FIFO is identical to sender-side
-// encoding. Every compressed delivery is verified against the per-pair
-// encode order, so a lost or reordered message fails loudly instead of
-// silently corrupting causal knowledge.
+// operation) against the send-time snapshot and the send-time log position
+// (Piggyback.Pos), which under per-pair FIFO replays the exact window a
+// send-time encode would have. Every compressed delivery is verified
+// against the per-pair encode order, so a lost or reordered message fails
+// loudly instead of silently corrupting causal knowledge.
 
 // Entry is one transmitted vector entry: process K's interval index V.
-type Entry struct {
-	K, V int
-}
+// It is the sparse-vector entry of internal/vclock, shared with the
+// storage and transport layers so sparse data crosses layer boundaries
+// without conversion.
+type Entry = vclock.Entry
 
-// compressor holds one kernel's per-pair incremental-piggyback state.
+// compressor holds one kernel's incremental-piggyback state.
 type compressor struct {
-	lastSent map[int]vclock.DV // per destination: vector covered by the previous encode
-	lastOrd  map[int]int       // per destination: send order of the last encoded message
-	encCnt   map[int]int       // per destination: encodes so far (the wire Ord)
-	recvNext map[int]int       // per source: next expected wire Ord
+	// log records the index of every dependency-vector entry that changed,
+	// in change order; the absolute position of log[i] is logBase+i.
+	// Trimming drops the prefix every destination has already covered.
+	log     []int
+	logBase int
+	// sentPos maps a destination to the log position its most recent
+	// encode covered; a destination not in the map has never been synced
+	// and gets a full scan of the snapshot.
+	sentPos map[int]int
+	// pending counts outstanding snapshot positions: a lazy engine holds a
+	// position at send time (Kernel.SendSnapshot) and releases it when the
+	// message is encoded at delivery (Kernel.EncodeFor); trimming never
+	// crosses a held position, so the window a pending encode will replay
+	// stays in the log.
+	pending map[int]int
+
+	lastOrd  map[int]int // per destination: send order of the last encoded message
+	encCnt   map[int]int // per destination: encodes so far (the wire Ord)
+	recvNext map[int]int // per source: next expected wire Ord
+
+	// seen/stamp dedup log indices during one encode without clearing.
+	seen  []int
+	stamp int
+
+	entBuf []Entry // reused by encodeInto when the result does not escape
 }
 
-func newCompressor() *compressor {
+func newCompressor(n int) *compressor {
 	return &compressor{
-		lastSent: make(map[int]vclock.DV),
+		sentPos:  make(map[int]int),
+		pending:  make(map[int]int),
 		lastOrd:  make(map[int]int),
 		encCnt:   make(map[int]int),
 		recvNext: make(map[int]int),
+		seen:     make([]int, n),
 	}
 }
 
-// reset discards all per-pair state, restarting every pair from a full
-// set of entries.
+// reset discards all incremental state — log, per-pair positions and
+// orders — restarting every pair from a full set of entries. The stamp
+// survives so stale seen marks can never collide.
 func (c *compressor) reset() {
-	c.lastSent = make(map[int]vclock.DV)
+	c.log = c.log[:0]
+	c.logBase = 0
+	c.sentPos = make(map[int]int)
+	c.pending = make(map[int]int)
 	c.lastOrd = make(map[int]int)
 	c.encCnt = make(map[int]int)
 	c.recvNext = make(map[int]int)
+}
+
+// note records that the vector entries with the given indices increased.
+// The kernel calls it on every merge, checkpoint and initialization, so
+// the log is a faithful journal of the vector's evolution.
+func (c *compressor) note(indices ...int) {
+	c.log = append(c.log, indices...)
+}
+
+// pos returns the current log position — the value a send captures as
+// Piggyback.Pos, delimiting the changes the message's encode must cover.
+func (c *compressor) pos() int { return c.logBase + len(c.log) }
+
+// hold captures the current log position and pins it against trimming
+// until the matching release — the send side of a lazy encode.
+func (c *compressor) hold() int {
+	p := c.pos()
+	c.pending[p]++
+	return p
+}
+
+// release unpins a position captured by hold.
+func (c *compressor) release(p int) {
+	if c.pending[p] > 1 {
+		c.pending[p]--
+	} else {
+		delete(c.pending, p)
+	}
 }
 
 // nextOrd returns the send order the kernel's own send path uses for the
@@ -62,10 +129,14 @@ func (c *compressor) reset() {
 func (c *compressor) nextOrd(dest int) int { return c.encCnt[dest] }
 
 // encode returns the entries of snapshot that changed since the previous
-// encode for dest, plus the message's per-pair wire order. sendOrd is the
-// message's position among the sender's sends, for FIFO enforcement when
-// encoding lazily at delivery time.
-func (c *compressor) encode(dest, sendOrd int, snapshot vclock.DV) ([]Entry, int, error) {
+// encode for dest — the log window between the destination's last covered
+// position and pos, the sender's log position when the message was sent —
+// plus the message's per-pair wire order. sendOrd is the message's
+// position among the sender's sends to dest, for FIFO enforcement when
+// encoding lazily at delivery time. Entries are appended to buf: pass nil
+// when the result escapes (the live runtime's asynchronous network), a
+// reused buffer when it is consumed before the next encode.
+func (c *compressor) encode(dest, sendOrd, pos int, snapshot vclock.DV, buf []Entry) ([]Entry, int, error) {
 	if last, ok := c.lastOrd[dest]; ok && sendOrd < last {
 		return nil, 0, fmt.Errorf("node: compressed piggybacking requires FIFO channels: →p%d delivered send %d after %d",
 			dest, sendOrd, last)
@@ -73,24 +144,74 @@ func (c *compressor) encode(dest, sendOrd int, snapshot vclock.DV) ([]Entry, int
 	c.lastOrd[dest] = sendOrd
 	ord := c.encCnt[dest]
 	c.encCnt[dest] = ord + 1
-	prev, ok := c.lastSent[dest]
-	var entries []Entry
-	if !ok {
+
+	entries := buf
+	covered, synced := c.sentPos[dest]
+	if !synced {
+		// First message of the pair (or first after a reset): everything
+		// the snapshot knows, which is exactly its nonzero entries.
 		for k, v := range snapshot {
 			if v != 0 {
 				entries = append(entries, Entry{K: k, V: v})
 			}
 		}
-		c.lastSent[dest] = snapshot.Clone()
-		return entries, ord, nil
+	} else {
+		// Replay the log window. Every index in it strictly increased
+		// since the pair's previous message, so its snapshot value is new
+		// to the receiver; indices changed more than once are sent once.
+		if covered < c.logBase {
+			// Positions below logBase are trimmed only once every synced
+			// destination and every held snapshot has passed them.
+			return nil, 0, fmt.Errorf("node: internal: change log trimmed to %d past →p%d's covered position %d",
+				c.logBase, dest, covered)
+		}
+		c.stamp++
+		for p := covered; p < pos; p++ {
+			k := c.log[p-c.logBase]
+			if c.seen[k] == c.stamp {
+				continue
+			}
+			c.seen[k] = c.stamp
+			entries = append(entries, Entry{K: k, V: snapshot[k]})
+		}
+		slices.SortFunc(entries, func(a, b Entry) int { return a.K - b.K })
 	}
-	for k, v := range snapshot {
-		if v != prev[k] {
-			entries = append(entries, Entry{K: k, V: v})
-			prev[k] = v
+	c.sentPos[dest] = pos
+	c.trim()
+	return entries, ord, nil
+}
+
+// trim drops the log prefix every synced destination and every held
+// snapshot has covered. It never evicts a destination's position: eviction
+// would change what a later encode transmits, and the two engines — which
+// encode the same traffic at different event times, so their sentPos maps
+// disagree at any given kernel event — must produce identical entries.
+// The cost of that guarantee is that a once-synced destination that goes
+// permanently quiet pins the log, which then grows with the kernel's
+// total entry changes until the next compression reset (recovery
+// sessions reset it); the old per-destination vector copies cost O(n)
+// per active pair instead, so the trade is bounded history for bounded
+// width.
+func (c *compressor) trim() {
+	const minTrim = 256
+	if len(c.log) < 2*minTrim {
+		return
+	}
+	m := c.pos()
+	for _, p := range c.sentPos {
+		if p < m {
+			m = p
 		}
 	}
-	return entries, ord, nil
+	for p := range c.pending {
+		if p < m {
+			m = p
+		}
+	}
+	if cut := m - c.logBase; cut >= minTrim {
+		c.log = c.log[:copy(c.log, c.log[cut:])]
+		c.logBase = m
+	}
 }
 
 // verifyArrival checks a compressed message arrives exactly in per-pair
@@ -106,31 +227,4 @@ func (c *compressor) verifyArrival(from, ord int) error {
 	}
 	c.recvNext[from]++
 	return nil
-}
-
-// expand reconstructs, for the protocol's forced-checkpoint test, a vector
-// equivalent to the full piggyback: the receiver's current vector with the
-// transmitted entries folded in, written into the caller's reused buffer.
-// Under FIFO this carries new information exactly when the full vector
-// would.
-func expand(local vclock.DV, entries []Entry, buf vclock.DV) vclock.DV {
-	buf.CopyFrom(local)
-	for _, e := range entries {
-		if e.V > buf[e.K] {
-			buf[e.K] = e.V
-		}
-	}
-	return buf
-}
-
-// applySparseAppend merges the entries into dv, appending the indices that
-// increased to buf — the same contract as vclock.DV.MergeAppend.
-func applySparseAppend(dv vclock.DV, entries []Entry, buf []int) []int {
-	for _, e := range entries {
-		if e.V > dv[e.K] {
-			dv[e.K] = e.V
-			buf = append(buf, e.K)
-		}
-	}
-	return buf
 }

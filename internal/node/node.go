@@ -88,10 +88,8 @@ type Kernel struct {
 	app   app.App
 
 	// scratch is the reused changed-index buffer of the delivery-path
-	// merge; expandBuf is the reused vector sparse piggybacks are expanded
-	// into for the protocol's decision.
-	scratch   []int
-	expandBuf vclock.DV
+	// merge.
+	scratch []int
 
 	comp *compressor // non-nil iff cfg.Compress and not crashed
 
@@ -120,6 +118,11 @@ type Piggyback struct {
 	Ord int
 	// Index is the protocol-specific piggyback index (BCS).
 	Index int
+	// Pos is the sender's change-log position when the message was sent
+	// (compressing kernels only): the engine hands it back to EncodeFor so
+	// a lazy encode replays exactly the changes a send-time encode would
+	// have covered.
+	Pos int
 }
 
 // New builds the kernel and stores the initial checkpoint s^0 with the zero
@@ -158,9 +161,12 @@ func New(cfg Config) (*Kernel, error) {
 		return nil, fmt.Errorf("node: initial checkpoint of p%d: %w", cfg.ID, err)
 	}
 	k.gcol = cfg.LocalGC(cfg.ID, cfg.N, k.store)
-	k.dv[cfg.ID] = 1
 	if cfg.Compress {
-		k.comp = newCompressor()
+		k.comp = newCompressor(cfg.N)
+	}
+	k.dv[cfg.ID] = 1
+	if k.comp != nil {
+		k.comp.note(cfg.ID)
 	}
 	return k, nil
 }
@@ -180,7 +186,9 @@ func (k *Kernel) Send(dest int) (Piggyback, error) {
 		return Piggyback{}, fmt.Errorf("node: p%d sending to invalid destination %d", k.cfg.ID, dest)
 	}
 	idx := k.proto.OnSend()
-	entries, ord, err := k.comp.encode(dest, k.comp.nextOrd(dest), k.dv)
+	// Encoding at send time covers the log up to this instant; the result
+	// escapes onto the engine's network, so no buffer is reused.
+	entries, ord, err := k.comp.encode(dest, k.comp.nextOrd(dest), k.comp.pos(), k.dv, nil)
 	if err != nil {
 		return Piggyback{}, err
 	}
@@ -197,7 +205,13 @@ func (k *Kernel) SendSnapshot() Piggyback {
 	if !k.cfg.Compress {
 		k.pbEntries += k.cfg.N
 	}
-	return Piggyback{DV: k.cloneDV(), Index: idx}
+	pb := Piggyback{DV: k.cloneDV(), Index: idx}
+	if k.comp != nil {
+		// Capture (and pin, until EncodeFor releases it) the send-time log
+		// position the lazy encode will replay up to.
+		pb.Pos = k.comp.hold()
+	}
+	return pb
 }
 
 // cloneDV snapshots the live vector through the driver's allocator.
@@ -211,17 +225,22 @@ func (k *Kernel) cloneDV() vclock.DV {
 // EncodeFor turns a full snapshot taken at send time into the compressed
 // piggyback for dest — the lazy encoding of the deterministic engine, which
 // learns the destination at delivery. sendOrd is the message's position
-// among this kernel's sends to any destination; under per-pair FIFO,
-// encoding at delivery time is identical to encoding at send time, and a
-// pair's messages arriving out of send order fail here.
-func (k *Kernel) EncodeFor(dest, sendOrd int, snapshot vclock.DV) ([]Entry, int, error) {
+// among this kernel's sends to any destination and pos the snapshot's
+// change-log position (Piggyback.Pos); under per-pair FIFO, replaying the
+// log window up to pos is identical to encoding at send time, and a pair's
+// messages arriving out of send order fail here. The returned entries are
+// valid only until the next EncodeFor call: the deterministic engine
+// delivers them before encoding again, so the buffer is reused.
+func (k *Kernel) EncodeFor(dest, sendOrd, pos int, snapshot vclock.DV) ([]Entry, int, error) {
 	if k.comp == nil {
 		return nil, 0, fmt.Errorf("node: p%d is not compressing piggybacks", k.cfg.ID)
 	}
-	entries, ord, err := k.comp.encode(dest, sendOrd, snapshot)
+	k.comp.release(pos)
+	entries, ord, err := k.comp.encode(dest, sendOrd, pos, snapshot, k.comp.entBuf[:0])
 	if err != nil {
 		return nil, 0, err
 	}
+	k.comp.entBuf = entries
 	k.pbEntries += len(entries)
 	return entries, ord, nil
 }
@@ -238,10 +257,9 @@ func (k *Kernel) Deliver(pb Piggyback) (forced bool, err error) {
 		if err := k.comp.verifyArrival(pb.From, pb.Ord); err != nil {
 			return false, err
 		}
-		if k.expandBuf == nil {
-			k.expandBuf = vclock.New(k.cfg.N)
-		}
-		decision.DV = expand(k.dv, pb.Entries, k.expandBuf)
+		// The protocol decides on the changed entries directly — no full
+		// vector is materialized, so the decision costs O(changed).
+		decision = protocol.Piggyback{Entries: pb.Entries, Sparse: true, Index: pb.Index}
 	}
 	if k.proto.ForcedBeforeDelivery(k.dv, decision) {
 		forced = true
@@ -250,9 +268,12 @@ func (k *Kernel) Deliver(pb Piggyback) (forced bool, err error) {
 		}
 	}
 	if pb.Compressed {
-		k.scratch = applySparseAppend(k.dv, pb.Entries, k.scratch[:0])
+		k.scratch = vclock.Delta(pb.Entries).MergeAppend(k.dv, k.scratch[:0])
 	} else {
 		k.scratch = k.dv.MergeAppend(pb.DV, k.scratch[:0])
+	}
+	if k.comp != nil && len(k.scratch) > 0 {
+		k.comp.note(k.scratch...)
 	}
 	if err := k.gcol.OnNewInfo(k.scratch, k.dv); err != nil {
 		return forced, err
@@ -275,6 +296,9 @@ func (k *Kernel) Checkpoint(basic bool) (int, error) {
 		return 0, err
 	}
 	k.dv[k.cfg.ID]++
+	if k.comp != nil {
+		k.comp.note(k.cfg.ID)
+	}
 	k.lastS = index
 	k.proto.OnCheckpoint()
 	if basic {
@@ -365,7 +389,7 @@ func (k *Kernel) Rehydrate(store storage.Store) error {
 		k.app = k.cfg.NewApp(k.cfg.ID) // state machine restored by the rollback that follows
 	}
 	if k.cfg.Compress {
-		k.comp = newCompressor()
+		k.comp = newCompressor(k.cfg.N)
 	}
 	return nil
 }

@@ -35,10 +35,27 @@ import "repro/internal/vclock"
 // Piggyback is the control information carried by an application message:
 // the sender's dependency vector (used by every RDT protocol and by
 // RDT-LGC) and the sender's BCS logical index (used only by BCS; zero
-// otherwise).
+// otherwise). A compressed message carries the changed entries instead of
+// a full vector (Sparse set, DV nil): under FIFO channels the receiver's
+// vector merged with the entries equals the full vector the sender would
+// have piggybacked, so the protocols' decisions are identical — but the
+// sparse form lets them run in O(changed) instead of O(n).
 type Piggyback struct {
-	DV    vclock.DV
-	Index int
+	DV      vclock.DV
+	Entries vclock.Delta // changed entries of a compressed piggyback
+	Sparse  bool         // Entries, not DV, carry the causal information
+	Index   int
+}
+
+// NewInfoFor reports whether the piggyback carries causal information the
+// local vector lacks — the test at the heart of the FDAS and FDI forced-
+// checkpoint decisions. For a sparse piggyback this inspects only the
+// changed entries.
+func (pb Piggyback) NewInfoFor(local vclock.DV) bool {
+	if pb.Sparse {
+		return local.NewInfoDelta(pb.Entries)
+	}
+	return local.NewInfo(pb.DV)
 }
 
 // Protocol is the per-process forced-checkpoint decision procedure. A
@@ -115,7 +132,7 @@ func NewFDI() *FDI { return &FDI{} }
 func (*FDI) Name() string { return "FDI" }
 
 func (p *FDI) ForcedBeforeDelivery(local vclock.DV, pb Piggyback) bool {
-	return p.active && local.NewInfo(pb.DV)
+	return p.active && pb.NewInfoFor(local)
 }
 
 func (p *FDI) OnSend() int {
@@ -140,7 +157,7 @@ func NewFDAS() *FDAS { return &FDAS{} }
 func (*FDAS) Name() string { return "FDAS" }
 
 func (p *FDAS) ForcedBeforeDelivery(local vclock.DV, pb Piggyback) bool {
-	return p.sent && local.NewInfo(pb.DV)
+	return p.sent && pb.NewInfoFor(local)
 }
 
 func (p *FDAS) OnSend() int {

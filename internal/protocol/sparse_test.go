@@ -1,0 +1,64 @@
+package protocol_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// TestSparseDecisionMatchesDense drives FDAS and FDI through random
+// decision points presented both as full vectors and as the equivalent
+// sparse entry sets; the forced-checkpoint answers must agree, since a
+// compressed delivery under FIFO carries exactly the information of the
+// full vector it stands for.
+func TestSparseDecisionMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	protos := []func() protocol.Protocol{
+		func() protocol.Protocol { return protocol.NewFDAS() },
+		func() protocol.Protocol { return protocol.NewFDI() },
+	}
+	for _, mk := range protos {
+		dense, sparse := mk(), mk()
+		// Arm the send-dependent conjunct so the new-information test runs.
+		dense.OnSend()
+		sparse.OnSend()
+		for trial := 0; trial < 500; trial++ {
+			n := 2 + rng.Intn(12)
+			local := vclock.New(n)
+			for i := range local {
+				local[i] = rng.Intn(5)
+			}
+			var entries vclock.Delta
+			for k := 0; k < n; k++ {
+				if rng.Intn(2) == 0 {
+					entries = append(entries, vclock.Entry{K: k, V: rng.Intn(7)})
+				}
+			}
+			full := vclock.ExpandInto(local, entries, vclock.New(n))
+			d := dense.ForcedBeforeDelivery(local, protocol.Piggyback{DV: full})
+			s := sparse.ForcedBeforeDelivery(local, protocol.Piggyback{Entries: entries, Sparse: true})
+			if d != s {
+				t.Fatalf("%s: dense decision %v != sparse %v (local=%v entries=%v)",
+					dense.Name(), d, s, local, entries)
+			}
+		}
+	}
+}
+
+// TestNewInfoForSparse pins the sparse fast path directly.
+func TestNewInfoForSparse(t *testing.T) {
+	local := vclock.DV{2, 0, 5}
+	stale := protocol.Piggyback{Sparse: true, Entries: vclock.Delta{{K: 0, V: 2}, {K: 2, V: 1}}}
+	if stale.NewInfoFor(local) {
+		t.Fatal("entries dominated by local reported as new information")
+	}
+	fresh := protocol.Piggyback{Sparse: true, Entries: vclock.Delta{{K: 1, V: 1}}}
+	if !fresh.NewInfoFor(local) {
+		t.Fatal("entry above local not reported as new information")
+	}
+	if (protocol.Piggyback{Sparse: true}).NewInfoFor(local) {
+		t.Fatal("empty sparse piggyback reported as new information")
+	}
+}

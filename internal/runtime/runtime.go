@@ -102,6 +102,14 @@ type Cluster struct {
 	recMu sync.Mutex
 	rec   ccp.Script // linearized history of middleware events
 
+	// dvMu guards dvFree, the freelist full-vector piggyback snapshots are
+	// drawn from (CloneDV) and returned to once a delivery has consumed
+	// them — the live-runtime counterpart of the simulator's snapshot
+	// recycling, so the per-message send path stops allocating a fresh
+	// vector clone.
+	dvMu   sync.Mutex
+	dvFree []vclock.DV
+
 	// pairs sequences per-(from,to) delivery when Compress is on: tickets
 	// are taken in send order under the sender's lock, and a delivery (or
 	// mesh hand-off) only proceeds when its ticket is up. The n×n table is
@@ -188,37 +196,28 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 // onWire delivers a message arriving from the TCP mesh. The matching
-// inflight increment happened at Send.
+// inflight increment happened at Send. Sparse frames hand their entries to
+// the kernel natively — no flattening or rebuilding on either side of the
+// wire.
 func (c *Cluster) onWire(m transport.Message) {
 	defer c.inflight.Done()
+	if err := m.Validate(c.cfg.N); err != nil {
+		// Structurally sound but semantically damaged — an entry index
+		// outside the cluster, a wrong-size vector: the frame is dropped
+		// (a lost message, which the model permits) before it can reach a
+		// kernel's dependency vector.
+		return
+	}
 	pb := node.Piggyback{Index: m.Index}
 	if m.Sparse {
 		pb.Compressed = true
 		pb.From = m.From
 		pb.Ord = m.Ord
-		pb.Entries = entriesFromWire(m.DV)
+		pb.Entries = m.Entries
 	} else {
 		pb.DV = vclock.DV(m.DV)
 	}
 	c.nodes[m.To].deliver(m.Msg, pb, m.Epoch, m.Payload)
-}
-
-// entriesToWire flattens sparse entries into the transport's vector slot.
-func entriesToWire(entries []node.Entry) []int {
-	out := make([]int, 0, 2*len(entries))
-	for _, e := range entries {
-		out = append(out, e.K, e.V)
-	}
-	return out
-}
-
-// entriesFromWire rebuilds sparse entries from their flattened wire form.
-func entriesFromWire(flat []int) []node.Entry {
-	out := make([]node.Entry, 0, len(flat)/2)
-	for i := 0; i+1 < len(flat); i += 2 {
-		out = append(out, node.Entry{K: flat[i], V: flat[i+1]})
-	}
-	return out
 }
 
 // Close releases the network resources of a TCP-backed cluster. Clusters
@@ -268,9 +267,35 @@ func (c *Cluster) PiggybackEntries() int {
 	return total
 }
 
-// CloneDV implements node.Driver with a plain clone; the live runtime has
-// no snapshot freelist (piggybacks escape onto network goroutines).
-func (c *Cluster) CloneDV(src vclock.DV) vclock.DV { return src.Clone() }
+// CloneDV implements node.Driver: it serves the piggyback snapshot from
+// the cluster's freelist when a delivered message has returned one, and
+// allocates otherwise. Piggybacks escape onto network goroutines, so the
+// freelist is shared and mutex-guarded — the lock is uncontended leaf
+// state and far cheaper than the per-message allocation it replaces.
+func (c *Cluster) CloneDV(src vclock.DV) vclock.DV {
+	c.dvMu.Lock()
+	if k := len(c.dvFree); k > 0 {
+		dv := c.dvFree[k-1]
+		c.dvFree = c.dvFree[:k-1]
+		c.dvMu.Unlock()
+		dv.CopyFrom(src)
+		return dv
+	}
+	c.dvMu.Unlock()
+	return src.Clone()
+}
+
+// recycleDV returns a consumed piggyback snapshot to the freelist. Only
+// full-size vectors are kept; nil (compressed piggybacks) and foreign
+// lengths are dropped.
+func (c *Cluster) recycleDV(dv vclock.DV) {
+	if len(dv) != c.cfg.N {
+		return
+	}
+	c.dvMu.Lock()
+	c.dvFree = append(c.dvFree, dv)
+	c.dvMu.Unlock()
+}
 
 // CheckpointState implements node.Driver: live checkpoints carry the
 // application snapshot (handled by the kernel), never an accounting
@@ -443,7 +468,8 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 		if drop {
 			// A compressed cluster never draws drops (loss is rejected at
 			// configuration time), so a dropped message cannot strand a
-			// FIFO ticket.
+			// FIFO ticket. The unused snapshot still feeds the freelist.
+			n.c.recycleDV(pb.DV)
 			n.c.inflight.Done()
 			return
 		}
@@ -461,11 +487,14 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 			if pb.Compressed {
 				wire.Sparse = true
 				wire.Ord = pb.Ord
-				wire.DV = entriesToWire(pb.Entries)
+				wire.Entries = pb.Entries
 			} else {
 				wire.DV = pb.DV
 			}
 			err := mesh.Send(wire)
+			// The frame is encoded into the connection buffer; the
+			// snapshot is dead either way and feeds the freelist.
+			n.c.recycleDV(pb.DV)
 			if ps != nil {
 				// The mesh is FIFO per connection, so sequencing the
 				// hand-off sequences the delivery.
@@ -500,6 +529,10 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 func (n *Node) deliver(msg int, pb node.Piggyback, epoch uint64, payload []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// The piggyback vector is consumed within this call whatever branch
+	// runs (nothing retains it, per the interface contracts), so it feeds
+	// the snapshot freelist on the way out.
+	defer n.c.recycleDV(pb.DV)
 	if n.down || epoch != n.c.curEpoch() {
 		// A crashed destination loses the message, exactly as the model
 		// loses messages addressed to a failed process.

@@ -130,22 +130,18 @@ func (r *Runner) truncateHistory(line []int) {
 	// Remap the per-message bookkeeping to the new numbering, dropping cut
 	// sends. Delivered messages have no entries any more (deliver recycles
 	// the snapshot and deletes the id), so only in-transit ones carry
-	// over; the three maps are maintained together, here as in deliver.
+	// over; the two maps are maintained together, here as in deliver.
 	pbs := make(map[int]protocol.Piggyback, len(remap))
-	ords := make(map[int]int, len(remap))
-	bys := make(map[int]int, len(remap))
+	mds := make(map[int]sendMeta, len(remap))
 	for old, nw := range remap {
 		if pb, ok := r.sendPB[old]; ok {
 			pbs[nw] = pb
 		}
-		if ord, ok := r.sendOrd[old]; ok {
-			ords[nw] = ord
-		}
-		if by, ok := r.sendBy[old]; ok {
-			bys[nw] = by
+		if md, ok := r.sendMd[old]; ok {
+			mds[nw] = md
 		}
 	}
-	r.sendPB, r.sendOrd, r.sendBy = pbs, ords, bys
+	r.sendPB, r.sendMd = pbs, mds
 	r.hist = out
 	r.mirror = ccp.NewBuilder(r.cfg.N)
 	replayInto(r.mirror, out)

@@ -75,8 +75,7 @@ type Runner struct {
 	hist    ccp.Script // executed history, global message numbering
 	mirror  *ccp.Builder
 	sendPB  map[int]protocol.Piggyback // piggyback per in-transit global message id
-	sendOrd map[int]int                // per global message id: order among the sender's sends
-	sendBy  map[int]int                // per global message id: sending process
+	sendMd  map[int]sendMeta           // per in-transit global message id: sender bookkeeping
 	sent    []int                      // sends so far per process
 	metrics Metrics
 	events  int
@@ -105,13 +104,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 		cfg.GlobalEvery = 1
 	}
 	r := &Runner{
-		cfg:     cfg,
-		hist:    ccp.Script{N: cfg.N},
-		mirror:  ccp.NewBuilder(cfg.N),
-		sendPB:  make(map[int]protocol.Piggyback),
-		sendOrd: make(map[int]int),
-		sendBy:  make(map[int]int),
-		sent:    make([]int, cfg.N),
+		cfg:    cfg,
+		hist:   ccp.Script{N: cfg.N},
+		mirror: ccp.NewBuilder(cfg.N),
+		sendPB: make(map[int]protocol.Piggyback),
+		sendMd: make(map[int]sendMeta),
+		sent:   make([]int, cfg.N),
 	}
 	for i := 0; i < cfg.N; i++ {
 		store, err := cfg.NewStore(i)
@@ -216,11 +214,17 @@ func (r *Runner) send(p *node.Kernel) int {
 	g := r.hist.Send(p.ID())
 	r.mirror.Send(p.ID())
 	r.sendPB[g] = protocol.Piggyback{DV: pb.DV, Index: pb.Index}
-	r.sendOrd[g] = r.sent[p.ID()]
-	r.sendBy[g] = p.ID()
+	r.sendMd[g] = sendMeta{by: p.ID(), ord: r.sent[p.ID()], pos: pb.Pos}
 	r.sent[p.ID()]++
 	r.metrics.Sends++
 	return g
+}
+
+// sendMeta is the per-in-transit-message bookkeeping the lazy compressed
+// encode needs: the sender, its per-process send order, and the sender's
+// change-log position at send time.
+type sendMeta struct {
+	by, ord, pos int
 }
 
 func (r *Runner) deliver(p *node.Kernel, gmsg int) error {
@@ -230,12 +234,12 @@ func (r *Runner) deliver(p *node.Kernel, gmsg int) error {
 	}
 	pb := node.Piggyback{DV: snap.DV, Index: snap.Index}
 	if r.cfg.Compress {
-		from := r.msgSender(gmsg)
-		entries, ord, err := r.procs[from].EncodeFor(p.ID(), r.sendOrd[gmsg], snap.DV)
+		md := r.sendMd[gmsg]
+		entries, ord, err := r.procs[md.by].EncodeFor(p.ID(), md.ord, md.pos, snap.DV)
 		if err != nil {
 			return fmt.Errorf("sim: %w", err)
 		}
-		pb = node.Piggyback{Entries: entries, Compressed: true, From: from, Ord: ord, Index: snap.Index}
+		pb = node.Piggyback{Entries: entries, Compressed: true, From: md.by, Ord: ord, Index: snap.Index}
 	}
 	if _, err := p.Deliver(pb); err != nil {
 		return fmt.Errorf("sim: %w", err)
@@ -247,13 +251,9 @@ func (r *Runner) deliver(p *node.Kernel, gmsg int) error {
 	// bookkeeping for its id (scripts cannot deliver it again).
 	r.dvFree = append(r.dvFree, snap.DV)
 	delete(r.sendPB, gmsg)
-	delete(r.sendOrd, gmsg)
-	delete(r.sendBy, gmsg)
+	delete(r.sendMd, gmsg)
 	return nil
 }
-
-// msgSender returns the sending process of a global message id.
-func (r *Runner) msgSender(gmsg int) int { return r.sendBy[gmsg] }
 
 func (r *Runner) afterEvent() error {
 	r.events++

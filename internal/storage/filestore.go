@@ -7,7 +7,6 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,15 +20,47 @@ import (
 // Files are written to a temporary name and renamed so a checkpoint is
 // either fully present or absent.
 //
-// The on-disk record is a small binary header (process, index, vector)
-// followed by the raw state bytes; see encode.
+// Records are delta-encoded (format v2): every fullEvery-th record stores
+// the complete dependency vector, the records between store only the
+// entries that changed against their predecessor, so the per-checkpoint
+// cost — bytes written by Save, bytes decoded by a crash-recovery scan —
+// is proportional to what changed, not to the system size. The chain
+// invariant is that a delta record's base is always present on disk:
+// collecting a record a live delta still chains through renames it to a
+// .dead tombstone (kept as a base only, reaped when the chain drains)
+// instead of rewriting the dependent. Stores written in the v1 format
+// (full vectors only) still open; the first new Save starts a v2 chain.
 type FileStore struct {
-	mu    sync.Mutex
-	dir   string
-	live  map[int]int // index -> state length, for byte accounting
-	stats Stats
-	enc   []byte // reused encode buffer (guarded by mu)
+	mu     sync.Mutex
+	dir    string
+	live   map[int]int // index -> state length, for byte accounting
+	sorted []int       // live indices, ascending — maintained incrementally
+	stats  Stats
+	enc    []byte // reused encode buffer (guarded by mu)
+
+	// Delta-chain state: base maps a delta record (live or dead) to the
+	// record it patches, child the inverse (each record has at most one
+	// delta dependent — chains are linear in save order). dead marks
+	// records the collector has Deleted while a live delta still chains
+	// through them: their file is renamed to a .dead tombstone — an O(1)
+	// delete, where rewriting the dependent would cost O(n) — kept only as
+	// a chain base and reaped once the chain drains. lastIdx/lastDV
+	// describe the most recent save, the candidate base of the next
+	// record; lastIdx is −1 when the next save must open a fresh chain
+	// with a full record.
+	base    map[int]int
+	child   map[int]int
+	dead    map[int]bool
+	lastIdx int
+	lastDV  vclock.DV
+	chain   int          // delta records since the last full one
+	diffBuf vclock.Delta // reused DiffAppend buffer
 }
+
+// fullEvery bounds a delta chain: every fullEvery-th record is a full
+// vector, so Load resolves at most fullEvery−1 deltas and a single damaged
+// chain can cost at most fullEvery records.
+const fullEvery = 8
 
 // OpenFileStore opens (or creates) a file store rooted at dir. Existing
 // checkpoint files are indexed and counted as live. Every file is decoded
@@ -37,17 +68,29 @@ type FileStore struct {
 // checkpoints, so a corrupt record (for example a file truncated by a disk
 // fault — the tmp+rename write protocol rules out partial writes, not
 // after-the-fact damage) must fail the open loudly rather than surface as a
-// bogus restart state later. Leftover .tmp files from an interrupted Save
-// are uncommitted and removed.
+// bogus restart state later. Delta records are validated structurally and
+// against the chain invariant (their base must be live and precede them);
+// their vectors are reconstructed lazily by Load, so the scan cost per
+// record stays proportional to the record, not the system size. Leftover
+// .tmp files from an interrupted Save are uncommitted and removed.
 func OpenFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
-	fs := &FileStore{dir: dir, live: make(map[int]int)}
+	fs := &FileStore{
+		dir:     dir,
+		live:    make(map[int]int),
+		base:    make(map[int]int),
+		child:   make(map[int]int),
+		dead:    make(map[int]bool),
+		lastIdx: -1,
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("storage: scan %s: %w", dir, err)
 	}
+	// Zero-padded names make the lexical ReadDir order the index order, so
+	// a delta's base has always been scanned before the delta itself.
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
 			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
@@ -55,7 +98,7 @@ func OpenFileStore(dir string) (*FileStore, error) {
 			}
 			continue
 		}
-		idx, ok := parseName(e.Name())
+		idx, dead, ok := parseName(e.Name())
 		if !ok {
 			continue
 		}
@@ -63,60 +106,172 @@ func OpenFileStore(dir string) (*FileStore, error) {
 		if err != nil {
 			return nil, fmt.Errorf("storage: read %s: %w", e.Name(), err)
 		}
-		cp, err := decode(data)
+		rec, err := DecodeRecord(data)
 		if err != nil {
 			return nil, fmt.Errorf("storage: corrupt checkpoint file %s: %w", e.Name(), err)
 		}
-		if cp.Index != idx {
-			return nil, fmt.Errorf("storage: checkpoint file %s records index %d", e.Name(), cp.Index)
+		if rec.Index != idx {
+			return nil, fmt.Errorf("storage: checkpoint file %s records index %d", e.Name(), rec.Index)
+		}
+		if _, dup := fs.live[idx]; dup || fs.dead[idx] {
+			return nil, fmt.Errorf("storage: checkpoint %d present both live and as tombstone", idx)
+		}
+		if rec.Delta {
+			if rec.Base >= idx {
+				return nil, fmt.Errorf("storage: checkpoint file %s patches non-preceding base %d", e.Name(), rec.Base)
+			}
+			if _, okLive := fs.live[rec.Base]; !okLive && !fs.dead[rec.Base] {
+				return nil, fmt.Errorf("storage: checkpoint file %s patches missing base %d", e.Name(), rec.Base)
+			}
+			if dep, dup := fs.child[rec.Base]; dup {
+				return nil, fmt.Errorf("storage: checkpoints %d and %d both patch base %d", dep, idx, rec.Base)
+			}
+			fs.base[idx] = rec.Base
+			fs.child[rec.Base] = idx
+		}
+		if dead {
+			fs.dead[idx] = true
+			continue // tombstones are chain bases only: no accounting
 		}
 		// LiveBytes counts state bytes only, the same definition MemStore
 		// uses (see Stats), so byte accounting is comparable across stores.
-		fs.live[idx] = len(cp.State)
+		fs.live[idx] = len(rec.State)
+		fs.sorted = insertSorted(fs.sorted, idx)
 		fs.stats.Live++
-		fs.stats.LiveBytes += len(cp.State)
+		fs.stats.LiveBytes += len(rec.State)
+	}
+	// Tombstones nothing chains through any more — left by a reap the
+	// crash interrupted — are garbage; collect them now, cascading down
+	// their own bases.
+	for idx := range fs.dead {
+		if err := fs.reapDead(idx); err != nil {
+			return nil, err
+		}
 	}
 	fs.stats.Peak = fs.stats.Live
 	fs.stats.PeakBytes = fs.stats.LiveBytes
 	return fs, nil
 }
 
+// reapDead removes the tombstone at idx if no record chains through it,
+// then cascades to its own base. No-op for still-referenced tombstones.
+func (fs *FileStore) reapDead(idx int) error {
+	for {
+		if !fs.dead[idx] {
+			return nil
+		}
+		if _, referenced := fs.child[idx]; referenced {
+			return nil
+		}
+		if err := os.Remove(fs.pathDead(idx)); err != nil {
+			return fmt.Errorf("storage: reap tombstone %d: %w", idx, err)
+		}
+		delete(fs.dead, idx)
+		b, isDelta := fs.base[idx]
+		delete(fs.base, idx)
+		if !isDelta {
+			return nil
+		}
+		if fs.child[b] == idx {
+			delete(fs.child, b)
+		}
+		idx = b
+	}
+}
+
 func (fs *FileStore) path(index int) string {
 	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-%08d.bin", index))
 }
 
-func parseName(name string) (int, bool) {
-	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".bin") {
-		return 0, false
-	}
-	idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".bin"))
-	if err != nil {
-		return 0, false
-	}
-	return idx, true
+// pathDead is the tombstone name of a collected record still serving as a
+// delta-chain base.
+func (fs *FileStore) pathDead(index int) string {
+	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-%08d.dead", index))
 }
 
-// EncodeCheckpoint serializes a checkpoint into the on-disk record format.
+// recPath returns the file currently holding index's record.
+func (fs *FileStore) recPath(index int) string {
+	if fs.dead[index] {
+		return fs.pathDead(index)
+	}
+	return fs.path(index)
+}
+
+func parseName(name string) (idx int, dead, ok bool) {
+	if !strings.HasPrefix(name, "ckpt-") {
+		return 0, false, false
+	}
+	rest := strings.TrimPrefix(name, "ckpt-")
+	switch {
+	case strings.HasSuffix(rest, ".bin"):
+		rest = strings.TrimSuffix(rest, ".bin")
+	case strings.HasSuffix(rest, ".dead"):
+		rest, dead = strings.TrimSuffix(rest, ".dead"), true
+	default:
+		return 0, false, false
+	}
+	idx, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false, false
+	}
+	return idx, dead, true
+}
+
+// Record is one decoded on-disk checkpoint record. A full record carries
+// the complete checkpoint; a delta record carries the entries that changed
+// against the record at index Base, and its DV is nil until resolved
+// through the chain (FileStore.Load does this).
+type Record struct {
+	Checkpoint
+	Delta   bool
+	Base    int
+	Entries vclock.Delta
+}
+
+// EncodeCheckpoint serializes a checkpoint as a self-contained full record.
 // Exported for the performance harness (internal/bench), which gates the
 // per-checkpoint encoding cost.
-func EncodeCheckpoint(cp Checkpoint) []byte { return encode(nil, cp) }
+func EncodeCheckpoint(cp Checkpoint) []byte { return encodeFull(nil, cp) }
 
-// DecodeCheckpoint parses one on-disk checkpoint record.
-func DecodeCheckpoint(b []byte) (Checkpoint, error) { return decode(b) }
+// DecodeCheckpoint parses one self-contained checkpoint record (v1 or a v2
+// full record). Delta records need their chain; use DecodeRecord and a
+// FileStore for those.
+func DecodeCheckpoint(b []byte) (Checkpoint, error) {
+	rec, err := DecodeRecord(b)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	if rec.Delta {
+		return Checkpoint{}, fmt.Errorf("storage: checkpoint %d is delta-encoded against %d and cannot be decoded standalone", rec.Index, rec.Base)
+	}
+	return rec.Checkpoint, nil
+}
 
-const ckptMagic = int64(0x5244544C47431) // "RDTLGC" tag
+const (
+	ckptMagic   = int64(0x5244544C47431) // v1 ("RDTLGC"): full vector only
+	ckptMagicV2 = int64(0x5244544C47432) // v2: full or delta records
 
-// encode serializes a checkpoint: magic, process, index, vector length,
-// vector entries, state length, state — all little-endian int64. It appends
-// to buf (pass nil for a fresh record), sized exactly up front so the whole
-// record costs at most one allocation; the previous bytes.Buffer +
-// binary.Write form allocated per field, which dominated the save path.
-func encode(buf []byte, cp Checkpoint) []byte {
-	buf = slices.Grow(buf, 8*(5+len(cp.DV))+len(cp.State))
+	recFull  = 0
+	recDelta = 1
+)
+
+// maxCount caps decoded vector and entry counts; together with the
+// remaining-bytes checks it keeps a corrupted header from demanding an
+// arbitrary allocation (found by FuzzDecode in the v1 format).
+const maxCount = 1 << 20
+
+// encodeFull serializes a full record: magic, process, index, kind, vector
+// length, vector entries, state length, state — all little-endian int64,
+// then the raw state bytes. It appends to buf (pass nil for a fresh
+// record), sized exactly up front so the whole record costs at most one
+// allocation.
+func encodeFull(buf []byte, cp Checkpoint) []byte {
+	buf = slices.Grow(buf, 8*(6+len(cp.DV))+len(cp.State))
 	w := func(v int64) { buf = binary.LittleEndian.AppendUint64(buf, uint64(v)) }
-	w(ckptMagic)
+	w(ckptMagicV2)
 	w(int64(cp.Process))
 	w(int64(cp.Index))
+	w(recFull)
 	w(int64(len(cp.DV)))
 	for _, v := range cp.DV {
 		w(int64(v))
@@ -125,7 +280,32 @@ func encode(buf []byte, cp Checkpoint) []byte {
 	return append(buf, cp.State...)
 }
 
-func decode(b []byte) (Checkpoint, error) {
+// encodeDelta serializes a delta record: magic, process, index, kind, base
+// index, entry count, (k, v) pairs, state length, state. Only the changed
+// entries are written, so the record size is O(changed) + state.
+func encodeDelta(buf []byte, cp Checkpoint, base int, entries vclock.Delta) []byte {
+	buf = slices.Grow(buf, 8*(7+2*len(entries))+len(cp.State))
+	w := func(v int64) { buf = binary.LittleEndian.AppendUint64(buf, uint64(v)) }
+	w(ckptMagicV2)
+	w(int64(cp.Process))
+	w(int64(cp.Index))
+	w(recDelta)
+	w(int64(base))
+	w(int64(len(entries)))
+	for _, e := range entries {
+		w(int64(e.K))
+		w(int64(e.V))
+	}
+	w(int64(len(cp.State)))
+	return append(buf, cp.State...)
+}
+
+// DecodeRecord parses one on-disk checkpoint record of either format
+// version. Structural corruption — bad magic, truncation, implausible
+// counts, unsorted delta entries — fails loudly here; chain-level
+// corruption (a delta whose base is missing) fails in OpenFileStore or
+// Load.
+func DecodeRecord(b []byte) (Record, error) {
 	off := 0
 	rd := func() (int64, bool) {
 		if off+8 > len(b) {
@@ -136,60 +316,127 @@ func decode(b []byte) (Checkpoint, error) {
 		return v, true
 	}
 	magic, ok := rd()
-	if !ok || magic != ckptMagic {
-		return Checkpoint{}, fmt.Errorf("storage: bad checkpoint file header")
+	if !ok || (magic != ckptMagic && magic != ckptMagicV2) {
+		return Record{}, fmt.Errorf("storage: bad checkpoint file header")
 	}
-	var cp Checkpoint
+	var rec Record
 	p, ok := rd()
 	if !ok {
-		return Checkpoint{}, io.ErrUnexpectedEOF
+		return Record{}, io.ErrUnexpectedEOF
 	}
 	idx, ok := rd()
 	if !ok {
-		return Checkpoint{}, io.ErrUnexpectedEOF
+		return Record{}, io.ErrUnexpectedEOF
 	}
-	n, ok := rd()
-	if !ok || n < 0 || n > 1<<20 || n > int64(len(b)-off)/8 {
-		return Checkpoint{}, fmt.Errorf("storage: bad vector length")
-	}
-	cp.Process, cp.Index = int(p), int(idx)
-	cp.DV = vclock.New(int(n))
-	for i := range cp.DV {
-		v, ok := rd()
-		if !ok {
-			return Checkpoint{}, io.ErrUnexpectedEOF
+	rec.Process, rec.Index = int(p), int(idx)
+	kind := int64(recFull)
+	if magic == ckptMagicV2 {
+		kind, ok = rd()
+		if !ok || (kind != recFull && kind != recDelta) {
+			return Record{}, fmt.Errorf("storage: bad record kind")
 		}
-		cp.DV[i] = int(v)
+	}
+	switch kind {
+	case recFull:
+		n, ok := rd()
+		if !ok || n < 0 || n > maxCount || n > int64(len(b)-off)/8 {
+			return Record{}, fmt.Errorf("storage: bad vector length")
+		}
+		rec.DV = vclock.New(int(n))
+		for i := range rec.DV {
+			v, _ := rd() // length was validated against the bytes present
+			rec.DV[i] = int(v)
+		}
+	case recDelta:
+		rec.Delta = true
+		base, ok := rd()
+		if !ok || base < 0 {
+			return Record{}, fmt.Errorf("storage: bad delta base")
+		}
+		rec.Base = int(base)
+		n, ok := rd()
+		if !ok || n < 0 || n > maxCount || n > int64(len(b)-off)/16 {
+			return Record{}, fmt.Errorf("storage: bad delta entry count")
+		}
+		rec.Entries = make(vclock.Delta, n)
+		for i := range rec.Entries {
+			k, _ := rd()
+			v, _ := rd() // count was validated against the bytes present
+			rec.Entries[i] = vclock.Entry{K: int(k), V: int(v)}
+		}
+		if err := rec.Entries.Validate(maxCount); err != nil {
+			return Record{}, fmt.Errorf("storage: bad delta entries: %w", err)
+		}
 	}
 	sl, ok := rd()
 	if !ok || sl < 0 || sl > int64(len(b)-off) {
-		// The state length must not exceed the bytes actually present;
-		// otherwise a corrupted header could demand an arbitrary
-		// allocation (found by FuzzDecode).
-		return Checkpoint{}, fmt.Errorf("storage: bad state length")
+		// The state length must not exceed the bytes actually present.
+		return Record{}, fmt.Errorf("storage: bad state length")
 	}
-	cp.State = make([]byte, sl)
-	copy(cp.State, b[off:off+int(sl)])
-	return cp, nil
+	rec.State = make([]byte, sl)
+	copy(rec.State, b[off:off+int(sl)])
+	return rec, nil
 }
 
-// Save implements Store.
+// Save implements Store. Between full records it writes only the vector
+// entries that changed since the previous save, so the write cost tracks
+// the change, not the system size.
 func (fs *FileStore) Save(cp Checkpoint) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, dup := fs.live[cp.Index]; dup {
+	if _, dup := fs.live[cp.Index]; dup || fs.dead[cp.Index] {
+		// A tombstone counts: its file still anchors a live chain, and a
+		// fresh record at the same index would shadow it. The middleware
+		// never hits this — a rollback deletes every later checkpoint
+		// before an index is reused, which reaps the tombstone — so any
+		// occurrence is a caller bug worth failing loudly.
 		return fmt.Errorf("storage: duplicate save of checkpoint %d of p%d", cp.Index, cp.Process)
 	}
-	fs.enc = encode(fs.enc[:0], cp)
-	data := fs.enc
+	asDelta := fs.lastIdx >= 0 && fs.chain < fullEvery-1 && len(fs.lastDV) == len(cp.DV)
+	if asDelta {
+		// The base must still be live (the collector may have taken it) and
+		// chainable (at most one dependent per record).
+		if _, ok := fs.live[fs.lastIdx]; !ok {
+			asDelta = false
+		} else if _, ok := fs.child[fs.lastIdx]; ok {
+			asDelta = false
+		}
+	}
+	var entries vclock.Delta
+	if asDelta {
+		fs.diffBuf = vclock.DiffAppend(fs.lastDV, cp.DV, fs.diffBuf[:0])
+		entries = fs.diffBuf
+		if 2*len(entries)+1 >= len(cp.DV) {
+			asDelta = false // the delta would not be smaller than the vector
+		}
+	}
+	if asDelta {
+		fs.enc = encodeDelta(fs.enc[:0], cp, fs.lastIdx, entries)
+	} else {
+		fs.enc = encodeFull(fs.enc[:0], cp)
+	}
 	tmp := fs.path(cp.Index) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := os.WriteFile(tmp, fs.enc, 0o644); err != nil {
 		return fmt.Errorf("storage: write %s: %w", tmp, err)
 	}
 	if err := os.Rename(tmp, fs.path(cp.Index)); err != nil {
 		return fmt.Errorf("storage: commit %s: %w", tmp, err)
 	}
+	if asDelta {
+		fs.base[cp.Index] = fs.lastIdx
+		fs.child[fs.lastIdx] = cp.Index
+		fs.chain++
+	} else {
+		fs.chain = 0
+	}
+	fs.lastIdx = cp.Index
+	if len(fs.lastDV) == len(cp.DV) {
+		fs.lastDV.CopyFrom(cp.DV)
+	} else {
+		fs.lastDV = cp.DV.Clone()
+	}
 	fs.live[cp.Index] = len(cp.State)
+	fs.sorted = insertSorted(fs.sorted, cp.Index)
 	fs.stats.Saved++
 	fs.stats.Live++
 	fs.stats.LiveBytes += len(cp.State)
@@ -202,7 +449,11 @@ func (fs *FileStore) Save(cp Checkpoint) error {
 	return nil
 }
 
-// Delete implements Store.
+// Delete implements Store in O(1) file operations: a record some live
+// delta still chains through becomes a .dead tombstone (one rename, no
+// rewrite — promoting the dependent would re-encode a size-n vector on
+// every collection of a chain anchor); records nothing depends on are
+// removed at once, together with any tombstone chain prefix this unpins.
 func (fs *FileStore) Delete(index int) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -210,40 +461,79 @@ func (fs *FileStore) Delete(index int) error {
 	if !ok {
 		return fmt.Errorf("storage: delete of absent checkpoint %d", index)
 	}
-	if err := os.Remove(fs.path(index)); err != nil {
-		return fmt.Errorf("storage: delete checkpoint %d: %w", index, err)
+	if fs.lastIdx == index {
+		fs.lastIdx = -1 // the next save opens a fresh chain
 	}
 	delete(fs.live, index)
+	fs.sorted = removeSorted(fs.sorted, index)
 	fs.stats.Collected++
 	fs.stats.Live--
 	fs.stats.LiveBytes -= size
-	return nil
+	if _, referenced := fs.child[index]; referenced {
+		if err := os.Rename(fs.path(index), fs.pathDead(index)); err != nil {
+			return fmt.Errorf("storage: delete checkpoint %d: %w", index, err)
+		}
+		fs.dead[index] = true
+		return nil
+	}
+	if err := os.Remove(fs.path(index)); err != nil {
+		return fmt.Errorf("storage: delete checkpoint %d: %w", index, err)
+	}
+	b, isDelta := fs.base[index]
+	delete(fs.base, index)
+	if !isDelta {
+		return nil
+	}
+	if fs.child[b] == index {
+		delete(fs.child, b)
+	}
+	return fs.reapDead(b)
 }
 
-// Load implements Store.
+// Load implements Store, resolving delta records through their chain (at
+// most fullEvery−1 hops to the nearest full record), tombstoned bases
+// included. Only live records are loadable.
 func (fs *FileStore) Load(index int) (Checkpoint, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.live[index]; !ok {
 		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
 	}
-	data, err := os.ReadFile(fs.path(index))
+	return fs.load(index)
+}
+
+func (fs *FileStore) load(index int) (Checkpoint, error) {
+	if _, ok := fs.live[index]; !ok && !fs.dead[index] {
+		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
+	}
+	data, err := os.ReadFile(fs.recPath(index))
 	if err != nil {
 		return Checkpoint{}, fmt.Errorf("storage: read checkpoint %d: %w", index, err)
 	}
-	return decode(data)
+	rec, err := DecodeRecord(data)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("storage: corrupt checkpoint %d: %w", index, err)
+	}
+	if !rec.Delta {
+		return rec.Checkpoint, nil
+	}
+	base, err := fs.load(rec.Base)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("storage: checkpoint %d: resolve delta base: %w", index, err)
+	}
+	cp := Checkpoint{Process: rec.Process, Index: rec.Index, DV: base.DV, State: rec.State}
+	if err := rec.Entries.Patch(cp.DV); err != nil {
+		return Checkpoint{}, fmt.Errorf("storage: corrupt checkpoint %d: %w", index, err)
+	}
+	return cp, nil
 }
 
-// Indices implements Store.
+// Indices implements Store. Like MemStore, the sorted slice is maintained
+// incrementally and copied out.
 func (fs *FileStore) Indices() []int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	out := make([]int, 0, len(fs.live))
-	for idx := range fs.live {
-		out = append(out, idx)
-	}
-	sort.Ints(out)
-	return out
+	return append([]int(nil), fs.sorted...)
 }
 
 // Stats implements Store.

@@ -1,0 +1,333 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// encodeV1 reproduces the v1 on-disk record byte-for-byte (full vector
+// only, no kind field) independently of the production encoder, so the
+// compatibility tests cannot rot alongside it.
+func encodeV1(cp Checkpoint) []byte {
+	var buf []byte
+	w := func(v int64) { buf = binary.LittleEndian.AppendUint64(buf, uint64(v)) }
+	w(ckptMagic)
+	w(int64(cp.Process))
+	w(int64(cp.Index))
+	w(int64(len(cp.DV)))
+	for _, v := range cp.DV {
+		w(int64(v))
+	}
+	w(int64(len(cp.State)))
+	return append(buf, cp.State...)
+}
+
+// TestV1StoreOpensUnderDeltaReader writes a directory of v1 records — what
+// an existing deployment's stable store holds — and checks the new reader
+// opens it, loads every checkpoint bit-for-bit, and continues the store
+// with delta-encoded saves that remain loadable alongside the old records.
+func TestV1StoreOpensUnderDeltaReader(t *testing.T) {
+	dir := t.TempDir()
+	want := make(map[int]Checkpoint)
+	dv := vclock.New(6)
+	for i := 0; i < 5; i++ {
+		dv[0] = i
+		dv[i%6]++
+		cp := Checkpoint{Process: 0, Index: i, DV: dv.Clone(), State: []byte{byte(i), 0xAB}}
+		want[i] = cp
+		name := filepath.Join(dir, "ckpt-"+padIndex(i)+".bin")
+		if err := os.WriteFile(name, encodeV1(cp), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("v1 store failed to open: %v", err)
+	}
+	if got := fs.Stats().Live; got != 5 {
+		t.Fatalf("opened %d live checkpoints, want 5", got)
+	}
+	for i, cp := range want {
+		got, err := fs.Load(i)
+		if err != nil {
+			t.Fatalf("load v1 checkpoint %d: %v", i, err)
+		}
+		if !got.DV.Equal(cp.DV) || !bytes.Equal(got.State, cp.State) || got.Process != cp.Process {
+			t.Fatalf("v1 checkpoint %d changed: %+v vs %+v", i, got, cp)
+		}
+	}
+	// The store keeps working in the new format: the first save is full
+	// (no chain tail), later ones delta against it, and all resolve.
+	for i := 5; i < 5+fullEvery; i++ {
+		dv[0] = i
+		if err := fs.Save(Checkpoint{Process: 0, Index: i, DV: dv, State: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("mixed v1/v2 store failed to reopen: %v", err)
+	}
+	cp, err := re.Load(5 + fullEvery - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.DV[0] != 5+fullEvery-1 {
+		t.Fatalf("delta chain resolved DV[0]=%d, want %d", cp.DV[0], 5+fullEvery-1)
+	}
+}
+
+func padIndex(i int) string { return fmt.Sprintf("%08d", i) }
+
+// TestDeltaChainRoundTrip drives a FileStore through a long save sequence
+// with small per-save changes and checks (a) delta records actually appear
+// and are much smaller than full ones, (b) every checkpoint loads back
+// bit-for-bit, including after a crash-style reopen.
+func TestDeltaChainRoundTrip(t *testing.T) {
+	const n = 64
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	dv := vclock.New(n)
+	want := make([]Checkpoint, 0, 3*fullEvery)
+	for i := 0; i < 3*fullEvery; i++ {
+		dv[0] = i
+		dv[rng.Intn(n)]++
+		cp := Checkpoint{Process: 0, Index: i, DV: dv.Clone(), State: []byte("st")}
+		if err := fs.Save(cp); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, cp)
+	}
+	var fullBytes, deltaBytes, deltas int64
+	for i := range want {
+		data, err := os.ReadFile(filepath.Join(dir, "ckpt-"+padIndex(i)+".bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Delta {
+			deltas++
+			deltaBytes += int64(len(data))
+		} else {
+			fullBytes += int64(len(data))
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("no delta records written")
+	}
+	wantDeltas := int64(len(want) - (len(want)+fullEvery-1)/fullEvery)
+	if deltas != wantDeltas {
+		t.Fatalf("wrote %d delta records, want %d (full every %d)", deltas, wantDeltas, fullEvery)
+	}
+	if avgD, avgF := deltaBytes/deltas, fullBytes/(int64(len(want))-deltas); avgD*4 > avgF {
+		t.Fatalf("delta records not small: avg delta %dB vs avg full %dB at n=%d", avgD, avgF, n)
+	}
+	check := func(fs *FileStore) {
+		t.Helper()
+		for _, cp := range want {
+			got, err := fs.Load(cp.Index)
+			if err != nil {
+				t.Fatalf("load %d: %v", cp.Index, err)
+			}
+			if !got.DV.Equal(cp.DV) || !bytes.Equal(got.State, cp.State) {
+				t.Fatalf("checkpoint %d changed through the chain: got %v want %v", cp.Index, got.DV, cp.DV)
+			}
+		}
+	}
+	check(fs)
+	re, err := OpenFileStore(dir) // crash-style reopen
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(re)
+}
+
+// TestDeleteTombstonesChainBases checks the chain invariant under
+// collection: deleting a record that a delta depends on leaves a .dead
+// tombstone serving as the chain's base (no rewrite), dependents stay
+// loadable — including after a reopen — deleted records are gone from the
+// interface, and draining the chain reaps every tombstone.
+func TestDeleteTombstonesChainBases(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := vclock.New(8)
+	for i := 0; i < 4; i++ {
+		dv[0] = i
+		if err := fs.Save(Checkpoint{Process: 0, Index: i, DV: dv, State: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Records 1..3 are deltas chaining back to full record 0. Deleting 0
+	// and 1 must tombstone them (record 2 still resolves through both).
+	if err := fs.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 1} {
+		if _, err := fs.Load(idx); err == nil {
+			t.Fatalf("deleted checkpoint %d still loads", idx)
+		}
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("ckpt-%08d.dead", idx))); err != nil {
+			t.Fatalf("tombstone for %d missing: %v", idx, err)
+		}
+	}
+	if got := fs.Indices(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Indices = %v, want [2 3]", got)
+	}
+	cp, err := fs.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.DV[0] != 3 {
+		t.Fatalf("after tombstoning DV[0]=%d, want 3", cp.DV[0])
+	}
+	re, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("store with tombstones failed to reopen: %v", err)
+	}
+	if cp, err := re.Load(2); err != nil || cp.DV[0] != 2 {
+		t.Fatalf("record 2 unreadable through tombstoned bases after reopen: %v %v", cp, err)
+	}
+	// Draining the chain reaps every tombstone: the directory must be
+	// empty once all live records are deleted.
+	if err := re.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		names := make([]string, len(left))
+		for i, e := range left {
+			names[i] = e.Name()
+		}
+		t.Fatalf("chain drained but files remain: %v", names)
+	}
+}
+
+// TestSaveRejectsTombstonedIndex pins the duplicate-save rule across the
+// tombstone state: an index whose record still anchors a live chain is
+// occupied, for Save, until the chain drains and the tombstone is reaped.
+func TestSaveRejectsTombstonedIndex(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := vclock.New(4)
+	for i := 0; i < 3; i++ {
+		dv[0] = i
+		if err := fs.Save(Checkpoint{Process: 0, Index: i, DV: dv, State: []byte("s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Delete(0); err != nil { // tombstoned: 1 chains through it
+		t.Fatal(err)
+	}
+	if err := fs.Save(Checkpoint{Process: 0, Index: 0, DV: dv, State: []byte("x")}); err == nil {
+		t.Fatal("save onto a tombstoned index must fail, not shadow the chain base")
+	}
+	// Draining the chain reaps the tombstone; the index is then reusable.
+	if err := fs.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(Checkpoint{Process: 0, Index: 0, DV: dv, State: []byte("x")}); err != nil {
+		t.Fatalf("save onto a reaped index failed: %v", err)
+	}
+}
+
+// TestCorruptDeltaFailsLoudly damages delta records in the ways the format
+// must catch — truncation, a base pointing nowhere, entries out of range —
+// and checks each fails the open or the load with an error instead of
+// yielding a wrong vector.
+func TestCorruptDeltaFailsLoudly(t *testing.T) {
+	build := func(t *testing.T) (string, *FileStore) {
+		dir := t.TempDir()
+		fs, err := OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv := vclock.New(4)
+		for i := 0; i < 3; i++ {
+			dv[0] = i
+			if err := fs.Save(Checkpoint{Process: 0, Index: i, DV: dv, State: []byte("s")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir, fs
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		dir, _ := build(t)
+		name := filepath.Join(dir, "ckpt-"+padIndex(1)+".bin")
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(name, data[:len(data)-9], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFileStore(dir); err == nil {
+			t.Fatal("open accepted a truncated delta record")
+		}
+	})
+
+	t.Run("missing-base", func(t *testing.T) {
+		dir, _ := build(t)
+		// Remove the full base record behind the chain's back.
+		if err := os.Remove(filepath.Join(dir, "ckpt-"+padIndex(0)+".bin")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFileStore(dir); err == nil {
+			t.Fatal("open accepted a delta whose base is missing")
+		}
+	})
+
+	t.Run("entries-out-of-range", func(t *testing.T) {
+		dir, fs := build(t)
+		// Rewrite record 1 with an entry index outside the vector.
+		bad := encodeDelta(nil, Checkpoint{Process: 0, Index: 1, State: []byte("s")},
+			0, vclock.Delta{{K: 99, V: 1}})
+		name := filepath.Join(dir, "ckpt-"+padIndex(1)+".bin")
+		if err := os.WriteFile(name, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Load(1); err == nil {
+			t.Fatal("load patched an entry outside the vector")
+		}
+	})
+
+	t.Run("unsorted-entries", func(t *testing.T) {
+		bad := encodeDelta(nil, Checkpoint{Process: 0, Index: 1},
+			0, vclock.Delta{{K: 2, V: 1}, {K: 1, V: 1}})
+		if _, err := DecodeRecord(bad); err == nil {
+			t.Fatal("decode accepted unsorted delta entries")
+		}
+	})
+}

@@ -12,7 +12,7 @@ package storage
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/vclock"
@@ -60,27 +60,123 @@ type Stats struct {
 
 // MemStore is an in-memory Store. The zero value is not usable; use
 // NewMemStore. MemStore is safe for concurrent use.
+//
+// Like FileStore, checkpoints are held delta-encoded: every fullEvery-th
+// record keeps its complete dependency vector, the records between keep
+// only the entries that changed against their predecessor. Save therefore
+// retains O(changed) instead of cloning a size-n vector per checkpoint —
+// the per-checkpoint cost the simulator's hot path pays — while Load
+// (recovery paths only) reconstructs through the chain.
 type MemStore struct {
-	mu    sync.Mutex
-	byIdx map[int]Checkpoint
-	stats Stats
+	mu     sync.Mutex
+	byIdx  map[int]memRec
+	child  map[int]int // base index -> its delta-encoded dependent
+	sorted []int       // live indices, ascending — maintained incrementally
+	stats  Stats
+
+	lastIdx int // most recent save, base candidate for the next; −1: none
+	lastDV  vclock.DV
+	chain   int          // delta records since the last full one
+	diffBuf vclock.Delta // reused DiffAppend buffer
+}
+
+// memRec is one stored checkpoint: full (dv set) or delta-encoded against
+// the record at base (entries set). A dead record has been Deleted by the
+// collector but is still referenced by a live delta's chain; it is
+// invisible to the Store interface and reaped once its dependent goes.
+// Deferred reaping keeps Delete O(1) — promoting the dependent would
+// reconstruct a size-n vector on every collection — at the price of at
+// most fullEvery−1 dead records per chain, each O(changed) small.
+// FileStore uses the same scheme with .dead tombstone files.
+type memRec struct {
+	process int
+	dv      vclock.DV // nil for delta records
+	base    int
+	entries vclock.Delta
+	delta   bool
+	dead    bool
+	state   []byte
+}
+
+// insertSorted adds idx to an ascending index slice. Checkpoint indices
+// almost always arrive in increasing order, so the common case is a plain
+// append; rollback re-saves after a recovery session take the binary-
+// search path.
+func insertSorted(s []int, idx int) []int {
+	if n := len(s); n == 0 || idx > s[n-1] {
+		return append(s, idx)
+	}
+	at, _ := slices.BinarySearch(s, idx)
+	return slices.Insert(s, at, idx)
+}
+
+// removeSorted deletes idx from an ascending index slice.
+func removeSorted(s []int, idx int) []int {
+	at, ok := slices.BinarySearch(s, idx)
+	if !ok {
+		return s
+	}
+	return slices.Delete(s, at, at+1)
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{byIdx: make(map[int]Checkpoint)}
+	return &MemStore{
+		byIdx:   make(map[int]memRec),
+		child:   make(map[int]int),
+		lastIdx: -1,
+	}
 }
 
-// Save implements Store.
+// Save implements Store. Between full records only the changed entries are
+// retained, so the per-checkpoint copy is O(changed), not O(n).
 func (s *MemStore) Save(cp Checkpoint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.byIdx[cp.Index]; dup {
 		return fmt.Errorf("storage: duplicate save of checkpoint %d of p%d", cp.Index, cp.Process)
 	}
-	cp.DV = cp.DV.Clone()
-	cp.State = append([]byte(nil), cp.State...)
-	s.byIdx[cp.Index] = cp
+	asDelta := s.lastIdx >= 0 && s.chain < fullEvery-1 && len(s.lastDV) == len(cp.DV)
+	if asDelta {
+		// The base must be present (dead is fine — its bytes survive until
+		// the chain drains) and chainable (one dependent per record).
+		if _, ok := s.byIdx[s.lastIdx]; !ok {
+			asDelta = false
+		} else if _, ok := s.child[s.lastIdx]; ok {
+			asDelta = false
+		}
+	}
+	rec := memRec{process: cp.Process, state: append([]byte(nil), cp.State...)}
+	if asDelta {
+		if cap(s.diffBuf) < len(cp.DV) {
+			// One warm-up allocation instead of a doubling ladder; a diff
+			// can hold at most the whole vector.
+			s.diffBuf = make(vclock.Delta, 0, len(cp.DV))
+		}
+		s.diffBuf = vclock.DiffAppend(s.lastDV, cp.DV, s.diffBuf[:0])
+		if 2*len(s.diffBuf)+1 >= len(cp.DV) {
+			asDelta = false // the delta would not be smaller than the vector
+		} else {
+			rec.delta = true
+			rec.base = s.lastIdx
+			rec.entries = append(vclock.Delta(nil), s.diffBuf...)
+		}
+	}
+	if !asDelta {
+		rec.dv = cp.DV.Clone()
+		s.chain = 0
+	} else {
+		s.child[s.lastIdx] = cp.Index
+		s.chain++
+	}
+	s.byIdx[cp.Index] = rec
+	s.lastIdx = cp.Index
+	if len(s.lastDV) == len(cp.DV) {
+		s.lastDV.CopyFrom(cp.DV)
+	} else {
+		s.lastDV = cp.DV.Clone()
+	}
+	s.sorted = insertSorted(s.sorted, cp.Index)
 	s.stats.Saved++
 	s.stats.Live++
 	s.stats.LiveBytes += len(cp.State)
@@ -93,44 +189,95 @@ func (s *MemStore) Save(cp Checkpoint) error {
 	return nil
 }
 
-// Delete implements Store.
+// Delete implements Store in O(1) amortized: a record some live delta
+// still chains through is only marked dead; records nothing depends on are
+// removed at once, together with any dead chain prefix this unpins.
 func (s *MemStore) Delete(index int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp, ok := s.byIdx[index]
-	if !ok {
+	rec, ok := s.byIdx[index]
+	if !ok || rec.dead {
 		return fmt.Errorf("storage: delete of absent checkpoint %d", index)
 	}
-	delete(s.byIdx, index)
+	if s.lastIdx == index {
+		s.lastIdx = -1 // the next save opens a fresh chain
+	}
+	s.sorted = removeSorted(s.sorted, index)
 	s.stats.Collected++
 	s.stats.Live--
-	s.stats.LiveBytes -= len(cp.State)
-	return nil
+	s.stats.LiveBytes -= len(rec.state)
+	if _, ok := s.child[index]; ok {
+		rec.dead = true // the dependent still resolves through this record
+		s.byIdx[index] = rec
+		return nil
+	}
+	// Nothing depends on this record: reap it, and walk the base chain
+	// reaping dead records this was the last dependent of.
+	for {
+		delete(s.byIdx, index)
+		if !rec.delta {
+			return nil
+		}
+		base := rec.base
+		if s.child[base] == index {
+			delete(s.child, base)
+		}
+		rec, ok = s.byIdx[base]
+		if !ok || !rec.dead {
+			return nil
+		}
+		if _, hasChild := s.child[base]; hasChild {
+			return nil
+		}
+		index = base
+	}
 }
 
-// Load implements Store.
+// Load implements Store, resolving delta records through their chain (at
+// most fullEvery−1 hops). Dead records are absent for the interface but
+// still serve as chain bases.
 func (s *MemStore) Load(index int) (Checkpoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp, ok := s.byIdx[index]
+	if rec, ok := s.byIdx[index]; !ok || rec.dead {
+		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
+	}
+	return s.load(index)
+}
+
+func (s *MemStore) load(index int) (Checkpoint, error) {
+	rec, ok := s.byIdx[index]
 	if !ok {
 		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
 	}
-	cp.DV = cp.DV.Clone()
-	cp.State = append([]byte(nil), cp.State...)
+	cp := Checkpoint{
+		Process: rec.process,
+		Index:   index,
+		State:   append([]byte(nil), rec.state...),
+	}
+	if !rec.delta {
+		cp.DV = rec.dv.Clone()
+		return cp, nil
+	}
+	base, err := s.load(rec.base)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("storage: checkpoint %d: resolve delta base: %w", index, err)
+	}
+	cp.DV = base.DV
+	if err := rec.entries.Patch(cp.DV); err != nil {
+		return Checkpoint{}, fmt.Errorf("storage: corrupt checkpoint %d: %w", index, err)
+	}
 	return cp, nil
 }
 
-// Indices implements Store.
+// Indices implements Store. The sorted slice is maintained incrementally
+// by Save and Delete — the collectors and rehydration call Indices on hot
+// recovery paths, so it must not re-sort the live set every time — and a
+// copy is returned so callers cannot alias the internal state.
 func (s *MemStore) Indices() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]int, 0, len(s.byIdx))
-	for idx := range s.byIdx {
-		out = append(out, idx)
-	}
-	sort.Ints(out)
-	return out
+	return append([]int(nil), s.sorted...)
 }
 
 // Stats implements Store.

@@ -134,7 +134,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			cp.DV[i] = rng.Intn(50)
 		}
 		rng.Read(cp.State)
-		got, err := decode(encode(nil, cp))
+		got, err := DecodeCheckpoint(EncodeCheckpoint(cp))
 		return err == nil && got.Process == cp.Process && got.Index == cp.Index &&
 			got.DV.Equal(cp.DV) && bytes.Equal(got.State, cp.State)
 	}
@@ -145,10 +145,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 
 // TestDecodeRejectsGarbage checks corrupted files are rejected, not parsed.
 func TestDecodeRejectsGarbage(t *testing.T) {
-	if _, err := decode([]byte("not a checkpoint")); err == nil {
+	if _, err := DecodeRecord([]byte("not a checkpoint")); err == nil {
 		t.Fatal("decode of garbage should fail")
 	}
-	if _, err := decode(nil); err == nil {
+	if _, err := DecodeRecord(nil); err == nil {
 		t.Fatal("decode of empty input should fail")
 	}
 }

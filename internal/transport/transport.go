@@ -16,6 +16,8 @@ import (
 	"net"
 	"slices"
 	"sync"
+
+	"repro/internal/vclock"
 )
 
 // Message is the wire unit: one application message's control information.
@@ -24,16 +26,40 @@ import (
 type Message struct {
 	From    int
 	To      int
-	Msg     int    // global message number
-	Epoch   uint64 // network epoch; stale messages are dropped as lost
-	Index   int    // protocol-specific index (BCS)
-	Ord     int    // per-(From,To) send order (compressed piggybacks)
-	Sparse  bool   // DV holds flattened (k,v) changed entries, not a full vector
-	DV      []int  // piggybacked dependency vector, or sparse entries when Sparse
-	Payload []byte // application payload
+	Msg     int          // global message number
+	Epoch   uint64       // network epoch; stale messages are dropped as lost
+	Index   int          // protocol-specific index (BCS)
+	Ord     int          // per-(From,To) send order (compressed piggybacks)
+	Sparse  bool         // Entries, not DV, carry the piggyback
+	DV      []int        // piggybacked dependency vector (full frames)
+	Entries vclock.Delta // changed entries (sparse frames), carried natively
+	Payload []byte       // application payload
 }
 
 const magic = int64(0x52445457495245) // "RDTWIRE"
+
+// Validate checks a decoded message against the cluster it is addressed
+// to: endpoints in range and a piggyback sized for n processes. Decode can
+// only check structure, and the mesh itself carries any payload its
+// framing accepts; the cluster's receive path (runtime.Cluster.onWire)
+// runs this semantic check before the message touches a kernel, so a
+// damaged frame is dropped as corrupt instead of indexing a dependency
+// vector out of range.
+func (m Message) Validate(n int) error {
+	if m.From < 0 || m.From >= n || m.To < 0 || m.To >= n {
+		return fmt.Errorf("transport: endpoints %d→%d outside %d-process cluster", m.From, m.To, n)
+	}
+	if m.Sparse {
+		if err := m.Entries.Validate(n); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+		return nil
+	}
+	if len(m.DV) != n {
+		return fmt.Errorf("transport: %d-entry vector in a %d-process cluster", len(m.DV), n)
+	}
+	return nil
+}
 
 // Encode frames a message into its wire form. Exported for the performance
 // harness (internal/bench), which gates the per-message framing cost.
@@ -43,14 +69,22 @@ func Encode(m Message) []byte { return appendEncode(nil, m) }
 func Decode(b []byte) (Message, error) { return decode(b) }
 
 // encodedSize is the exact wire size of a message (excluding the frame
-// length prefix).
-func encodedSize(m Message) int { return 8*(10+len(m.DV)) + len(m.Payload) }
+// length prefix). A sparse frame spends two words per changed entry
+// instead of one per process — the wire cost is O(changed), not O(n).
+func encodedSize(m Message) int {
+	if m.Sparse {
+		return 8*(10+2*len(m.Entries)) + len(m.Payload)
+	}
+	return 8*(10+len(m.DV)) + len(m.Payload)
+}
 
 // appendEncode frames a message — magic, fixed header, vector length,
 // entries, payload — appending to buf. Sized exactly up front, the whole
 // frame costs at most one allocation (none when the caller reuses a
 // buffer); the previous bytes.Buffer + binary.Write form allocated per
-// field on every message.
+// field on every message. Sparse frames carry (k, v) pairs natively, so
+// the engines hand the kernel's entries straight to the wire and back
+// without flattening.
 func appendEncode(buf []byte, m Message) []byte {
 	buf = slices.Grow(buf, encodedSize(m))
 	w := func(v int64) { buf = binary.LittleEndian.AppendUint64(buf, uint64(v)) }
@@ -63,12 +97,17 @@ func appendEncode(buf []byte, m Message) []byte {
 	w(int64(m.Ord))
 	if m.Sparse {
 		w(1)
+		w(int64(len(m.Entries)))
+		for _, e := range m.Entries {
+			w(int64(e.K))
+			w(int64(e.V))
+		}
 	} else {
 		w(0)
-	}
-	w(int64(len(m.DV)))
-	for _, v := range m.DV {
-		w(int64(v))
+		w(int64(len(m.DV)))
+		for _, v := range m.DV {
+			w(int64(v))
+		}
 	}
 	w(int64(len(m.Payload)))
 	return append(buf, m.Payload...)
@@ -117,16 +156,34 @@ func decode(b []byte) (Message, error) {
 		return Message{}, errors.New("transport: bad piggyback kind")
 	}
 	m.Sparse = kind == 1
-	n, ok := rd()
-	if !ok || n < 0 || n > int64(len(b)-off)/8 {
-		// Entries are 8 bytes each; a length beyond the bytes present is a
-		// corrupted frame and must not drive the allocation.
-		return Message{}, errors.New("transport: bad vector length")
-	}
-	m.DV = make([]int, n)
-	for i := range m.DV {
-		v, _ := rd() // length was validated against the bytes present
-		m.DV[i] = int(v)
+	if m.Sparse {
+		n, ok := rd()
+		if !ok || n < 0 || n > int64(len(b)-off)/16 {
+			// Sparse entries are 16 bytes each; a count beyond the bytes
+			// present is a corrupted frame and must not drive the allocation.
+			return Message{}, errors.New("transport: bad entry count")
+		}
+		m.Entries = make(vclock.Delta, n)
+		for i := range m.Entries {
+			k, _ := rd()
+			v, _ := rd() // count was validated against the bytes present
+			m.Entries[i] = vclock.Entry{K: int(k), V: int(v)}
+		}
+		if err := m.Entries.Validate(1 << 20); err != nil {
+			return Message{}, fmt.Errorf("transport: bad sparse entries: %w", err)
+		}
+	} else {
+		n, ok := rd()
+		if !ok || n < 0 || n > int64(len(b)-off)/8 {
+			// Entries are 8 bytes each; a length beyond the bytes present is
+			// a corrupted frame and must not drive the allocation.
+			return Message{}, errors.New("transport: bad vector length")
+		}
+		m.DV = make([]int, n)
+		for i := range m.DV {
+			v, _ := rd() // length was validated against the bytes present
+			m.DV[i] = int(v)
+		}
 	}
 	pl, ok := rd()
 	if !ok || pl < 0 || pl > int64(len(b)-off) {

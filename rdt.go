@@ -276,6 +276,9 @@ func (s *System) RetainedCounts() []int {
 // Retained returns the stable-checkpoint indices process i currently holds.
 func (s *System) Retained(i int) []int { return s.r.Store(i).Indices() }
 
+// CurrentDV returns a copy of process i's dependency vector.
+func (s *System) CurrentDV(i int) []int { return s.r.CurrentDV(i) }
+
 // StorageStats returns process i's storage counters (live, peak, bytes).
 func (s *System) StorageStats(i int) storage.Stats { return s.r.Store(i).Stats() }
 
