@@ -45,8 +45,14 @@ func main() {
 		check     = flag.String("check", "", "baseline JSON to gate against; exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 0.30, "fractional ns/op regression tolerated by -check")
 		filter    = flag.String("filter", "", "only run cases whose path contains this substring")
+		thru      = flag.Bool("throughput", false, "run the offered-load throughput sweep instead of the hot-path suite")
 	)
 	flag.Parse()
+
+	if *thru {
+		runThroughput(*quick, *jsonOut, *outFile, *check, *tolerance, *filter, *sizes)
+		return
+	}
 
 	ns, err := sweep.ParseSizes(*sizes)
 	if err != nil {
@@ -143,6 +149,77 @@ func main() {
 	}
 }
 
+// runThroughput is the -throughput mode: the closed-loop offered-load
+// sweep (internal/bench.RunThroughput) with the same record/check contract
+// as the hot-path suite — BENCH_throughput.json is recorded with
+// -quick -out and gated mode-for-mode with -quick -check.
+func runThroughput(quick, jsonOut bool, outFile, check string, tolerance float64, filter, sizes string) {
+	if filter != "" || sizes != "4,8,16,32,64,128,256,512,1024" {
+		fmt.Fprintln(os.Stderr, "bench: -throughput always runs its full grid; drop -filter and -sizes")
+		os.Exit(2)
+	}
+	doc, err := bench.RunThroughput(quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if outFile != "" {
+		if err := writeDoc(outFile, doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		writeThroughputTable(os.Stdout, doc.Results)
+	}
+	if check != "" {
+		data, err := os.ReadFile(check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var base bench.ThroughputDoc
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parse %s: %v\n", check, err)
+			os.Exit(1)
+		}
+		if base.Quick != quick {
+			fmt.Fprintf(os.Stderr,
+				"bench: %s was recorded with quick=%v but this run used quick=%v; "+
+					"re-record with -throughput -quick -out\n", check, base.Quick, quick)
+			os.Exit(2)
+		}
+		regs := bench.CompareThroughput(base, doc, tolerance)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d throughput regression(s) against %s:\n", len(regs), check)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr,
+			"bench: no throughput regressions against %s (%d cells, tolerance %.0f%%, pool/spawn floor enforced)\n",
+			check, len(doc.Results), tolerance*100)
+	}
+}
+
+func writeThroughputTable(w *os.File, results []bench.ThroughputResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tn\twindow\tmsgs\tmsgs/sec\tp50 µs\tp99 µs")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%.1f\t%.1f\n",
+			r.Engine, r.N, r.Window, r.Msgs, r.MsgsPerSec, r.P50Ns/1e3, r.P99Ns/1e3)
+	}
+	_ = tw.Flush()
+}
+
 func writeTable(w *os.File, results []bench.Result) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "path\tn\titers\tns/op\tB/op\tallocs/op\tmetrics")
@@ -169,7 +246,7 @@ func metricsCol(r bench.Result) string {
 	return strings.Join(parts, " ")
 }
 
-func writeDoc(path string, doc bench.Doc) error {
+func writeDoc(path string, doc any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

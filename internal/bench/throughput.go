@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	goruntime "runtime"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/runtime"
+)
+
+// Throughput harness: offered-load sweeps over the live TCP runtime,
+// closed-loop. Each node runs a sender with a fixed window of in-flight
+// messages into its ring successor — the window is the offered-load knob —
+// and every delivery releases one send credit, so the cluster runs at
+// whatever rate the middleware sustains. Payloads carry the send
+// timestamp; the delivery callback (under the receiver's lock, like any
+// application handler) records per-message latency.
+//
+// Two engines run the identical workload: "pool" is the sender pool
+// (batched framing, coalesced inbound delivery), "spawn" is the retained
+// goroutine-per-message baseline (Config.Spawn). The recorded
+// BENCH_throughput.json baseline gates both regressions over time
+// (CompareThroughput, cross-machine normalized) and the structural claim
+// that batching pays: pool must beat spawn by ≥2× at n=32 under
+// saturating load, measured fresh on whatever machine runs the gate.
+
+// ThroughputEngines, ThroughputNs and ThroughputWindows define the sweep
+// grid. Windows are per-node in-flight credits: 1 is latency-bound
+// ping-along traffic, 16 saturates the send path.
+var (
+	ThroughputEngines = []string{"pool", "spawn"}
+	ThroughputNs      = []int{4, 32, 128}
+	ThroughputWindows = []int{1, 4, 16}
+)
+
+// Per-cell measurement budgets. Quick is the CI-lane budget; the baseline
+// must be recorded in the same mode (mode-for-mode, like the core gate).
+// Each cell runs throughputReps times and keeps the fastest run — the
+// same noise-free estimator the core harness uses (scheduler preemptions
+// and GC pauses only ever slow a run down, never speed it up).
+const (
+	throughputCellTime      = 500 * time.Millisecond
+	throughputCellTimeQuick = 100 * time.Millisecond
+	throughputReps          = 3
+)
+
+// throughputMinRatio is the structural gate: sustained pool msgs/sec over
+// spawn msgs/sec at n=32 under the largest window. Both sides are measured
+// in the same run on the same machine, so no normalization applies.
+const throughputMinRatio = 2.0
+
+// ThroughputResult is one cell of the sweep.
+type ThroughputResult struct {
+	Engine     string  `json:"engine"`
+	N          int     `json:"n"`
+	Window     int     `json:"window"`
+	Msgs       int     `json:"msgs"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+}
+
+// ThroughputDoc is the JSON document recorded as BENCH_throughput.json.
+type ThroughputDoc struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	GoVersion  string             `json:"goversion"`
+	Quick      bool               `json:"quick"`
+	Ns         []int              `json:"ns"`
+	Windows    []int              `json:"windows"`
+	WallSecs   float64            `json:"wall_clock_seconds"`
+	Results    []ThroughputResult `json:"results"`
+}
+
+// RunThroughput sweeps the full engine × n × window grid.
+func RunThroughput(quick bool) (ThroughputDoc, error) {
+	cell := throughputCellTime
+	if quick {
+		cell = throughputCellTimeQuick
+	}
+	start := time.Now()
+	var results []ThroughputResult
+	for _, engine := range ThroughputEngines {
+		for _, n := range ThroughputNs {
+			for _, w := range ThroughputWindows {
+				var best ThroughputResult
+				for rep := 0; rep < throughputReps; rep++ {
+					r, err := throughputCell(engine, n, w, cell)
+					if err != nil {
+						return ThroughputDoc{}, fmt.Errorf("throughput: %s n=%d w=%d: %w", engine, n, w, err)
+					}
+					if rep == 0 || r.MsgsPerSec > best.MsgsPerSec {
+						best = r
+					}
+				}
+				results = append(results, best)
+			}
+		}
+	}
+	return ThroughputDoc{
+		GOMAXPROCS: goruntime.GOMAXPROCS(0),
+		GoVersion:  goruntime.Version(),
+		Quick:      quick,
+		Ns:         ThroughputNs,
+		Windows:    ThroughputWindows,
+		WallSecs:   time.Since(start).Seconds(),
+		Results:    results,
+	}, nil
+}
+
+// throughputCell measures one (engine, n, window) cell: ring traffic
+// i→(i+1)%n over loopback TCP for roughly dur, a checkpoint every 64th
+// send, then a quiesce before the books close.
+func throughputCell(engine string, n, window int, dur time.Duration) (ThroughputResult, error) {
+	lat := make([][]int64, n)
+	for i := range lat {
+		lat[i] = make([]int64, 0, 4096)
+	}
+	tokens := make([]chan struct{}, n)
+	for i := range tokens {
+		tokens[i] = make(chan struct{}, window)
+		for k := 0; k < window; k++ {
+			tokens[i] <- struct{}{}
+		}
+	}
+	c, err := runtime.NewCluster(runtime.Config{
+		N: n, TCP: true, Spawn: engine == "spawn",
+		OnDeliver: func(self int, _ app.App, payload []byte) {
+			if len(payload) != 16 {
+				return
+			}
+			from := int(binary.LittleEndian.Uint64(payload))
+			sent := int64(binary.LittleEndian.Uint64(payload[8:]))
+			lat[self] = append(lat[self], time.Now().UnixNano()-sent)
+			// Capacity equals the credits outstanding, so this never blocks
+			// under the receiver's lock.
+			tokens[from] <- struct{}{}
+		},
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer func() { _ = c.Close() }()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	deadline := start.Add(dur)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			to := (id + 1) % n
+			node := c.Node(id)
+			for sends := 1; time.Now().Before(deadline); sends++ {
+				<-tokens[id]
+				// A fresh buffer per send: the payload is referenced until
+				// the frame is encoded, and both engines pay the same
+				// 16-byte allocation.
+				p := make([]byte, 16)
+				binary.LittleEndian.PutUint64(p, uint64(id))
+				binary.LittleEndian.PutUint64(p[8:], uint64(time.Now().UnixNano()))
+				if err := node.SendPayload(to, p); err != nil {
+					fail(fmt.Errorf("p%d send: %w", id, err))
+					return
+				}
+				if sends%64 == 0 {
+					if err := node.Checkpoint(); err != nil {
+						fail(fmt.Errorf("p%d checkpoint: %w", id, err))
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.Quiesce()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ThroughputResult{}, firstErr
+	}
+
+	var all []int64
+	for i := range lat {
+		all = append(all, lat[i]...)
+	}
+	if len(all) == 0 {
+		return ThroughputResult{}, fmt.Errorf("no messages delivered")
+	}
+	slices.Sort(all)
+	return ThroughputResult{
+		Engine:     engine,
+		N:          n,
+		Window:     window,
+		Msgs:       len(all),
+		MsgsPerSec: float64(len(all)) / elapsed.Seconds(),
+		P50Ns:      float64(percentile(all, 50)),
+		P99Ns:      float64(percentile(all, 99)),
+	}, nil
+}
+
+// percentile returns the p-th percentile of sorted samples.
+func percentile(sorted []int64, p int) int64 {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// CompareThroughput gates a run against the recorded baseline. Two checks:
+//
+//   - Regression: per-cell msgs/sec ratios are normalized by their
+//     geometric mean (the machine-speed estimate, same scheme as the core
+//     gate); a cell whose normalized ratio falls below 1-tolerance
+//     regressed relative to the others and fails.
+//   - Structure: in the current run, pool must sustain at least
+//     throughputMinRatio times the spawn baseline's msgs/sec at n=32 under
+//     the largest window. This is a same-machine, same-run comparison —
+//     the claim the sender pool exists to back — so it is exempt from
+//     normalization and can never be washed out by a slow runner.
+//
+// A baseline or run missing grid cells fails outright: the gate must not
+// erode by omission.
+func CompareThroughput(base, cur ThroughputDoc, tolerance float64) []string {
+	var regs []string
+	key := func(r ThroughputResult) string {
+		return fmt.Sprintf("%s#%d#%d", r.Engine, r.N, r.Window)
+	}
+	curBy := make(map[string]ThroughputResult, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[key(r)] = r
+	}
+	baseBy := make(map[string]ThroughputResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[key(r)] = r
+	}
+	for _, engine := range ThroughputEngines {
+		for _, n := range ThroughputNs {
+			for _, w := range ThroughputWindows {
+				k := fmt.Sprintf("%s#%d#%d", engine, n, w)
+				if _, ok := curBy[k]; !ok {
+					regs = append(regs, fmt.Sprintf("%s n=%d w=%d: missing from this run", engine, n, w))
+				}
+				if _, ok := baseBy[k]; !ok {
+					regs = append(regs, fmt.Sprintf("%s n=%d w=%d: missing from baseline; re-record with -throughput -quick -out", engine, n, w))
+				}
+			}
+		}
+	}
+	if len(regs) > 0 {
+		return regs
+	}
+
+	// Machine-speed estimate: geometric mean of the per-cell ratios.
+	logSum, cells := 0.0, 0
+	for k, b := range baseBy {
+		c := curBy[k]
+		if b.MsgsPerSec > 0 && c.MsgsPerSec > 0 {
+			logSum += math.Log(c.MsgsPerSec / b.MsgsPerSec)
+			cells++
+		}
+	}
+	speed := 1.0
+	if cells > 0 {
+		speed = math.Exp(logSum / float64(cells))
+	}
+	keys := make([]string, 0, len(baseBy))
+	for k := range baseBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, c := baseBy[k], curBy[k]
+		if b.MsgsPerSec <= 0 {
+			continue
+		}
+		norm := c.MsgsPerSec / b.MsgsPerSec / speed
+		if norm < 1-tolerance {
+			regs = append(regs, fmt.Sprintf(
+				"%s n=%d w=%d: %.0f msgs/sec vs baseline %.0f (normalized ratio %.2f < %.2f)",
+				b.Engine, b.N, b.Window, c.MsgsPerSec, b.MsgsPerSec, norm, 1-tolerance))
+		}
+	}
+
+	maxW := ThroughputWindows[len(ThroughputWindows)-1]
+	pool := curBy[fmt.Sprintf("pool#32#%d", maxW)]
+	spawn := curBy[fmt.Sprintf("spawn#32#%d", maxW)]
+	if spawn.MsgsPerSec > 0 && pool.MsgsPerSec < throughputMinRatio*spawn.MsgsPerSec {
+		regs = append(regs, fmt.Sprintf(
+			"structural: pool %.0f msgs/sec is only %.2fx spawn %.0f at n=32 w=%d (need >= %.1fx)",
+			pool.MsgsPerSec, pool.MsgsPerSec/spawn.MsgsPerSec, spawn.MsgsPerSec, maxW, throughputMinRatio))
+	}
+	return regs
+}

@@ -21,8 +21,10 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/app"
@@ -83,6 +85,12 @@ type Config struct {
 	// checkpoint (if any) and the vector merge, so state it mutates is
 	// atomic with respect to checkpoints — exactly like Node.Update.
 	OnDeliver func(self int, a app.App, payload []byte)
+	// Spawn restores the pre-pool send path — one goroutine and one
+	// time.Sleep per in-flight message, one frame per TCP write — and is
+	// retained purely as the measurable baseline the sender pool is gated
+	// against (cmd/bench -throughput benchmarks both). Production
+	// configurations leave it false.
+	Spawn bool
 }
 
 // Cluster is a set of live middleware nodes.
@@ -110,12 +118,24 @@ type Cluster struct {
 	dvMu   sync.Mutex
 	dvFree []vclock.DV
 
-	// pairs sequences per-(from,to) delivery when Compress is on: tickets
-	// are taken in send order under the sender's lock, and a delivery (or
-	// mesh hand-off) only proceeds when its ticket is up. The n×n table is
-	// built once at construction (compressed clusters only), so the send
-	// path reaches its sequencer without any shared lock.
+	// queues are the sender pool: one due-time-ordered queue and at most
+	// one worker goroutine per destination (see sendpool.go). pairDue
+	// backs the compressed-mode FIFO clamp — the latest due time handed
+	// out per (from, to) pair, guarded by the destination queue's lock.
+	queues  []destQueue
+	pairDue []time.Time
+
+	// pairs sequences per-(from,to) delivery in spawn mode with Compress
+	// on: tickets are taken in send order under the sender's lock, and a
+	// delivery (or mesh hand-off) only proceeds when its ticket is up. The
+	// n×n table is built once at construction, so the send path reaches
+	// its sequencer without any shared lock. The pooled path does not need
+	// it: queue order enforces pair FIFO.
 	pairs []pairSeq
+
+	// wireErrs counts connections the mesh severed on undecodable frames —
+	// a poisoned link is a diagnosable counter, not a silent hang.
+	wireErrs atomic.Uint64
 
 	mesh *transport.TCP // nil for direct in-process delivery
 }
@@ -154,16 +174,44 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		rng: rand.New(rand.NewSource(cfg.Net.Seed)),
 		rec: ccp.Script{N: cfg.N},
 	}
+	c.queues = make([]destQueue, cfg.N)
+	for i := range c.queues {
+		c.queues[i].to = i
+		c.queues[i].wake = make(chan struct{}, 1)
+		// The heap, dispatch scratch and worker timer are built up front:
+		// paying them lazily would bill the first message to every
+		// destination for the queue's whole infrastructure — visible as
+		// allocation noise at large n — for a few hundred KB at n=1024.
+		// The timer arrives armed; the first worker's drain absorbs the
+		// stale fire.
+		c.queues[i].h = make([]pending, 0, 4)
+		c.queues[i].batch = make([]pending, 0, 4)
+		c.queues[i].timer = time.NewTimer(workerIdle)
+	}
 	if cfg.Compress {
-		c.pairs = make([]pairSeq, cfg.N*cfg.N)
-		for i := range c.pairs {
-			c.pairs[i].cond = sync.NewCond(&c.pairs[i].mu)
+		c.pairDue = make([]time.Time, cfg.N*cfg.N)
+		if cfg.Spawn {
+			c.pairs = make([]pairSeq, cfg.N*cfg.N)
+			for i := range c.pairs {
+				c.pairs[i].cond = sync.NewCond(&c.pairs[i].mu)
+			}
 		}
 	}
 	if cfg.TCP {
 		mesh, err := transport.NewTCP(cfg.N)
 		if err != nil {
 			return nil, err
+		}
+		// Frames written to a stream that dies before delivering them are
+		// reconciled here, so Quiesce cannot hang on a torn-down link.
+		mesh.OnLinkDown = func(from, to, lost int) {
+			for i := 0; i < lost; i++ {
+				c.inflight.Done()
+			}
+		}
+		mesh.OnFrameError = func(from, to int, err error) {
+			c.wireErrs.Add(1)
+			log.Printf("runtime: mesh link %d->%d severed on bad frame: %v", from, to, err)
 		}
 		c.mesh = mesh
 	}
@@ -187,7 +235,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.nodes = append(c.nodes, &Node{c: c, id: i, k: k})
 	}
 	if c.mesh != nil {
-		if err := c.mesh.Start(c.onWire); err != nil {
+		if err := c.mesh.StartBatched(c.onWire); err != nil {
 			_ = c.mesh.Close()
 			return nil, err
 		}
@@ -195,39 +243,72 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// onWire delivers a message arriving from the TCP mesh. The matching
-// inflight increment happened at Send. Sparse frames hand their entries to
-// the kernel natively — no flattening or rebuilding on either side of the
-// wire.
-func (c *Cluster) onWire(m transport.Message) {
-	defer c.inflight.Done()
-	if err := m.Validate(c.cfg.N); err != nil {
-		// Structurally sound but semantically damaged — an entry index
-		// outside the cluster, a wrong-size vector: the frame is dropped
-		// (a lost message, which the model permits) before it can reach a
-		// kernel's dependency vector.
-		return
+// onWire delivers a batch of messages arriving from one TCP stream — all
+// from the same (sender, receiver) pair, in stream order — under a single
+// receiver-lock acquisition. The matching inflight increments happened at
+// send. Sparse frames hand their entries to the kernel natively — no
+// flattening or rebuilding on either side of the wire.
+func (c *Cluster) onWire(ms []transport.Message) {
+	defer c.inflight.Add(-len(ms))
+	// Per-call batch: streams from different senders to the same receiver
+	// run concurrent readLoops, so this cannot be shared per-destination.
+	// One amortized allocation per inbound batch, not per message.
+	batch := make([]pending, 0, len(ms))
+	for _, m := range ms {
+		if err := m.Validate(c.cfg.N); err != nil {
+			// Structurally sound but semantically damaged — an entry index
+			// outside the cluster, a wrong-size vector: the frame is
+			// dropped (a lost message, which the model permits) before it
+			// can reach a kernel's dependency vector.
+			continue
+		}
+		pb := node.Piggyback{Index: m.Index}
+		if m.Sparse {
+			pb.Compressed = true
+			pb.From = m.From
+			pb.Ord = m.Ord
+			pb.Entries = m.Entries
+		} else {
+			pb.DV = vclock.DV(m.DV)
+		}
+		batch = append(batch, pending{
+			delivery: delivery{msg: m.Msg, pb: pb, epoch: m.Epoch, payload: m.Payload},
+			from:     m.From,
+		})
 	}
-	pb := node.Piggyback{Index: m.Index}
-	if m.Sparse {
-		pb.Compressed = true
-		pb.From = m.From
-		pb.Ord = m.Ord
-		pb.Entries = m.Entries
-	} else {
-		pb.DV = vclock.DV(m.DV)
+	if len(batch) > 0 {
+		c.nodes[ms[0].To].deliverPending(batch)
+		for i := range batch {
+			c.recycleDV(batch[i].pb.DV)
+		}
 	}
-	c.nodes[m.To].deliver(m.Msg, pb, m.Epoch, m.Payload)
 }
 
 // Close releases the network resources of a TCP-backed cluster. Clusters
-// with direct delivery need no Close.
+// with direct delivery need no Close: their sender-pool workers retire on
+// their own once the queues drain.
 func (c *Cluster) Close() error {
 	if c.mesh != nil {
 		return c.mesh.Close()
 	}
 	return nil
 }
+
+// BreakLink severs the mesh stream from "from" to "to", modeling a link
+// failure on a TCP cluster: messages already on the stream may still
+// arrive, everything else on that link is lost — and accounted, so Quiesce
+// still returns. It reports whether there was a live link to break (false
+// on non-TCP clusters).
+func (c *Cluster) BreakLink(from, to int) bool {
+	if c.mesh == nil {
+		return false
+	}
+	return c.mesh.BreakLink(from, to)
+}
+
+// WireErrors counts mesh connections severed by undecodable frames — the
+// loud trace a poisoned link leaves instead of a silent hang.
+func (c *Cluster) WireErrors() uint64 { return c.wireErrs.Load() }
 
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.cfg.N }
@@ -452,6 +533,33 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 	n.c.recMu.Lock()
 	msg := n.c.rec.Send(n.id)
 	n.c.recMu.Unlock()
+	if n.c.cfg.Spawn {
+		return n.sendSpawn(to, msg, pb, epoch, payload)
+	}
+	delay, drop := n.c.randDelayDrop()
+	if drop {
+		// The unused snapshot still feeds the freelist. A compressed
+		// cluster never draws drops (loss is rejected at configuration
+		// time), so a dropped message cannot leave a FIFO gap.
+		n.c.recycleDV(pb.DV)
+		n.mu.Unlock()
+		return nil
+	}
+	n.c.inflight.Add(1)
+	// Enqueued under the sender's lock, so a pair's messages enter the
+	// destination queue in encode order — the order the compressed-mode
+	// due-time clamp then preserves through the heap.
+	n.c.enqueue(n.id, to, delivery{msg: msg, pb: pb, epoch: epoch, payload: payload}, delay)
+	n.mu.Unlock()
+	return nil
+}
+
+// sendSpawn is the retained pre-pool send path (Config.Spawn): one
+// goroutine and one sleeping timer per in-flight message, one frame per
+// TCP write, tickets for per-pair FIFO. It exists as the baseline the
+// sender pool's throughput gate measures against. Called with the sender's
+// lock held; unlocks it.
+func (n *Node) sendSpawn(to, msg int, pb node.Piggyback, epoch uint64, payload []byte) error {
 	// The FIFO ticket must be taken under the sender's lock, so the
 	// per-pair delivery order matches the per-pair encode order.
 	var ps *pairSeq
@@ -466,9 +574,6 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 	n.c.inflight.Add(1)
 	go func() {
 		if drop {
-			// A compressed cluster never draws drops (loss is rejected at
-			// configuration time), so a dropped message cannot strand a
-			// FIFO ticket. The unused snapshot still feeds the freelist.
 			n.c.recycleDV(pb.DV)
 			n.c.inflight.Done()
 			return
@@ -480,18 +585,9 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 			ps.wait(ticket)
 		}
 		if mesh := n.c.mesh; mesh != nil {
-			wire := transport.Message{
-				From: n.id, To: to, Msg: msg, Epoch: epoch,
-				Index: pb.Index, Payload: payload,
-			}
-			if pb.Compressed {
-				wire.Sparse = true
-				wire.Ord = pb.Ord
-				wire.Entries = pb.Entries
-			} else {
-				wire.DV = pb.DV
-			}
-			err := mesh.Send(wire)
+			err := mesh.Send(wireMessage(n.id, to, pending{
+				delivery: delivery{msg: msg, pb: pb, epoch: epoch, payload: payload},
+			}))
 			// The frame is encoded into the connection buffer; the
 			// snapshot is dead either way and feeds the freelist.
 			n.c.recycleDV(pb.DV)
@@ -501,14 +597,15 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 				ps.done()
 			}
 			if err != nil {
-				// The mesh is closing; the message is lost, which the
-				// model permits.
+				// The link is down or the mesh is closing; the message is
+				// lost, which the model permits.
 				n.c.inflight.Done()
 			}
-			// On success the delivery callback calls Done.
+			// On success the delivery callback (or the link reaper)
+			// calls Done.
 			return
 		}
-		n.c.nodes[to].deliver(msg, pb, epoch, payload)
+		n.c.deliverOne(to, delivery{msg: msg, pb: pb, epoch: epoch, payload: payload})
 		if ps != nil {
 			ps.done()
 		}
@@ -517,36 +614,43 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 	return nil
 }
 
-// deliver hands an incoming message to the kernel: forced checkpoint first
-// if the protocol demands one (stored before the GC work, per Section 4.5),
-// then vector merge, collector update and protocol notification. Messages
-// from a previous epoch (sent before a recovery session) are dropped: they
-// were in transit when the failure hit, and the model treats them as lost.
+// deliverOne delivers a single message (spawn path).
+func (c *Cluster) deliverOne(to int, d delivery) {
+	batch := [1]pending{{delivery: d}}
+	c.nodes[to].deliverPending(batch[:])
+	c.recycleDV(d.pb.DV)
+}
+
+// deliverPending hands a batch of incoming messages to the kernel under
+// one lock acquisition: for each message, forced checkpoint first if the
+// protocol demands one (stored before the GC work, per Section 4.5), then
+// vector merge, collector update and protocol notification. Messages from
+// a previous epoch (sent before a recovery session) are dropped: they were
+// in transit when the failure hit, and the model treats them as lost.
 //
-// pb's vector is only read for the duration of the call: nothing here
-// (protocols and collectors included, per their interface contracts) may
-// retain it.
-func (n *Node) deliver(msg int, pb node.Piggyback, epoch uint64, payload []byte) {
+// Each piggyback vector is only read for the duration of its delivery:
+// nothing here (protocols and collectors included, per their interface
+// contracts) may retain it — the caller recycles the snapshots afterwards.
+func (n *Node) deliverPending(batch []pending) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	// The piggyback vector is consumed within this call whatever branch
-	// runs (nothing retains it, per the interface contracts), so it feeds
-	// the snapshot freelist on the way out.
-	defer n.c.recycleDV(pb.DV)
-	if n.down || epoch != n.c.curEpoch() {
-		// A crashed destination loses the message, exactly as the model
-		// loses messages addressed to a failed process.
-		return
+	for i := range batch {
+		d := &batch[i].delivery
+		if n.down || d.epoch != n.c.curEpoch() {
+			// A crashed destination loses the message, exactly as the
+			// model loses messages addressed to a failed process.
+			continue
+		}
+		if _, err := n.k.Deliver(d.pb); err != nil {
+			panic(fmt.Sprintf("runtime: delivery on p%d: %v", n.id, err))
+		}
+		if n.c.cfg.OnDeliver != nil {
+			n.c.cfg.OnDeliver(n.id, n.k.App(), d.payload)
+		}
+		n.c.recMu.Lock()
+		n.c.rec.Recv(n.id, d.msg)
+		n.c.recMu.Unlock()
 	}
-	if _, err := n.k.Deliver(pb); err != nil {
-		panic(fmt.Sprintf("runtime: delivery on p%d: %v", n.id, err))
-	}
-	if n.c.cfg.OnDeliver != nil {
-		n.c.cfg.OnDeliver(n.id, n.k.App(), payload)
-	}
-	n.c.recMu.Lock()
-	n.c.rec.Recv(n.id, msg)
-	n.c.recMu.Unlock()
 }
 
 // Checkpoint takes a basic checkpoint.

@@ -1,0 +1,282 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+// This file is the cluster's sender pool: the bounded, reusable machinery
+// that replaced the goroutine-per-message send path. Each destination owns
+// one queue — a min-heap ordered by delivery due time — drained by at most
+// one worker goroutine, spawned lazily on the first enqueue and retired
+// after an idle period, so a cluster never holds more than N sender
+// goroutines however many messages are in flight (the old path held one
+// per in-flight message, each parked in its own time.Sleep).
+//
+// The heap is also the delay/drop simulation's timer: a message's network
+// delay becomes its due time, and the worker sleeps on a single timer
+// until the earliest one, instead of every message sleeping separately.
+// Messages that come due together are popped together and delivered under
+// one receiver-lock acquisition (direct mode) or encoded into one buffered
+// TCP write per (sender, destination) run (mesh mode).
+//
+// Per-pair FIFO for compressed piggybacks falls out of the queue order:
+// due times are clamped monotone per (from, to) pair at enqueue (under the
+// sender's node lock, so they follow encode order) and ties break on the
+// enqueue sequence number, so a pair's messages can never overtake each
+// other however the delay draws land. The spawn baseline (Config.Spawn)
+// keeps the explicit ticket sequencer instead.
+
+// workerIdle is how long an empty queue keeps its worker parked before the
+// goroutine retires. Long enough that steady traffic reuses one goroutine,
+// short enough that an idle cluster (the common state of test clusters,
+// which are rarely Closed) sheds its workers.
+const workerIdle = 50 * time.Millisecond
+
+// maxDispatchBatch bounds how many due messages one dispatch consumes, so
+// a saturated queue cannot hold the receiver's lock (or the wire buffer)
+// for an unbounded stretch.
+const maxDispatchBatch = 128
+
+// delivery is one message as the receiver consumes it.
+type delivery struct {
+	msg     int
+	pb      node.Piggyback
+	epoch   uint64
+	payload []byte
+}
+
+// pending is one queued message: the delivery plus routing and ordering.
+type pending struct {
+	delivery
+	from int
+	at   time.Time // due time: enqueue time + simulated network delay
+	seq  uint64    // queue-local tiebreak, monotone in enqueue order
+}
+
+// before is the heap order: due time, then enqueue order.
+func (p *pending) before(q *pending) bool {
+	if !p.at.Equal(q.at) {
+		return p.at.Before(q.at)
+	}
+	return p.seq < q.seq
+}
+
+// destQueue is one destination's pending-message heap plus its worker's
+// lifecycle state.
+type destQueue struct {
+	to int
+
+	mu      sync.Mutex
+	h       []pending
+	seq     uint64
+	running bool
+	wake    chan struct{} // 1-buffered: signals a new earliest due time
+
+	// Worker working state, owned by whichever incarnation is running.
+	// Kept on the queue rather than the worker's stack so that retiring
+	// and respawning a worker (idle queues shed their goroutine) does not
+	// re-allocate the timer and scratch buffers each time — at large n
+	// most destinations see sparse traffic and churn workers constantly.
+	timer   *time.Timer
+	batch   []pending
+	wireBuf []transport.Message // mesh clusters: reused frame batch
+}
+
+// push inserts a message, maintaining the (at, seq) heap order.
+func (q *destQueue) push(p pending) {
+	q.h = append(q.h, p)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(&q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// pop removes the earliest message. Caller guarantees the heap is
+// non-empty.
+func (q *destQueue) pop() pending {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = pending{} // release payload/piggyback references
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(q.h) && q.h[l].before(&q.h[s]) {
+			s = l
+		}
+		if r < len(q.h) && q.h[r].before(&q.h[s]) {
+			s = r
+		}
+		if s == i {
+			return top
+		}
+		q.h[i], q.h[s] = q.h[s], q.h[i]
+		i = s
+	}
+}
+
+// enqueue hands a message to the destination's queue, starting or waking
+// the worker as needed. Called with the sending node's lock held, so a
+// pair's messages enqueue in encode order; the compressed-mode due-time
+// clamp then keeps that order through the heap.
+func (c *Cluster) enqueue(from, to int, d delivery, delay time.Duration) {
+	q := &c.queues[to]
+	at := time.Now().Add(delay)
+	q.mu.Lock()
+	if c.cfg.Compress {
+		if last := c.pairDue[from*c.cfg.N+to]; at.Before(last) {
+			at = last
+		}
+		c.pairDue[from*c.cfg.N+to] = at
+	}
+	q.seq++
+	q.push(pending{delivery: d, from: from, at: at, seq: q.seq})
+	newTop := q.h[0].seq == q.seq
+	if !q.running {
+		q.running = true
+		go c.sendWorker(q)
+	} else if newTop {
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
+	q.mu.Unlock()
+}
+
+// sendWorker drains one destination's queue: it sleeps until the earliest
+// due time, pops everything due, and dispatches the batch. An empty queue
+// parks the worker for workerIdle and then retires it; enqueue spawns a
+// fresh one on the next message.
+func (c *Cluster) sendWorker(q *destQueue) {
+	// The timer and batch buffer live on the queue (built at cluster
+	// construction) and survive this incarnation's retirement, handed
+	// over under q.mu; only one worker runs at a time, so between lock
+	// acquisitions they are exclusively this goroutine's. The timer is
+	// never stopped on exit — a stale fire is absorbed by the drain in
+	// the sleep path.
+	q.mu.Lock()
+	timer, batch := q.timer, q.batch[:0]
+	q.mu.Unlock()
+	for {
+		q.mu.Lock()
+		now := time.Now()
+		for len(q.h) > 0 && !q.h[0].at.After(now) && len(batch) < maxDispatchBatch {
+			batch = append(batch, q.pop())
+		}
+		wait, idle := workerIdle, true
+		if len(q.h) > 0 {
+			wait, idle = q.h[0].at.Sub(now), false
+		}
+		q.mu.Unlock()
+
+		if len(batch) > 0 {
+			c.dispatch(q.to, batch)
+			clear(batch)
+			batch = batch[:0]
+			continue
+		}
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-q.wake:
+		case <-timer.C:
+			if idle {
+				q.mu.Lock()
+				if len(q.h) == 0 {
+					q.batch = batch[:0] // hand the scratch to the next incarnation
+					q.running = false
+					q.mu.Unlock()
+					return
+				}
+				q.mu.Unlock()
+			}
+		}
+	}
+}
+
+// dispatch delivers a batch of due messages to one destination: directly,
+// under a single receiver-lock acquisition, or — on a TCP cluster — as
+// buffered batch writes, one per (sender, destination) run. Every message
+// ends its in-flight accounting here or, for frames accepted onto the
+// wire, at delivery / link reconciliation.
+func (c *Cluster) dispatch(to int, batch []pending) {
+	if c.mesh == nil {
+		c.nodes[to].deliverPending(batch)
+		for i := range batch {
+			c.recycleDV(batch[i].pb.DV)
+			c.inflight.Done()
+		}
+		return
+	}
+	wire := c.wireScratch(to)
+	for i := 0; i < len(batch); {
+		j := i
+		for j < len(batch) && batch[j].from == batch[i].from {
+			j++
+		}
+		run := batch[i:j]
+		msgs := wire[:0]
+		for k := range run {
+			msgs = append(msgs, wireMessage(run[k].from, to, run[k]))
+		}
+		accepted, _ := c.mesh.SendBatch(batch[i].from, to, msgs)
+		// Frames accepted onto the stream complete at delivery or via
+		// OnLinkDown; the rest are lost right here and the model permits
+		// it — the mesh is closing or the link is down.
+		for k := range run {
+			c.recycleDV(run[k].pb.DV)
+			if k >= accepted {
+				c.inflight.Done()
+			}
+		}
+		wire = msgs
+		i = j
+	}
+	c.storeWireScratch(to, wire)
+}
+
+// wireMessage frames one pending message for the mesh.
+func wireMessage(from, to int, p pending) transport.Message {
+	w := transport.Message{
+		From: from, To: to, Msg: p.msg, Epoch: p.epoch,
+		Index: p.pb.Index, Payload: p.payload,
+	}
+	if p.pb.Compressed {
+		w.Sparse = true
+		w.Ord = p.pb.Ord
+		w.Entries = p.pb.Entries
+	} else {
+		w.DV = p.pb.DV
+	}
+	return w
+}
+
+// wireScratch hands out the destination's reused wire-message buffer (each
+// destination has exactly one worker, so a plain per-destination slot
+// suffices).
+func (c *Cluster) wireScratch(to int) []transport.Message {
+	return c.queues[to].wireBuf
+}
+
+func (c *Cluster) storeWireScratch(to int, buf []transport.Message) {
+	clear(buf) // drop payload/entry references before parking the buffer
+	c.queues[to].wireBuf = buf[:0]
+}

@@ -9,13 +9,16 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vclock"
 )
@@ -194,9 +197,32 @@ func decode(b []byte) (Message, error) {
 	return m, nil
 }
 
-// TCP is a full mesh of loopback TCP connections between n nodes. Sends are
-// safe for concurrent use; received messages are handed to the deliver
-// callback registered with Start, one goroutine per peer connection.
+// ErrLinkDown is returned by Send and SendBatch once a pair's connection
+// has failed (dial error, write error, peer teardown, or mesh close). Links
+// are not redialed: a frame refused with ErrLinkDown is lost, which the
+// model permits, and the sender is told so immediately.
+var ErrLinkDown = errors.New("transport: link is down")
+
+// helloMagic opens every connection: the dialer announces which (from, to)
+// pair the stream carries, so the reader side can account delivered frames
+// per pair and report the frames lost when a stream dies.
+const helloMagic = int64(0x52445448454C4C4F) // "RDTHELLO"
+
+// maxInboundBatch bounds how many decoded frames one delivery callback
+// receives: enough to amortize the receiver's per-batch locking, small
+// enough to keep a single callback from monopolizing the node.
+const maxInboundBatch = 64
+
+// TCP is a full mesh of loopback TCP connections between n nodes. Sends
+// are safe for concurrent use; received messages are handed to the deliver
+// callback registered with Start or StartBatched, one goroutine per peer
+// connection.
+//
+// The mesh accounts every frame: a frame accepted by Send/SendBatch is
+// either handed to the deliver callback exactly once, or counted as lost —
+// at stream death or at Close — through the OnLinkDown callback. Engines
+// that track in-flight messages (runtime.Cluster.Quiesce) reconcile
+// against it, so a torn-down link cannot strand their accounting.
 type TCP struct {
 	n         int
 	listeners []net.Listener
@@ -204,29 +230,62 @@ type TCP struct {
 	mu    sync.Mutex
 	conns map[[2]int]*sendConn // (from, to) -> connection
 
-	deliver func(Message)
-	wg      sync.WaitGroup
-	closed  chan struct{}
+	accMu    sync.Mutex
+	accepted map[net.Conn]struct{} // live accepted conns, closed by Close
+
+	deliver   func([]Message)
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// delivered[from*n+to] counts frames handed to the deliver callback,
+	// the receiver-side half of the per-pair accounting (sender side is
+	// sendConn.sent).
+	delivered []atomic.Int64
+
+	badFrames atomic.Uint64
+
+	dial func(addr string) (net.Conn, error) // test hook; net.Dial by default
+
+	// OnFrameError, if set before Start, is called when a connection is
+	// severed by an undecodable or oversized frame — a poisoned link. When
+	// nil the event is logged; either way BadFrames counts it, so a
+	// poisoned link is loudly diagnosable instead of a mystery hang.
+	OnFrameError func(from, to int, err error)
+
+	// OnLinkDown, if set before Start, reports frames that were accepted
+	// by Send/SendBatch but will never reach the deliver callback because
+	// their stream died (reader torn down, or frames still undelivered at
+	// Close). It fires at most once per pair, after the pair's reader has
+	// exited, and never concurrently with a delivery of that pair.
+	OnLinkDown func(from, to int, lost int)
 }
 
 type sendConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	buf []byte // reused frame buffer (guarded by mu)
+	mu     sync.Mutex
+	c      net.Conn // nil until the dial (under mu, not the mesh lock) succeeds
+	buf    []byte   // reused frame buffer (guarded by mu)
+	ends   []int    // reused per-frame end offsets of buf (guarded by mu)
+	sent   int64    // frames fully written to the stream
+	dead   bool     // no further writes; Send returns ErrLinkDown
+	reaped bool     // lost-frame reconciliation has run (at most once)
 }
 
 // NewTCP opens one loopback listener per node. Call Start to begin
 // delivering, then Send at will, then Close.
 func NewTCP(n int) (*TCP, error) {
 	t := &TCP{
-		n:      n,
-		conns:  make(map[[2]int]*sendConn),
-		closed: make(chan struct{}),
+		n:         n,
+		conns:     make(map[[2]int]*sendConn),
+		accepted:  make(map[net.Conn]struct{}),
+		closed:    make(chan struct{}),
+		delivered: make([]atomic.Int64, n*n),
+		dial:      func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
 	}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			t.Close()
+			_ = t.Close()
 			return nil, fmt.Errorf("transport: listen for node %d: %w", i, err)
 		}
 		t.listeners = append(t.listeners, l)
@@ -237,8 +296,27 @@ func NewTCP(n int) (*TCP, error) {
 // Addr returns node i's listening address.
 func (t *TCP) Addr(i int) string { return t.listeners[i].Addr().String() }
 
-// Start registers the delivery callback and begins accepting connections.
+// Start registers a per-message delivery callback and begins accepting
+// connections. Engines that want the receiver-side batching should use
+// StartBatched instead.
 func (t *TCP) Start(deliver func(Message)) error {
+	if deliver == nil {
+		return errors.New("transport: nil deliver callback")
+	}
+	return t.StartBatched(func(ms []Message) {
+		for _, m := range ms {
+			deliver(m)
+		}
+	})
+}
+
+// StartBatched registers the delivery callback and begins accepting
+// connections. The callback receives every frame of one (from, to) stream
+// in order; consecutive frames already buffered on the connection arrive
+// as one batch, so the receiver pays its per-delivery locking once per
+// batch instead of once per message. The slice is reused after the
+// callback returns; implementations must consume it synchronously.
+func (t *TCP) StartBatched(deliver func([]Message)) error {
 	if deliver == nil {
 		return errors.New("transport: nil deliver callback")
 	}
@@ -253,10 +331,16 @@ func (t *TCP) Start(deliver func(Message)) error {
 				if err != nil {
 					return // listener closed
 				}
+				t.accMu.Lock()
+				t.accepted[conn] = struct{}{}
+				t.accMu.Unlock()
 				t.wg.Add(1)
 				go func() {
 					defer t.wg.Done()
 					t.readLoop(conn)
+					t.accMu.Lock()
+					delete(t.accepted, conn)
+					t.accMu.Unlock()
 				}()
 			}
 		}()
@@ -264,85 +348,310 @@ func (t *TCP) Start(deliver func(Message)) error {
 	return nil
 }
 
+// frameError surfaces a poisoned link: a frame that cannot be decoded (or
+// is absurdly oversized) severs the connection, and that must be loud —
+// a counter plus a callback or log line — not a silent return that leaves
+// a mystery hang.
+func (t *TCP) frameError(from, to int, err error) {
+	t.badFrames.Add(1)
+	if t.OnFrameError != nil {
+		t.OnFrameError(from, to, err)
+		return
+	}
+	log.Printf("transport: severing link %d->%d on bad frame: %v", from, to, err)
+}
+
+// BadFrames reports how many connections were severed by undecodable or
+// oversized frames.
+func (t *TCP) BadFrames() uint64 { return t.badFrames.Load() }
+
+// readLoop drains one accepted stream: the hello identifying its (from,
+// to) pair, then length-prefixed frames. Frames already buffered behind
+// the one being read are decoded into the same batch, so a burst reaches
+// the deliver callback as one call. On exit — peer close, poisoned frame,
+// mesh close — the pair is reaped: sender-side accounting reconciles the
+// frames this reader will never deliver.
 func (t *TCP) readLoop(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
-	var hdr [8]byte
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	var hello [24]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	from := int(int64(binary.LittleEndian.Uint64(hello[8:])))
+	to := int(int64(binary.LittleEndian.Uint64(hello[16:])))
+	if int64(binary.LittleEndian.Uint64(hello[:])) != helloMagic ||
+		from < 0 || from >= t.n || to < 0 || to >= t.n {
+		t.frameError(-1, -1, errors.New("transport: bad connection hello"))
+		return
+	}
+	defer t.reapPair(from, to)
+
 	var payload []byte // reused across frames; decode copies what escapes
-	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
+	batch := make([]Message, 0, maxInboundBatch)
+	readFrame := func() (Message, error) {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return Message{}, err
 		}
 		size := int64(binary.LittleEndian.Uint64(hdr[:]))
 		if size <= 0 || size > 1<<20 {
-			return
+			return Message{}, fmt.Errorf("transport: frame size %d outside (0, 1MiB]", size)
 		}
 		if int64(cap(payload)) < size {
 			payload = make([]byte, size)
 		}
 		payload = payload[:size]
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return Message{}, err
+		}
+		return decode(payload)
+	}
+	for {
+		m, err := readFrame()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				t.frameError(from, to, err)
+			}
 			return
 		}
-		m, err := decode(payload)
-		if err != nil {
-			return
+		batch = append(batch[:0], m)
+		// Coalesce: frames fully buffered behind this one join the batch,
+		// so a burst costs the receiver one callback (one lock
+		// acquisition in the engine) instead of one per frame.
+		for len(batch) < maxInboundBatch && br.Buffered() >= 8 {
+			hdr, _ := br.Peek(8)
+			size := int64(binary.LittleEndian.Uint64(hdr))
+			if size <= 0 || size > 1<<20 || int64(br.Buffered()) < 8+size {
+				break
+			}
+			m, err = readFrame()
+			if err != nil {
+				t.deliverBatch(from, to, batch)
+				t.frameError(from, to, err)
+				return
+			}
+			batch = append(batch, m)
 		}
 		select {
 		case <-t.closed:
 			return
 		default:
 		}
-		t.deliver(m)
+		t.deliverBatch(from, to, batch)
 	}
 }
 
-// Send transmits a message to m.To over the mesh, dialing the peer's
-// listener on first use and framing the payload with a length prefix.
-func (t *TCP) Send(m Message) error {
-	key := [2]int{m.From, m.To}
+func (t *TCP) deliverBatch(from, to int, batch []Message) {
+	if len(batch) == 0 {
+		return
+	}
+	t.deliver(batch)
+	t.delivered[from*t.n+to].Add(int64(len(batch)))
+}
+
+// conn returns the pair's connection with its lock held, dialing on first
+// use. The dial happens under the per-pair lock only — never the mesh-wide
+// one — so a slow or hung dial to one peer stalls only senders to that
+// peer, not every sender on the mesh. A failed dial poisons nothing: the
+// placeholder is removed so a later Send retries.
+func (t *TCP) conn(from, to int) (*sendConn, error) {
+	key := [2]int{from, to}
 	t.mu.Lock()
 	sc, ok := t.conns[key]
 	if !ok {
-		conn, err := net.Dial("tcp", t.Addr(m.To))
-		if err != nil {
+		select {
+		case <-t.closed:
 			t.mu.Unlock()
-			return fmt.Errorf("transport: dial node %d: %w", m.To, err)
+			return nil, ErrLinkDown
+		default:
 		}
-		sc = &sendConn{c: conn}
+		sc = &sendConn{}
 		t.conns[key] = sc
 	}
 	t.mu.Unlock()
 
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	// One reused buffer holds the length prefix and the frame, so a send
-	// costs a single Write and, steady-state, zero allocations.
-	sc.buf = binary.LittleEndian.AppendUint64(sc.buf[:0], uint64(encodedSize(m)))
-	sc.buf = appendEncode(sc.buf, m)
-	if _, err := sc.c.Write(sc.buf); err != nil {
-		return fmt.Errorf("transport: send to node %d: %w", m.To, err)
+	if sc.dead {
+		sc.mu.Unlock()
+		return nil, ErrLinkDown
 	}
-	return nil
+	if sc.c == nil {
+		conn, err := t.dial(t.Addr(to))
+		if err == nil {
+			var hello [24]byte
+			binary.LittleEndian.PutUint64(hello[:], uint64(helloMagic))
+			binary.LittleEndian.PutUint64(hello[8:], uint64(from))
+			binary.LittleEndian.PutUint64(hello[16:], uint64(to))
+			if _, werr := conn.Write(hello[:]); werr != nil {
+				_ = conn.Close()
+				err = werr
+			}
+		}
+		if err != nil {
+			// This attempt is dead for any sender already queued on sc.mu,
+			// but the pair is not: dropping the placeholder lets the next
+			// Send dial afresh.
+			sc.dead = true
+			sc.mu.Unlock()
+			t.mu.Lock()
+			if t.conns[key] == sc {
+				delete(t.conns, key)
+			}
+			t.mu.Unlock()
+			return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+		}
+		sc.c = conn
+	}
+	return sc, nil
 }
 
-// Close shuts down listeners and connections and waits for reader
-// goroutines to exit.
-func (t *TCP) Close() error {
-	select {
-	case <-t.closed:
-	default:
-		close(t.closed)
+// Send transmits a message to m.To over the mesh, dialing the peer's
+// listener on first use and framing the payload with a length prefix.
+func (t *TCP) Send(m Message) error {
+	_, err := t.SendBatch(m.From, m.To, []Message{m})
+	return err
+}
+
+// SendBatch transmits a run of messages from one sender to one receiver as
+// a single buffered write: every frame is encoded, length prefix included,
+// into the connection's reused buffer, and the whole batch costs one
+// syscall. It returns how many leading messages were accepted onto the
+// stream; on error the remainder are lost and the link is dead. Accepted
+// messages are delivered in order by the receiving readLoop (or reconciled
+// through OnLinkDown if the stream dies first).
+func (t *TCP) SendBatch(from, to int, msgs []Message) (int, error) {
+	if len(msgs) == 0 {
+		return 0, nil
 	}
-	for _, l := range t.listeners {
-		if l != nil {
-			_ = l.Close()
+	sc, err := t.conn(from, to)
+	if err != nil {
+		return 0, err
+	}
+	defer sc.mu.Unlock()
+	buf, ends := sc.buf[:0], sc.ends[:0]
+	for _, m := range msgs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(encodedSize(m)))
+		buf = appendEncode(buf, m)
+		ends = append(ends, len(buf))
+	}
+	sc.buf, sc.ends = buf, ends
+	nw, werr := sc.c.Write(buf)
+	if werr != nil {
+		// Frames entirely inside the written prefix may still be
+		// delivered, so they count as sent (the reaper reconciles them);
+		// a torn trailing frame poisons the stream, so the link dies here.
+		accepted := 0
+		for _, end := range ends {
+			if end <= nw {
+				accepted++
+			}
 		}
+		sc.sent += int64(accepted)
+		sc.dead = true
+		_ = sc.c.Close()
+		return accepted, fmt.Errorf("transport: send to node %d: %w", to, werr)
 	}
+	sc.sent += int64(len(msgs))
+	return len(msgs), nil
+}
+
+// BreakLink severs the (from, to) stream, modeling a link failure: the
+// sender side refuses further frames with ErrLinkDown, the reader drains
+// what the stream already carried and then reconciles the rest through
+// OnLinkDown. It reports whether there was a live link to break.
+func (t *TCP) BreakLink(from, to int) bool {
 	t.mu.Lock()
-	for _, sc := range t.conns {
+	sc := t.conns[[2]int{from, to}]
+	t.mu.Unlock()
+	if sc == nil {
+		return false
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.c == nil || sc.dead {
+		return false
+	}
+	sc.dead = true
+	_ = sc.c.Close()
+	return true
+}
+
+// reapPair runs the lost-frame reconciliation for a pair whose reader has
+// exited (it is called from the reader goroutine itself, and from Close
+// after every reader has been waited out).
+func (t *TCP) reapPair(from, to int) {
+	t.mu.Lock()
+	sc := t.conns[[2]int{from, to}]
+	t.mu.Unlock()
+	if sc != nil {
+		t.reap(sc, from, to)
+	}
+}
+
+// reap marks the pair dead and reports its unaccounted frames — written to
+// the stream but never handed to the deliver callback — through
+// OnLinkDown, exactly once. The sent counter is read under the pair lock,
+// so a write racing the teardown is either refused (dead was seen) or
+// counted here (the write finished first).
+func (t *TCP) reap(sc *sendConn, from, to int) {
+	sc.mu.Lock()
+	if sc.reaped {
+		sc.mu.Unlock()
+		return
+	}
+	sc.reaped = true
+	sc.dead = true
+	sent := sc.sent
+	if sc.c != nil {
 		_ = sc.c.Close()
 	}
-	t.mu.Unlock()
-	t.wg.Wait()
+	sc.mu.Unlock()
+	if lost := sent - t.delivered[from*t.n+to].Load(); lost > 0 && t.OnLinkDown != nil {
+		t.OnLinkDown(from, to, int(lost))
+	}
+}
+
+// Close shuts down listeners and connections, waits for reader goroutines
+// to exit, and reconciles every pair's accounting. Safe for concurrent
+// use: every caller returns only after the teardown has completed, and no
+// delivery callback runs after the first Close returns.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		for _, l := range t.listeners {
+			if l != nil {
+				_ = l.Close()
+			}
+		}
+		t.mu.Lock()
+		keys := make([][2]int, 0, len(t.conns))
+		scs := make([]*sendConn, 0, len(t.conns))
+		for k, sc := range t.conns {
+			keys, scs = append(keys, k), append(scs, sc)
+		}
+		t.mu.Unlock()
+		for _, sc := range scs {
+			sc.mu.Lock()
+			sc.dead = true
+			if sc.c != nil {
+				_ = sc.c.Close()
+			}
+			sc.mu.Unlock()
+		}
+		t.accMu.Lock()
+		for c := range t.accepted {
+			_ = c.Close()
+		}
+		t.accMu.Unlock()
+		t.wg.Wait()
+		// Readers are gone and delivered counters are final: any frame
+		// still unaccounted — including ones written into a stream whose
+		// reader never started — is lost now.
+		for i, sc := range scs {
+			t.reap(sc, keys[i][0], keys[i][1])
+		}
+	})
 	return nil
 }

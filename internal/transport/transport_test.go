@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"errors"
 	"math/rand"
+	"net"
 	"reflect"
 	"sync"
 	"testing"
@@ -159,6 +161,292 @@ func TestTCPPerConnectionOrdering(t *testing.T) {
 		if v != i {
 			t.Fatalf("order[%d] = %d; per-connection FIFO violated", i, v)
 		}
+	}
+}
+
+// TestTCPConcurrentClose pins the Close fix: concurrent Close calls must
+// all return after teardown, without the double-close panic the old
+// check-then-close on t.closed allowed.
+func TestTCPConcurrentClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		mesh, err := NewTCP(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mesh.Start(func(Message) {}); err != nil {
+			t.Fatal(err)
+		}
+		if err := mesh.Send(Message{From: 0, To: 1, DV: []int{1, 0, 0}}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := mesh.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestTCPDialDoesNotHoldMeshLock pins the dial-isolation fix: a hung dial
+// to one peer must not stall senders to other peers, because the dial
+// happens under the per-pair lock, not the mesh-wide one.
+func TestTCPDialDoesNotHoldMeshLock(t *testing.T) {
+	mesh, err := NewTCP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	if err := mesh.Start(func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	realDial := mesh.dial
+	release := make(chan struct{})
+	mesh.dial = func(addr string) (net.Conn, error) {
+		if addr == mesh.Addr(1) {
+			<-release // a peer whose dial hangs
+		}
+		return realDial(addr)
+	}
+	defer close(release)
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_ = mesh.Send(Message{From: 0, To: 1, DV: []int{1, 0, 0}})
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		done <- mesh.Send(Message{From: 0, To: 2, DV: []int{1, 0, 0}})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("send to healthy peer failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send to a healthy peer stalled behind another peer's hung dial")
+	}
+}
+
+// TestTCPDialFailureAllowsRetry checks a failed dial poisons nothing: the
+// next Send to the same peer dials afresh.
+func TestTCPDialFailureAllowsRetry(t *testing.T) {
+	mesh, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	got := make(chan Message, 1)
+	if err := mesh.Start(func(m Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+
+	realDial := mesh.dial
+	fail := true
+	mesh.dial = func(addr string) (net.Conn, error) {
+		if fail {
+			return nil, errors.New("injected dial failure")
+		}
+		return realDial(addr)
+	}
+	if err := mesh.Send(Message{From: 0, To: 1, DV: []int{1, 0}}); err == nil {
+		t.Fatal("send over a failing dial should error")
+	}
+	fail = false
+	if err := mesh.Send(Message{From: 0, To: 1, Msg: 7, DV: []int{1, 0}}); err != nil {
+		t.Fatalf("retry after dial failure: %v", err)
+	}
+	select {
+	case m := <-got:
+		if m.Msg != 7 {
+			t.Fatalf("wrong message after retry: %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message after dial retry never arrived")
+	}
+}
+
+// TestTCPBadFrameIsLoud pins the poisoned-link fix: an undecodable frame
+// severs the connection with a counter increment and an error callback,
+// not a silent return.
+func TestTCPBadFrameIsLoud(t *testing.T) {
+	mesh, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	type linkErr struct {
+		from, to int
+	}
+	errCh := make(chan linkErr, 1)
+	mesh.OnFrameError = func(from, to int, err error) {
+		select {
+		case errCh <- linkErr{from, to}:
+		default:
+		}
+	}
+	if err := mesh.Start(func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", mesh.Addr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	var hello [24]byte
+	putU64 := func(off int, v int64) {
+		for i := 0; i < 8; i++ {
+			hello[off+i] = byte(uint64(v) >> (8 * i))
+		}
+	}
+	putU64(0, helloMagic)
+	putU64(8, 0)
+	putU64(16, 1)
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	// A length prefix promising 16 bytes of garbage.
+	frame := append([]byte{16, 0, 0, 0, 0, 0, 0, 0}, []byte("not a valid body")...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case le := <-errCh:
+		if le.from != 0 || le.to != 1 {
+			t.Fatalf("error reported for wrong pair: %+v", le)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("poisoned frame produced no error callback")
+	}
+	if mesh.BadFrames() == 0 {
+		t.Fatal("poisoned frame not counted")
+	}
+}
+
+// TestTCPSendBatchOrdered checks a batched write delivers every frame in
+// order, and that the receiver sees coalesced batches, not one callback
+// per frame forced by the transport.
+func TestTCPSendBatchOrdered(t *testing.T) {
+	mesh, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{}, 1)
+	const total = 300
+	if err := mesh.StartBatched(func(ms []Message) {
+		mu.Lock()
+		for _, m := range ms {
+			order = append(order, m.Msg)
+		}
+		if len(order) == total {
+			select {
+			case done <- struct{}{}:
+			default:
+			}
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := make([]Message, 0, 30)
+	id := 0
+	for id < total {
+		batch = batch[:0]
+		for k := 0; k < 30 && id < total; k++ {
+			batch = append(batch, Message{From: 0, To: 1, Msg: id, DV: []int{id, 0}})
+			id++
+		}
+		nacc, err := mesh.SendBatch(0, 1, batch)
+		if err != nil || nacc != len(batch) {
+			t.Fatalf("SendBatch accepted %d of %d: %v", nacc, len(batch), err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		t.Fatalf("timeout: %d of %d delivered", len(order), total)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; batched framing broke FIFO", i, v)
+		}
+	}
+}
+
+// TestTCPLinkDownAccounting pins the lost-frame reconciliation: frames
+// written to a stream whose reader never consumes them are reported
+// through OnLinkDown, so an engine's in-flight accounting can release
+// them instead of hanging forever.
+func TestTCPLinkDownAccounting(t *testing.T) {
+	mesh, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := make(chan int, 1)
+	mesh.OnLinkDown = func(from, to, n int) {
+		if from == 0 && to == 1 {
+			lost <- n
+		}
+	}
+	// No Start: the mesh never accepts, so written frames sit in the
+	// kernel's socket buffers forever — exactly the shape of a receiver
+	// torn down mid-flight. Close must reconcile them.
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if err := mesh.Send(Message{From: 0, To: 1, Msg: i, DV: []int{i, 0}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := mesh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-lost:
+		if n != frames {
+			t.Fatalf("reconciled %d lost frames, want %d", n, frames)
+		}
+	default:
+		t.Fatal("no OnLinkDown report for undelivered frames")
+	}
+}
+
+// TestTCPBreakLinkRefusesSends checks a severed link fails fast with
+// ErrLinkDown instead of queuing frames into the void.
+func TestTCPBreakLinkRefusesSends(t *testing.T) {
+	mesh, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	if err := mesh.Start(func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Send(Message{From: 0, To: 1, DV: []int{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if !mesh.BreakLink(0, 1) {
+		t.Fatal("no live link to break")
+	}
+	if err := mesh.Send(Message{From: 0, To: 1, DV: []int{2, 0}}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send on a broken link: err = %v, want ErrLinkDown", err)
 	}
 }
 
