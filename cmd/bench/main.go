@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -46,11 +47,19 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.30, "fractional ns/op regression tolerated by -check")
 		filter    = flag.String("filter", "", "only run cases whose path contains this substring")
 		thru      = flag.Bool("throughput", false, "run the offered-load throughput sweep instead of the hot-path suite")
+		metrics   = flag.Bool("metrics", false, "throughput mode: attach a live metrics registry and print its snapshot after the sweep")
+		debugHTTP = flag.String("debug-http", "", "throughput mode: serve /metrics, expvar and pprof on this address while the sweep runs")
 	)
 	flag.Parse()
 
+	if (*metrics || *debugHTTP != "") && !*thru {
+		// The hot-path suite measures allocs/op down to zero; attaching a
+		// registry there would measure the instrumentation, not the system.
+		fmt.Fprintln(os.Stderr, "bench: -metrics and -debug-http require -throughput")
+		os.Exit(2)
+	}
 	if *thru {
-		runThroughput(*quick, *jsonOut, *outFile, *check, *tolerance, *filter, *sizes)
+		runThroughput(*quick, *jsonOut, *metrics, *outFile, *check, *debugHTTP, *tolerance, *filter, *sizes)
 		return
 	}
 
@@ -153,15 +162,40 @@ func main() {
 // sweep (internal/bench.RunThroughput) with the same record/check contract
 // as the hot-path suite — BENCH_throughput.json is recorded with
 // -quick -out and gated mode-for-mode with -quick -check.
-func runThroughput(quick, jsonOut bool, outFile, check string, tolerance float64, filter, sizes string) {
+func runThroughput(quick, jsonOut, metrics bool, outFile, check, debugHTTP string, tolerance float64, filter, sizes string) {
 	if filter != "" || sizes != "4,8,16,32,64,128,256,512,1024" {
 		fmt.Fprintln(os.Stderr, "bench: -throughput always runs its full grid; drop -filter and -sizes")
 		os.Exit(2)
 	}
-	doc, err := bench.RunThroughput(quick)
+	// Instrumented runs measure the instrumented system, so they must not
+	// record or gate the uninstrumented baseline.
+	if (metrics || debugHTTP != "") && (outFile != "" || check != "") {
+		fmt.Fprintln(os.Stderr, "bench: -metrics/-debug-http runs cannot -out or -check a baseline")
+		os.Exit(2)
+	}
+	var reg *obs.Registry
+	if metrics || debugHTTP != "" {
+		reg = obs.NewRegistry()
+	}
+	if debugHTTP != "" {
+		ln, err := obs.ServeDebug(debugHTTP, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "bench: debug listener on http://%s/\n", ln.Addr())
+	}
+	doc, err := bench.RunThroughput(quick, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if metrics {
+		if err := reg.Snapshot().WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if outFile != "" {
 		if err := writeDoc(outFile, doc); err != nil {

@@ -40,6 +40,11 @@ func main() {
 		format   = flag.String("format", "text", "output format: text|json")
 		bench    = flag.Bool("bench", false, "run the grid serially and with -workers, emit the timing comparison as JSON")
 	)
+	var obsf observedFlags
+	flag.BoolVar(&obsf.metrics, "metrics", false, "observed single run: print the metrics-registry snapshot")
+	flag.StringVar(&obsf.traceOut, "trace-out", "", "observed single run: write the flight recording as JSONL to this file (- for stdout)")
+	flag.BoolVar(&obsf.traceDiagram, "trace-diagram", false, "observed single run: render the flight recording as a space-time diagram")
+	flag.StringVar(&obsf.debugHTTP, "debug-http", "", "observed single run: serve /metrics, /trace, expvar and pprof on this address")
 	flag.Parse()
 
 	pats, err := parsePatterns(*patterns)
@@ -63,6 +68,18 @@ func main() {
 	if *cycles < 1 {
 		fmt.Fprintf(os.Stderr, "chaos: -cycles must be >= 1, got %d\n", *cycles)
 		os.Exit(2)
+	}
+
+	if obsf.active() {
+		if *bench {
+			fmt.Fprintln(os.Stderr, "chaos: -bench and the observed-run flags are mutually exclusive")
+			os.Exit(2)
+		}
+		if err := runObserved(obsf, pats[0], ns[0], *cycles, *ops, *pcheck); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	g := sweep.Default(sweep.Chaos)

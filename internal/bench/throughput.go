@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -77,8 +78,12 @@ type ThroughputDoc struct {
 	Results    []ThroughputResult `json:"results"`
 }
 
-// RunThroughput sweeps the full engine × n × window grid.
-func RunThroughput(quick bool) (ThroughputDoc, error) {
+// RunThroughput sweeps the full engine × n × window grid. A non-nil reg
+// attaches a live metrics registry to every measured cluster — the counts
+// aggregate across cells, which is the point: one run, the whole grid's
+// wire and kernel activity in one snapshot. Instrumented runs measure the
+// instrumented system; record and gate baselines with reg == nil.
+func RunThroughput(quick bool, reg *obs.Registry) (ThroughputDoc, error) {
 	cell := throughputCellTime
 	if quick {
 		cell = throughputCellTimeQuick
@@ -90,7 +95,7 @@ func RunThroughput(quick bool) (ThroughputDoc, error) {
 			for _, w := range ThroughputWindows {
 				var best ThroughputResult
 				for rep := 0; rep < throughputReps; rep++ {
-					r, err := throughputCell(engine, n, w, cell)
+					r, err := throughputCell(engine, n, w, cell, reg)
 					if err != nil {
 						return ThroughputDoc{}, fmt.Errorf("throughput: %s n=%d w=%d: %w", engine, n, w, err)
 					}
@@ -116,7 +121,7 @@ func RunThroughput(quick bool) (ThroughputDoc, error) {
 // throughputCell measures one (engine, n, window) cell: ring traffic
 // i→(i+1)%n over loopback TCP for roughly dur, a checkpoint every 64th
 // send, then a quiesce before the books close.
-func throughputCell(engine string, n, window int, dur time.Duration) (ThroughputResult, error) {
+func throughputCell(engine string, n, window int, dur time.Duration, reg *obs.Registry) (ThroughputResult, error) {
 	lat := make([][]int64, n)
 	for i := range lat {
 		lat[i] = make([]int64, 0, 4096)
@@ -130,6 +135,7 @@ func throughputCell(engine string, n, window int, dur time.Duration) (Throughput
 	}
 	c, err := runtime.NewCluster(runtime.Config{
 		N: n, TCP: true, Spawn: engine == "spawn",
+		Obs: obs.Options{Registry: reg},
 		OnDeliver: func(self int, _ app.App, payload []byte) {
 			if len(payload) != 16 {
 				return

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gc"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/runtime"
 	"repro/internal/storage"
@@ -55,6 +56,16 @@ type Config struct {
 	// more than n stable checkpoints after a recovery. Set it when LocalGC
 	// is RDT-LGC under an RDT protocol.
 	CheckNBound bool
+
+	// TCP runs the cluster under test over the real batched TCP mesh
+	// instead of direct in-process delivery, so a chaos run exercises the
+	// wire path (framing, reconnects, link reconciliation) too.
+	TCP bool
+	// Obs attaches live telemetry to the cluster under test and to the
+	// chaos engine itself: crash and recovery counters, crash→recovered
+	// latency, oracle verdicts, post-recovery retention. The zero value is
+	// the default and costs nothing.
+	Obs obs.Options
 }
 
 // Result aggregates a run's survivability measurements. All counters are
@@ -114,12 +125,15 @@ func Run(cfg Config, plan Plan) (Result, error) {
 		LocalGC:  cfg.LocalGC,
 		NewStore: cfg.NewStore,
 		Net:      base,
+		TCP:      cfg.TCP,
 		Compress: cfg.Compress,
+		Obs:      cfg.Obs,
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	defer c.Close()
+	om := obs.ChaosMetricsFrom(cfg.Obs.Registry)
 
 	// The drive RNG is independent of the cluster's network RNG and of the
 	// plan's generation RNG, so traffic decisions, loss draws and fault
@@ -162,8 +176,9 @@ func Run(cfg Config, plan Plan) (Result, error) {
 				}
 			}
 			res.Crashes += len(step.Procs)
+			om.Crashes.Add(uint64(len(step.Procs)))
 		case StepRestart:
-			if err := restartAndVerify(c, cfg, &res); err != nil {
+			if err := restartAndVerify(c, cfg, om, &res); err != nil {
 				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
 			}
 		default:
@@ -265,7 +280,7 @@ func drive(c *runtime.Cluster, rng *rand.Rand, ops int, cfg Config) error {
 
 // restartAndVerify drains the network, snapshots the pre-failure oracle,
 // restarts the crashed set, and checks the session against ground truth.
-func restartAndVerify(c *runtime.Cluster, cfg Config, res *Result) error {
+func restartAndVerify(c *runtime.Cluster, cfg Config, om obs.ChaosMetrics, res *Result) error {
 	victims := c.Down()
 	if len(victims) == 0 {
 		return fmt.Errorf("chaos: restart step with no crashed process")
@@ -278,12 +293,21 @@ func restartAndVerify(c *runtime.Cluster, cfg Config, res *Result) error {
 
 	t0 := time.Now()
 	rep, err := c.Restart(cfg.GlobalLI)
-	res.Latency += time.Since(t0)
+	elapsed := time.Since(t0)
+	res.Latency += elapsed
 	if err != nil {
 		return err
 	}
 	res.Recoveries++
-	return verifyRecovery(c, cfg, pre, victims, rep, res)
+	om.Recoveries.Inc()
+	om.RecoveryNs.Observe(elapsed.Nanoseconds())
+	if err := verifyRecovery(c, cfg, pre, victims, rep, res); err != nil {
+		om.OracleViolations.Inc()
+		return err
+	}
+	om.OracleOK.Inc()
+	om.ObsoleteRetained.Set(int64(res.RetainedAfterMax))
+	return nil
 }
 
 // verifyRecovery asserts one recovery session against the oracles:

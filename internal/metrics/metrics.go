@@ -2,6 +2,12 @@
 // executions: storage occupancy over time, peaks, and how close a collector
 // gets to the Theorem 1 optimum. It drives the sweep experiments of
 // EXPERIMENTS.md and cmd/sweep.
+//
+// Despite the name, this is experiment statistics, not runtime telemetry:
+// everything here is computed offline from a finished deterministic
+// execution and its oracle. Live instrumentation — counters, latency
+// histograms and the flight recorder attached to a running system — lives
+// in internal/obs.
 package metrics
 
 import (

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/gc"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -54,6 +55,10 @@ type Config struct {
 	// that owns it. A single interface value (typically the engine itself)
 	// serves every kernel, so construction stays allocation-free.
 	Driver Driver
+	// Metrics are the kernel's telemetry handles (obs.KernelMetricsFrom).
+	// The zero value — all-nil handles — is the default and costs nothing
+	// on any path.
+	Metrics obs.KernelMetrics
 }
 
 // Driver is the engine-side integration surface of a kernel. Both engines
@@ -193,6 +198,9 @@ func (k *Kernel) Send(dest int) (Piggyback, error) {
 		return Piggyback{}, err
 	}
 	k.pbEntries += len(entries)
+	k.cfg.Metrics.PiggybackEntries.Add(uint64(len(entries)))
+	k.cfg.Metrics.PiggybackFull.Add(uint64(k.cfg.N))
+	k.cfg.Metrics.PiggybackBytes.Add(uint64(16 * len(entries)))
 	return Piggyback{Entries: entries, Compressed: true, From: k.cfg.ID, Ord: ord, Index: idx}, nil
 }
 
@@ -204,6 +212,9 @@ func (k *Kernel) SendSnapshot() Piggyback {
 	idx := k.proto.OnSend()
 	if !k.cfg.Compress {
 		k.pbEntries += k.cfg.N
+		k.cfg.Metrics.PiggybackEntries.Add(uint64(k.cfg.N))
+		k.cfg.Metrics.PiggybackFull.Add(uint64(k.cfg.N))
+		k.cfg.Metrics.PiggybackBytes.Add(uint64(8 * k.cfg.N))
 	}
 	pb := Piggyback{DV: k.cloneDV(), Index: idx}
 	if k.comp != nil {
@@ -242,6 +253,9 @@ func (k *Kernel) EncodeFor(dest, sendOrd, pos int, snapshot vclock.DV) ([]Entry,
 	}
 	k.comp.entBuf = entries
 	k.pbEntries += len(entries)
+	k.cfg.Metrics.PiggybackEntries.Add(uint64(len(entries)))
+	k.cfg.Metrics.PiggybackFull.Add(uint64(k.cfg.N))
+	k.cfg.Metrics.PiggybackBytes.Add(uint64(16 * len(entries)))
 	return entries, ord, nil
 }
 
@@ -279,6 +293,7 @@ func (k *Kernel) Deliver(pb Piggyback) (forced bool, err error) {
 		return forced, err
 	}
 	k.proto.OnDeliver(decision)
+	k.cfg.Metrics.Deliveries.Inc()
 	return forced, nil
 }
 
@@ -303,8 +318,10 @@ func (k *Kernel) Checkpoint(basic bool) (int, error) {
 	k.proto.OnCheckpoint()
 	if basic {
 		k.basic++
+		k.cfg.Metrics.CheckpointsBasic.Inc()
 	} else {
 		k.forced++
+		k.cfg.Metrics.CheckpointsForced.Inc()
 	}
 	if k.cfg.Driver != nil {
 		k.cfg.Driver.OnKernelCheckpoint(k.cfg.ID, index, basic)
@@ -325,6 +342,7 @@ func (k *Kernel) Rollback(ri int, li []int) error {
 	k.dv = dv
 	k.lastS = ri
 	k.proto.OnRollback()
+	k.cfg.Metrics.Rollbacks.Inc()
 	if k.app != nil {
 		cp, err := k.store.Load(ri)
 		if err != nil {

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts a debug HTTP listener on addr (e.g. "localhost:6060")
+// exposing:
+//
+//	/metrics       registry snapshot, text (?format=json for JSON)
+//	/trace         flight-recorder JSONL dump
+//	/debug/vars    expvar
+//	/debug/pprof/  net/http/pprof profiles
+//
+// reg and rec may each be nil — the endpoints then serve empty documents.
+// It returns the bound listener (so ":0" callers can learn the port) and
+// serves until the listener is closed; Serve errors after that are
+// swallowed, matching the fire-and-forget profiling use.
+func ServeDebug(addr string, reg *Registry, rec *Recorder) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = rec.WriteJSONL(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

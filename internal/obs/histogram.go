@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket 0 holds the value 0,
+// bucket b (1..histBuckets-1) holds values in [2^(b-1), 2^b). The top
+// bucket absorbs everything at or above 2^(histBuckets-2) — with 41
+// buckets that is ~1.1e12, comfortably past any latency in nanoseconds or
+// batch size this system produces.
+const histBuckets = 41
+
+// Histogram is a fixed-bucket power-of-two histogram built for latency
+// (nanoseconds) and size (entries, frames) distributions. Observing is one
+// bucket-index computation plus three atomic adds — lock-free, no
+// allocation — and a nil receiver no-ops, like Counter. Quantiles resolve
+// to within the bucket's factor-of-two resolution, linearly interpolated
+// inside the bucket; that is exact enough to separate a 2µs p50 from a
+// 300µs p99, which is what the histograms here are for.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0 (latencies can only go negative through clock steps; counting
+// them as zero keeps the count honest without polluting the range).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // v in [2^(b-1), 2^b) for b >= 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketBounds returns the [lo, hi) value range of bucket b.
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1
+	}
+	lo = float64(uint64(1) << (b - 1))
+	hi = lo * 2
+	return lo, hi
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count reads the number of observations. Safe on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's cells, on which
+// quantiles are computed without racing writers.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram cell-atomically. Concurrent Observes may
+// land between cell reads — the usual lock-free export contract — so the
+// bucket total is re-derived from the copied buckets to keep quantile
+// ranks internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	return s
+}
+
+// Mean is the arithmetic mean of all observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-th quantile (q in [0,1]), linearly interpolated
+// within the bucket that holds the target rank. Returns 0 on an empty
+// histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for b := 0; b < histBuckets; b++ {
+		n := float64(s.Buckets[b])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(b)
+			frac := (rank - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	// Unreachable while Count matches the bucket total; cover it anyway.
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}

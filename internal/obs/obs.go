@@ -1,0 +1,216 @@
+// Package obs is the runtime observability substrate: a metrics registry
+// (atomic counters, gauges, fixed-bucket latency histograms) and a flight
+// recorder (a bounded ring of structured protocol events) that every layer
+// of the middleware — kernel, runtime, transport, storage, chaos — reports
+// into when a run asks for visibility.
+//
+// The package is stdlib-only and imports nothing from this repository, so
+// anything may import it without creating a layering cycle (the inverse of
+// internal/node: obs sits below everything, node sits below the engines).
+// scripts/check_layering.sh enforces both directions.
+//
+// Instrumentation off must cost nothing. Every metric type is a nil-safe
+// pointer receiver: a nil *Counter, *Gauge, *Histogram, or *Recorder
+// no-ops on its write path without allocating, so instrumented code holds
+// plain fields and calls them unconditionally. The PR-3/PR-5 alloc gates
+// (cmd/bench -check BENCH_core.json) run with all of these nil and prove
+// the hot paths still allocate exactly what they did before obs existed.
+//
+// Naming: internal/metrics is the *simulation sweep* statistics package
+// (retained-checkpoint counts vs the Theorem-1 optimum, aggregated over
+// seeded runs). This package is *live telemetry*. They do not overlap.
+package obs
+
+// Options bundles the two halves of observability as a run-level knob.
+// The zero value means "off": a nil Registry and nil Recorder flow into
+// every layer as nil metric handles, which is the free path.
+type Options struct {
+	Registry *Registry
+	Recorder *Recorder
+}
+
+// Metric names, one flat namespace dotted by layer. Keeping them as
+// constants in one place makes the registry greppable and keeps the
+// per-layer From constructors honest.
+const (
+	// Kernel (internal/node).
+	KernelCheckpointsBasic  = "kernel.checkpoints.basic"
+	KernelCheckpointsForced = "kernel.checkpoints.forced"
+	KernelDeliveries        = "kernel.deliveries"
+	KernelRollbacks         = "kernel.rollbacks"
+	KernelPiggybackEntries  = "kernel.piggyback.entries"      // sparse entries actually shipped
+	KernelPiggybackFull     = "kernel.piggyback.full_entries" // entries a full vector would have shipped
+	KernelPiggybackBytes    = "kernel.piggyback.bytes"
+
+	// Runtime (internal/runtime).
+	RuntimeQueueDepth   = "runtime.sendpool.queue_depth"
+	RuntimeWorkerSpawns = "runtime.sendpool.worker_spawns"
+	RuntimeWorkerRetire = "runtime.sendpool.worker_retires"
+	RuntimeTimerResets  = "runtime.sendpool.timer_resets"
+	RuntimeQuiesceNs    = "runtime.quiesce_ns"
+	RuntimeWireErrors   = "runtime.wire_errors"
+
+	// Transport (internal/transport).
+	TransportBatches        = "transport.batches"
+	TransportFramesPerBatch = "transport.frames_per_batch"
+	TransportFramesSent     = "transport.frames_sent"
+	TransportFramesDeliv    = "transport.frames_delivered"
+	TransportFramesLost     = "transport.frames_lost"
+	TransportBytesOut       = "transport.bytes_out"
+	TransportBytesIn        = "transport.bytes_in"
+	TransportDials          = "transport.dials"
+	TransportDialFailures   = "transport.dial_failures"
+	TransportBadFrames      = "transport.bad_frames"
+
+	// Storage (internal/storage).
+	StorageSaves      = "storage.saves"
+	StorageDeletes    = "storage.deletes"
+	StorageSaveNs     = "storage.save_ns"
+	StorageLoadNs     = "storage.load_ns"
+	StorageDeltaChain = "storage.delta_chain"
+	StorageReaps      = "storage.tombstone_reaps"
+	StorageRetained   = "storage.retained"
+
+	// Chaos / recovery (internal/chaos, internal/runtime recovery).
+	ChaosCrashes          = "chaos.crashes"
+	ChaosRecoveries       = "chaos.recoveries"
+	ChaosRecoveryNs       = "chaos.recovery_ns"
+	ChaosOracleOK         = "chaos.oracle_ok"
+	ChaosOracleViolations = "chaos.oracle_violations"
+	ChaosObsoleteRetained = "chaos.obsolete_retained"
+)
+
+// KernelMetrics is the kernel's handle bundle. The zero value (all nil)
+// is the off state; node.Kernel holds it by value and writes through it
+// unconditionally.
+type KernelMetrics struct {
+	CheckpointsBasic  *Counter
+	CheckpointsForced *Counter
+	Deliveries        *Counter
+	Rollbacks         *Counter
+	PiggybackEntries  *Counter
+	PiggybackFull     *Counter
+	PiggybackBytes    *Counter
+}
+
+// KernelMetricsFrom resolves the kernel bundle against a registry. A nil
+// registry yields the zero (free) bundle.
+func KernelMetricsFrom(r *Registry) KernelMetrics {
+	return KernelMetrics{
+		CheckpointsBasic:  r.Counter(KernelCheckpointsBasic),
+		CheckpointsForced: r.Counter(KernelCheckpointsForced),
+		Deliveries:        r.Counter(KernelDeliveries),
+		Rollbacks:         r.Counter(KernelRollbacks),
+		PiggybackEntries:  r.Counter(KernelPiggybackEntries),
+		PiggybackFull:     r.Counter(KernelPiggybackFull),
+		PiggybackBytes:    r.Counter(KernelPiggybackBytes),
+	}
+}
+
+// RuntimeMetrics is the live engine's handle bundle: sender-pool churn and
+// cluster-wide quiesce latency.
+type RuntimeMetrics struct {
+	QueueDepth   *Gauge
+	WorkerSpawns *Counter
+	WorkerRetire *Counter
+	TimerResets  *Counter
+	QuiesceNs    *Histogram
+	WireErrors   *Counter
+}
+
+// RuntimeMetricsFrom resolves the runtime bundle against a registry.
+func RuntimeMetricsFrom(r *Registry) RuntimeMetrics {
+	return RuntimeMetrics{
+		QueueDepth:   r.Gauge(RuntimeQueueDepth),
+		WorkerSpawns: r.Counter(RuntimeWorkerSpawns),
+		WorkerRetire: r.Counter(RuntimeWorkerRetire),
+		TimerResets:  r.Counter(RuntimeTimerResets),
+		QuiesceNs:    r.Histogram(RuntimeQuiesceNs),
+		WireErrors:   r.Counter(RuntimeWireErrors),
+	}
+}
+
+// TransportMetrics is the TCP mesh's handle bundle.
+type TransportMetrics struct {
+	Batches        *Counter
+	FramesPerBatch *Histogram
+	FramesSent     *Counter
+	FramesDeliv    *Counter
+	FramesLost     *Counter
+	BytesOut       *Counter
+	BytesIn        *Counter
+	Dials          *Counter
+	DialFailures   *Counter
+}
+
+// TransportMetricsFrom resolves the transport bundle against a registry.
+// The bad-frame counter is not here: the mesh owns one unconditionally
+// (the PR-6 accessor) and adopts it into the registry via RegisterCounter.
+func TransportMetricsFrom(r *Registry) TransportMetrics {
+	return TransportMetrics{
+		Batches:        r.Counter(TransportBatches),
+		FramesPerBatch: r.Histogram(TransportFramesPerBatch),
+		FramesSent:     r.Counter(TransportFramesSent),
+		FramesDeliv:    r.Counter(TransportFramesDeliv),
+		FramesLost:     r.Counter(TransportFramesLost),
+		BytesOut:       r.Counter(TransportBytesOut),
+		BytesIn:        r.Counter(TransportBytesIn),
+		Dials:          r.Counter(TransportDials),
+		DialFailures:   r.Counter(TransportDialFailures),
+	}
+}
+
+// StoreMetrics is the storage layer's handle bundle, shared by MemStore
+// and FileStore.
+type StoreMetrics struct {
+	Saves      *Counter
+	Deletes    *Counter
+	SaveNs     *Histogram
+	LoadNs     *Histogram
+	DeltaChain *Histogram
+	Reaps      *Counter
+	Retained   *Gauge
+}
+
+// StoreMetricsFrom resolves the storage bundle against a registry.
+func StoreMetricsFrom(r *Registry) StoreMetrics {
+	return StoreMetrics{
+		Saves:      r.Counter(StorageSaves),
+		Deletes:    r.Counter(StorageDeletes),
+		SaveNs:     r.Histogram(StorageSaveNs),
+		LoadNs:     r.Histogram(StorageLoadNs),
+		DeltaChain: r.Histogram(StorageDeltaChain),
+		Reaps:      r.Counter(StorageReaps),
+		Retained:   r.Gauge(StorageRetained),
+	}
+}
+
+// ChaosMetrics is the fault-injection engine's handle bundle.
+type ChaosMetrics struct {
+	Crashes          *Counter
+	Recoveries       *Counter
+	RecoveryNs       *Histogram
+	OracleOK         *Counter
+	OracleViolations *Counter
+	ObsoleteRetained *Gauge
+}
+
+// ChaosMetricsFrom resolves the chaos bundle against a registry.
+func ChaosMetricsFrom(r *Registry) ChaosMetrics {
+	return ChaosMetrics{
+		Crashes:          r.Counter(ChaosCrashes),
+		Recoveries:       r.Counter(ChaosRecoveries),
+		RecoveryNs:       r.Histogram(ChaosRecoveryNs),
+		OracleOK:         r.Counter(ChaosOracleOK),
+		OracleViolations: r.Counter(ChaosOracleViolations),
+		ObsoleteRetained: r.Gauge(ChaosObsoleteRetained),
+	}
+}
+
+// Instrumentable is implemented by storage backends that accept telemetry
+// handles after construction. The engines type-assert their Store against
+// it so storage.Store itself stays telemetry-free and third-party stores
+// need not care.
+type Instrumentable interface {
+	SetObs(m StoreMetrics, rec *Recorder, process int)
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ccp"
 	"repro/internal/gc"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -40,6 +41,9 @@ func (c *Cluster) Crash(i int) error {
 	if n.down {
 		return fmt.Errorf("runtime: p%d is already crashed", i)
 	}
+	// Recorded before CrashVolatile wipes the vector, so the event carries
+	// the clock at the instant of failure.
+	c.flight.Record(obs.Event{Kind: obs.EvCrash, P: i, Clock: n.k.DVRef()[i]})
 	n.k.CrashVolatile()
 	n.down = true
 	return nil
@@ -144,6 +148,7 @@ func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, er
 		}
 		n.down = false
 		rep.Restarted = append(rep.Restarted, i)
+		c.flight.Record(obs.Event{Kind: obs.EvRestart, P: i, Msg: n.k.LastStable(), Clock: n.k.DVRef()[i]})
 	}
 	sort.Ints(rep.Restarted)
 
@@ -179,6 +184,7 @@ func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, er
 		if err := n.k.Rollback(line[j], liArg); err != nil {
 			return rep, err
 		}
+		c.flight.Record(obs.Event{Kind: obs.EvRollback, P: j, Msg: line[j], Clock: line[j]})
 	}
 
 	// Rolled-back receivers lost knowledge the incremental encoders assumed

@@ -24,13 +24,13 @@ import (
 	"log"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/app"
 	"repro/internal/ccp"
 	"repro/internal/gc"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -91,6 +91,11 @@ type Config struct {
 	// against (cmd/bench -throughput benchmarks both). Production
 	// configurations leave it false.
 	Spawn bool
+	// Obs attaches live telemetry: a metrics registry instrumenting the
+	// kernel, sender pool, mesh and stores, and a flight recorder capturing
+	// the protocol event stream. The zero value (both nil) is the default
+	// and keeps every hot path at its uninstrumented cost.
+	Obs obs.Options
 }
 
 // Cluster is a set of live middleware nodes.
@@ -134,8 +139,13 @@ type Cluster struct {
 	pairs []pairSeq
 
 	// wireErrs counts connections the mesh severed on undecodable frames —
-	// a poisoned link is a diagnosable counter, not a silent hang.
-	wireErrs atomic.Uint64
+	// a poisoned link is a diagnosable counter, not a silent hang. Cluster-
+	// owned (the accessor predates the registry); with Config.Obs set the
+	// same cell is adopted into the registry as runtime.wire_errors.
+	wireErrs obs.Counter
+
+	obs    obs.RuntimeMetrics // zero (free) unless Config.Obs named a registry
+	flight *obs.Recorder      // nil unless Config.Obs named a recorder
 
 	mesh *transport.TCP // nil for direct in-process delivery
 }
@@ -170,10 +180,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.NewStore = func(int) (storage.Store, error) { return storage.NewMemStore(), nil }
 	}
 	c := &Cluster{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Net.Seed)),
-		rec: ccp.Script{N: cfg.N},
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Net.Seed)),
+		rec:    ccp.Script{N: cfg.N},
+		obs:    obs.RuntimeMetricsFrom(cfg.Obs.Registry),
+		flight: cfg.Obs.Recorder,
 	}
+	cfg.Obs.Registry.RegisterCounter(obs.RuntimeWireErrors, &c.wireErrs)
 	c.queues = make([]destQueue, cfg.N)
 	for i := range c.queues {
 		c.queues[i].to = i
@@ -210,15 +223,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}
 		}
 		mesh.OnFrameError = func(from, to int, err error) {
-			c.wireErrs.Add(1)
+			c.wireErrs.Inc()
 			log.Printf("runtime: mesh link %d->%d severed on bad frame: %v", from, to, err)
 		}
+		mesh.SetObs(cfg.Obs.Registry)
 		c.mesh = mesh
 	}
 	for i := 0; i < cfg.N; i++ {
 		store, err := cfg.NewStore(i)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: stable store of p%d: %w", i, err)
+		}
+		if ins, ok := store.(obs.Instrumentable); ok && (cfg.Obs.Registry != nil || cfg.Obs.Recorder != nil) {
+			ins.SetObs(obs.StoreMetricsFrom(cfg.Obs.Registry), cfg.Obs.Recorder, i)
 		}
 		k, err := node.New(node.Config{
 			ID: i, N: cfg.N,
@@ -228,6 +245,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			NewApp:   cfg.NewApp,
 			Compress: cfg.Compress,
 			Driver:   c,
+			Metrics:  obs.KernelMetricsFrom(cfg.Obs.Registry),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("runtime: %w", err)
@@ -308,7 +326,7 @@ func (c *Cluster) BreakLink(from, to int) bool {
 
 // WireErrors counts mesh connections severed by undecodable frames — the
 // loud trace a poisoned link leaves instead of a silent hang.
-func (c *Cluster) WireErrors() uint64 { return c.wireErrs.Load() }
+func (c *Cluster) WireErrors() uint64 { return c.wireErrs.Value() }
 
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.cfg.N }
@@ -318,7 +336,15 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // Quiesce blocks until every message currently in transit has been
 // delivered or dropped. Callers must stop sending first.
-func (c *Cluster) Quiesce() { c.inflight.Wait() }
+func (c *Cluster) Quiesce() {
+	if c.obs.QuiesceNs != nil {
+		t0 := time.Now()
+		c.inflight.Wait()
+		c.obs.QuiesceNs.Observe(time.Since(t0).Nanoseconds())
+		return
+	}
+	c.inflight.Wait()
+}
 
 // History returns a snapshot of the linearized middleware history; replayed
 // through internal/ccp it reconstructs the exact pattern of the concurrent
@@ -390,6 +416,13 @@ func (c *Cluster) OnKernelCheckpoint(self, index int, basic bool) {
 	c.recMu.Lock()
 	c.rec.Checkpoint(self)
 	c.recMu.Unlock()
+	forced := 0
+	if !basic {
+		forced = 1
+	}
+	c.flight.Record(obs.Event{
+		Kind: obs.EvCheckpoint, P: self, Msg: index, Aux: forced, Clock: index,
+	})
 }
 
 func (c *Cluster) curEpoch() uint64 {
@@ -533,6 +566,9 @@ func (n *Node) sendPayload(to int, payload []byte, update func(a app.App)) error
 	n.c.recMu.Lock()
 	msg := n.c.rec.Send(n.id)
 	n.c.recMu.Unlock()
+	n.c.flight.Record(obs.Event{
+		Kind: obs.EvSend, P: n.id, Msg: msg, Aux: to, Clock: n.k.DVRef()[n.id],
+	})
 	if n.c.cfg.Spawn {
 		return n.sendSpawn(to, msg, pb, epoch, payload)
 	}
@@ -605,7 +641,7 @@ func (n *Node) sendSpawn(to, msg int, pb node.Piggyback, epoch uint64, payload [
 			// calls Done.
 			return
 		}
-		n.c.deliverOne(to, delivery{msg: msg, pb: pb, epoch: epoch, payload: payload})
+		n.c.deliverOne(n.id, to, delivery{msg: msg, pb: pb, epoch: epoch, payload: payload})
 		if ps != nil {
 			ps.done()
 		}
@@ -615,8 +651,8 @@ func (n *Node) sendSpawn(to, msg int, pb node.Piggyback, epoch uint64, payload [
 }
 
 // deliverOne delivers a single message (spawn path).
-func (c *Cluster) deliverOne(to int, d delivery) {
-	batch := [1]pending{{delivery: d}}
+func (c *Cluster) deliverOne(from, to int, d delivery) {
+	batch := [1]pending{{delivery: d, from: from}}
 	c.nodes[to].deliverPending(batch[:])
 	c.recycleDV(d.pb.DV)
 }
@@ -650,6 +686,9 @@ func (n *Node) deliverPending(batch []pending) {
 		n.c.recMu.Lock()
 		n.c.rec.Recv(n.id, d.msg)
 		n.c.recMu.Unlock()
+		n.c.flight.Record(obs.Event{
+			Kind: obs.EvDeliver, P: n.id, Msg: d.msg, Aux: batch[i].from, Clock: n.k.DVRef()[n.id],
+		})
 	}
 }
 

@@ -142,9 +142,11 @@ func (c *Cluster) enqueue(from, to int, d delivery, delay time.Duration) {
 	}
 	q.seq++
 	q.push(pending{delivery: d, from: from, at: at, seq: q.seq})
+	c.obs.QueueDepth.Add(1)
 	newTop := q.h[0].seq == q.seq
 	if !q.running {
 		q.running = true
+		c.obs.WorkerSpawns.Inc()
 		go c.sendWorker(q)
 	} else if newTop {
 		select {
@@ -195,6 +197,7 @@ func (c *Cluster) sendWorker(q *destQueue) {
 			}
 		}
 		timer.Reset(wait)
+		c.obs.TimerResets.Inc()
 		select {
 		case <-q.wake:
 		case <-timer.C:
@@ -204,6 +207,7 @@ func (c *Cluster) sendWorker(q *destQueue) {
 					q.batch = batch[:0] // hand the scratch to the next incarnation
 					q.running = false
 					q.mu.Unlock()
+					c.obs.WorkerRetire.Inc()
 					return
 				}
 				q.mu.Unlock()
@@ -218,6 +222,7 @@ func (c *Cluster) sendWorker(q *destQueue) {
 // ends its in-flight accounting here or, for frames accepted onto the
 // wire, at delivery / link reconciliation.
 func (c *Cluster) dispatch(to int, batch []pending) {
+	c.obs.QueueDepth.Add(-int64(len(batch)))
 	if c.mesh == nil {
 		c.nodes[to].deliverPending(batch)
 		for i := range batch {

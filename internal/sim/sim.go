@@ -24,6 +24,7 @@ import (
 	"repro/internal/ccp"
 	"repro/internal/gc"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -51,6 +52,11 @@ type Config struct {
 	// operation). Used by the test suite to assert invariants at every
 	// event boundary.
 	AfterEvent func() error
+	// Obs attaches live telemetry to the kernels and stores, exactly as in
+	// runtime.Config. The simulator records no flight events itself (its
+	// history *is* the trace); the recorder, if set, still reaches the
+	// stores for collect events. Zero value: everything free.
+	Obs obs.Options
 }
 
 // Metrics counts what happened during execution.
@@ -116,6 +122,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: stable store of p%d: %w", i, err)
 		}
+		if ins, ok := store.(obs.Instrumentable); ok && (cfg.Obs.Registry != nil || cfg.Obs.Recorder != nil) {
+			ins.SetObs(obs.StoreMetricsFrom(cfg.Obs.Registry), cfg.Obs.Recorder, i)
+		}
 		k, err := node.New(node.Config{
 			ID: i, N: cfg.N,
 			Store:    store,
@@ -123,6 +132,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			LocalGC:  cfg.LocalGC,
 			Compress: cfg.Compress,
 			Driver:   r,
+			Metrics:  obs.KernelMetricsFrom(cfg.Obs.Registry),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)

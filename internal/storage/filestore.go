@@ -10,7 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -55,6 +57,17 @@ type FileStore struct {
 	lastDV  vclock.DV
 	chain   int          // delta records since the last full one
 	diffBuf vclock.Delta // reused DiffAppend buffer
+
+	obs    obs.StoreMetrics // zero (free) unless SetObs attached handles
+	flight *obs.Recorder
+	proc   int
+}
+
+// SetObs implements obs.Instrumentable; see MemStore.SetObs.
+func (fs *FileStore) SetObs(m obs.StoreMetrics, rec *obs.Recorder, process int) {
+	fs.mu.Lock()
+	fs.obs, fs.flight, fs.proc = m, rec, process
+	fs.mu.Unlock()
 }
 
 // fullEvery bounds a delta chain: every fullEvery-th record is a full
@@ -167,6 +180,7 @@ func (fs *FileStore) reapDead(idx int) error {
 			return fmt.Errorf("storage: reap tombstone %d: %w", idx, err)
 		}
 		delete(fs.dead, idx)
+		fs.obs.Reaps.Inc()
 		b, isDelta := fs.base[idx]
 		delete(fs.base, idx)
 		if !isDelta {
@@ -384,6 +398,10 @@ func DecodeRecord(b []byte) (Record, error) {
 func (fs *FileStore) Save(cp Checkpoint) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	var t0 time.Time
+	if fs.obs.SaveNs != nil {
+		t0 = time.Now()
+	}
 	if _, dup := fs.live[cp.Index]; dup || fs.dead[cp.Index] {
 		// A tombstone counts: its file still anchors a live chain, and a
 		// fresh record at the same index would shadow it. The middleware
@@ -446,6 +464,12 @@ func (fs *FileStore) Save(cp Checkpoint) error {
 	if fs.stats.LiveBytes > fs.stats.PeakBytes {
 		fs.stats.PeakBytes = fs.stats.LiveBytes
 	}
+	fs.obs.Saves.Inc()
+	fs.obs.Retained.Add(1)
+	fs.obs.DeltaChain.Observe(int64(fs.chain))
+	if fs.obs.SaveNs != nil {
+		fs.obs.SaveNs.Observe(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 
@@ -469,6 +493,9 @@ func (fs *FileStore) Delete(index int) error {
 	fs.stats.Collected++
 	fs.stats.Live--
 	fs.stats.LiveBytes -= size
+	fs.obs.Deletes.Inc()
+	fs.obs.Retained.Add(-1)
+	fs.flight.Record(obs.Event{Kind: obs.EvCollect, P: fs.proc, Msg: index})
 	if _, referenced := fs.child[index]; referenced {
 		if err := os.Rename(fs.path(index), fs.pathDead(index)); err != nil {
 			return fmt.Errorf("storage: delete checkpoint %d: %w", index, err)
@@ -499,7 +526,15 @@ func (fs *FileStore) Load(index int) (Checkpoint, error) {
 	if _, ok := fs.live[index]; !ok {
 		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
 	}
-	return fs.load(index)
+	var t0 time.Time
+	if fs.obs.LoadNs != nil {
+		t0 = time.Now()
+	}
+	cp, err := fs.load(index)
+	if err == nil && fs.obs.LoadNs != nil {
+		fs.obs.LoadNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	return cp, err
 }
 
 func (fs *FileStore) load(index int) (Checkpoint, error) {

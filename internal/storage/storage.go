@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -78,6 +80,19 @@ type MemStore struct {
 	lastDV  vclock.DV
 	chain   int          // delta records since the last full one
 	diffBuf vclock.Delta // reused DiffAppend buffer
+
+	obs    obs.StoreMetrics // zero (free) unless SetObs attached handles
+	flight *obs.Recorder
+	proc   int
+}
+
+// SetObs implements obs.Instrumentable: the engines attach telemetry after
+// construction (the Store interface itself stays telemetry-free). With all
+// handles nil the store is on the free path.
+func (s *MemStore) SetObs(m obs.StoreMetrics, rec *obs.Recorder, process int) {
+	s.mu.Lock()
+	s.obs, s.flight, s.proc = m, rec, process
+	s.mu.Unlock()
 }
 
 // memRec is one stored checkpoint: full (dv set) or delta-encoded against
@@ -133,6 +148,10 @@ func NewMemStore() *MemStore {
 func (s *MemStore) Save(cp Checkpoint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var t0 time.Time
+	if s.obs.SaveNs != nil {
+		t0 = time.Now()
+	}
 	if _, dup := s.byIdx[cp.Index]; dup {
 		return fmt.Errorf("storage: duplicate save of checkpoint %d of p%d", cp.Index, cp.Process)
 	}
@@ -186,6 +205,12 @@ func (s *MemStore) Save(cp Checkpoint) error {
 	if s.stats.LiveBytes > s.stats.PeakBytes {
 		s.stats.PeakBytes = s.stats.LiveBytes
 	}
+	s.obs.Saves.Inc()
+	s.obs.Retained.Add(1)
+	s.obs.DeltaChain.Observe(int64(s.chain))
+	if s.obs.SaveNs != nil {
+		s.obs.SaveNs.Observe(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 
@@ -206,6 +231,9 @@ func (s *MemStore) Delete(index int) error {
 	s.stats.Collected++
 	s.stats.Live--
 	s.stats.LiveBytes -= len(rec.state)
+	s.obs.Deletes.Inc()
+	s.obs.Retained.Add(-1)
+	s.flight.Record(obs.Event{Kind: obs.EvCollect, P: s.proc, Msg: index})
 	if _, ok := s.child[index]; ok {
 		rec.dead = true // the dependent still resolves through this record
 		s.byIdx[index] = rec
@@ -229,6 +257,7 @@ func (s *MemStore) Delete(index int) error {
 		if _, hasChild := s.child[base]; hasChild {
 			return nil
 		}
+		s.obs.Reaps.Inc() // a dead chain base drains on the next iteration
 		index = base
 	}
 }
@@ -242,7 +271,15 @@ func (s *MemStore) Load(index int) (Checkpoint, error) {
 	if rec, ok := s.byIdx[index]; !ok || rec.dead {
 		return Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
 	}
-	return s.load(index)
+	var t0 time.Time
+	if s.obs.LoadNs != nil {
+		t0 = time.Now()
+	}
+	cp, err := s.load(index)
+	if err == nil && s.obs.LoadNs != nil {
+		s.obs.LoadNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	return cp, err
 }
 
 func (s *MemStore) load(index int) (Checkpoint, error) {

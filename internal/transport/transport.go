@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -243,7 +244,12 @@ type TCP struct {
 	// sendConn.sent).
 	delivered []atomic.Int64
 
-	badFrames atomic.Uint64
+	// badFrames is mesh-owned (it predates the registry and its accessor
+	// is public API); SetObs adopts the same cell into a registry so
+	// snapshots and BadFrames() can never disagree.
+	badFrames obs.Counter
+
+	obs obs.TransportMetrics // zero (free) unless SetObs attached a registry
 
 	dial func(addr string) (net.Conn, error) // test hook; net.Dial by default
 
@@ -353,7 +359,7 @@ func (t *TCP) StartBatched(deliver func([]Message)) error {
 // a counter plus a callback or log line — not a silent return that leaves
 // a mystery hang.
 func (t *TCP) frameError(from, to int, err error) {
-	t.badFrames.Add(1)
+	t.badFrames.Inc()
 	if t.OnFrameError != nil {
 		t.OnFrameError(from, to, err)
 		return
@@ -363,7 +369,17 @@ func (t *TCP) frameError(from, to int, err error) {
 
 // BadFrames reports how many connections were severed by undecodable or
 // oversized frames.
-func (t *TCP) BadFrames() uint64 { return t.badFrames.Load() }
+func (t *TCP) BadFrames() uint64 { return t.badFrames.Value() }
+
+// SetObs attaches telemetry to the mesh: per-mesh counters resolve against
+// the registry, and the mesh-owned bad-frame counter is adopted under
+// obs.TransportBadFrames so snapshots read the same cell BadFrames()
+// does. Call before Start; a nil registry leaves the mesh on the free
+// (nil-handle) path.
+func (t *TCP) SetObs(reg *obs.Registry) {
+	t.obs = obs.TransportMetricsFrom(reg)
+	reg.RegisterCounter(obs.TransportBadFrames, &t.badFrames)
+}
 
 // readLoop drains one accepted stream: the hello identifying its (from,
 // to) pair, then length-prefixed frames. Frames already buffered behind
@@ -406,6 +422,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return Message{}, err
 		}
+		t.obs.BytesIn.Add(uint64(8 + size))
 		return decode(payload)
 	}
 	for {
@@ -449,6 +466,7 @@ func (t *TCP) deliverBatch(from, to int, batch []Message) {
 	}
 	t.deliver(batch)
 	t.delivered[from*t.n+to].Add(int64(len(batch)))
+	t.obs.FramesDeliv.Add(uint64(len(batch)))
 }
 
 // conn returns the pair's connection with its lock held, dialing on first
@@ -478,6 +496,7 @@ func (t *TCP) conn(from, to int) (*sendConn, error) {
 		return nil, ErrLinkDown
 	}
 	if sc.c == nil {
+		t.obs.Dials.Inc()
 		conn, err := t.dial(t.Addr(to))
 		if err == nil {
 			var hello [24]byte
@@ -493,6 +512,7 @@ func (t *TCP) conn(from, to int) (*sendConn, error) {
 			// This attempt is dead for any sender already queued on sc.mu,
 			// but the pair is not: dropping the placeholder lets the next
 			// Send dial afresh.
+			t.obs.DialFailures.Inc()
 			sc.dead = true
 			sc.mu.Unlock()
 			t.mu.Lock()
@@ -551,9 +571,15 @@ func (t *TCP) SendBatch(from, to int, msgs []Message) (int, error) {
 		sc.sent += int64(accepted)
 		sc.dead = true
 		_ = sc.c.Close()
+		t.obs.FramesSent.Add(uint64(accepted))
+		t.obs.BytesOut.Add(uint64(nw))
 		return accepted, fmt.Errorf("transport: send to node %d: %w", to, werr)
 	}
 	sc.sent += int64(len(msgs))
+	t.obs.Batches.Inc()
+	t.obs.FramesPerBatch.Observe(int64(len(msgs)))
+	t.obs.FramesSent.Add(uint64(len(msgs)))
+	t.obs.BytesOut.Add(uint64(len(buf)))
 	return len(msgs), nil
 }
 
@@ -608,8 +634,11 @@ func (t *TCP) reap(sc *sendConn, from, to int) {
 		_ = sc.c.Close()
 	}
 	sc.mu.Unlock()
-	if lost := sent - t.delivered[from*t.n+to].Load(); lost > 0 && t.OnLinkDown != nil {
-		t.OnLinkDown(from, to, int(lost))
+	if lost := sent - t.delivered[from*t.n+to].Load(); lost > 0 {
+		t.obs.FramesLost.Add(uint64(lost))
+		if t.OnLinkDown != nil {
+			t.OnLinkDown(from, to, int(lost))
+		}
 	}
 }
 

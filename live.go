@@ -52,6 +52,7 @@ func NewCluster(n int, net Network, opt ...Option) (*Cluster, error) {
 		Protocol: pf,
 		TCP:      net.TCP,
 		Compress: o.compress,
+		Obs:      o.obs,
 		Net: runtime.NetworkOptions{
 			MinDelay: net.MinDelay,
 			MaxDelay: net.MaxDelay,

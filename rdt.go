@@ -31,6 +31,7 @@ import (
 	"repro/internal/ccp"
 	"repro/internal/core"
 	"repro/internal/gc"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -149,6 +150,7 @@ type options struct {
 	stateBytes  int
 	globalEvery int
 	compress    bool
+	obs         obs.Options
 }
 
 func defaults() options {
@@ -204,6 +206,7 @@ func (o options) simConfig(n int) (sim.Config, error) {
 		GlobalEvery: o.globalEvery,
 		StateBytes:  o.stateBytes,
 		Compress:    o.compress,
+		Obs:         o.obs,
 	}
 	if o.storageDir != "" {
 		cfg.NewStore = fileStores(o.storageDir)

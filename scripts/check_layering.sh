@@ -28,7 +28,27 @@ for engine in repro/internal/sim repro/internal/runtime; do
 	fi
 done
 
+# Observability is a leaf: internal/obs may be imported from anywhere but
+# must itself stay stdlib-only — an obs that pulls in an engine (or any
+# repro package) can deadlock the layer it instruments and ends the
+# zero-cost argument.
+obs_deps=$(go list -deps repro/internal/obs)
+if printf '%s\n' "$obs_deps" | grep -v '^repro/internal/obs$' | grep -q '^repro/'; then
+	echo "layering violation: internal/obs imports repro packages:" >&2
+	printf '%s\n' "$obs_deps" | grep -v '^repro/internal/obs$' | grep '^repro/' >&2
+	fail=1
+fi
+
+# And the instrumentation must stay attached: the kernel and both engines
+# report through obs. Losing the import means a layer went dark.
+for layer in repro/internal/node repro/internal/runtime repro/internal/sim; do
+	if ! go list -deps "$layer" | grep -qx repro/internal/obs; then
+		echo "layering violation: $layer no longer reports through internal/obs" >&2
+		fail=1
+	fi
+done
+
 if [ "$fail" -ne 0 ]; then
 	exit 1
 fi
-echo "layering ok: internal/node imports neither engine; both engines drive it"
+echo "layering ok: internal/node imports neither engine; both engines drive it; obs is a stdlib-only leaf"
