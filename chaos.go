@@ -76,8 +76,8 @@ func RunChaos(plan ChaosPlan, net Network, opt ...Option) (ChaosResult, error) {
 	default:
 		return ChaosResult{}, fmt.Errorf("rdt: chaos runs support RDTLGC and NoGC collectors, not %v", o.collector)
 	}
-	if o.storageDir != "" {
-		cfg.NewStore = fileStores(o.storageDir)
+	if cfg.NewStore, err = o.stores(); err != nil {
+		return ChaosResult{}, err
 	}
 	return chaos.Run(cfg, plan)
 }

@@ -25,7 +25,11 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/storage"
 	"repro/internal/sweep"
+
+	// Registers the log backend with storage.Open for -store log.
+	_ "repro/internal/storage/logstore"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size (result order does not depend on it)")
 		format   = flag.String("format", "text", "output format: text|json")
 		bench    = flag.Bool("bench", false, "run the grid serially and with -workers, emit the timing comparison as JSON")
+		store    = flag.String("store", "mem", "stable-storage backend for observed runs and -torture: mem|file|log")
+		torture  = flag.Bool("torture", false, "run the storage crash-torture matrix instead of the survivability grid")
 	)
 	var obsf observedFlags
 	flag.BoolVar(&obsf.metrics, "metrics", false, "observed single run: print the metrics-registry snapshot")
@@ -69,13 +75,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos: -cycles must be >= 1, got %d\n", *cycles)
 		os.Exit(2)
 	}
+	backend, err := storage.ParseBackend(*store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *torture {
+		if err := runTorture(backend, *seeds, *ops); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if obsf.active() {
 		if *bench {
 			fmt.Fprintln(os.Stderr, "chaos: -bench and the observed-run flags are mutually exclusive")
 			os.Exit(2)
 		}
-		if err := runObserved(obsf, pats[0], ns[0], *cycles, *ops, *pcheck); err != nil {
+		if err := runObserved(obsf, backend, pats[0], ns[0], *cycles, *ops, *pcheck); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

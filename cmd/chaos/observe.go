@@ -31,7 +31,7 @@ func (f observedFlags) active() bool {
 // instruments captured. The grid's aggregate numbers answer "how well does
 // it survive"; this mode answers "what exactly happened", one event and one
 // counter at a time.
-func runObserved(f observedFlags, pat chaos.Pattern, n, cycles, ops int, pcheck float64) error {
+func runObserved(f observedFlags, backend storage.Backend, pat chaos.Pattern, n, cycles, ops int, pcheck float64) error {
 	reg := obs.NewRegistry()
 	rec := obs.NewRecorder(0)
 	if f.debugHTTP != "" {
@@ -60,12 +60,20 @@ func runObserved(f observedFlags, pat chaos.Pattern, n, cycles, ops int, pcheck 
 		TCP:           true,
 		Obs:           obs.Options{Registry: reg, Recorder: rec},
 	}
+	if backend != storage.Mem {
+		dir, err := os.MkdirTemp("", "rdt-chaos-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.NewStore = storage.Factory(backend, dir)
+	}
 	res, err := chaos.Run(cfg, plan)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("observed run: %s n=%d FDAS+RDT-LGC over TCP — %d crashes, %d recoveries verified, mean recovery %s\n",
-		pat, n, res.Crashes, res.Recoveries, res.MeanLatency())
+	fmt.Printf("observed run: %s n=%d FDAS+RDT-LGC over TCP, %s storage — %d crashes, %d recoveries verified, mean recovery %s\n",
+		pat, n, backend, res.Crashes, res.Recoveries, res.MeanLatency())
 
 	if f.metrics {
 		fmt.Println()

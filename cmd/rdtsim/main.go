@@ -32,11 +32,17 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-process retained checkpoint indices")
 		live    = flag.Bool("live", false, "run on the concurrent goroutine runtime instead of the deterministic simulator")
 		tcp     = flag.Bool("tcp", false, "with -live: route messages over a TCP loopback mesh")
+		store   = flag.String("store", "mem", "stable-storage backend: mem|file|log")
+		dir     = flag.String("store-dir", "", "root directory for on-disk backends (default: a temp dir)")
 	)
 	flag.Parse()
 
+	storeOpts, cleanup, err := storageOptions(*store, *dir)
+	exitOn(err)
+	defer cleanup()
+
 	if *live {
-		runLive(*n, *ops, *seed, *tcp, *crash, *useLI)
+		runLive(*n, *ops, *seed, *tcp, *crash, *useLI, storeOpts)
 		return
 	}
 
@@ -47,7 +53,7 @@ func main() {
 	col, err := parseCollector(*gcName)
 	exitOn(err)
 
-	sys, err := rdt.New(*n, rdt.WithProtocol(p), rdt.WithCollector(col))
+	sys, err := rdt.New(*n, append(storeOpts, rdt.WithProtocol(p), rdt.WithCollector(col))...)
 	exitOn(err)
 	script := rdt.Workload(kind, rdt.WorkloadOptions{N: *n, Ops: *ops, Seed: *seed, PCheckpoint: *pc})
 	exitOn(sys.Run(script))
@@ -102,9 +108,31 @@ func main() {
 	}
 }
 
+// storageOptions resolves the -store/-store-dir flags to facade options; an
+// on-disk backend without an explicit directory gets a temp dir the cleanup
+// removes.
+func storageOptions(store, dir string) ([]rdt.Option, func(), error) {
+	cleanup := func() {}
+	b, err := rdt.ParseBackend(store)
+	if err != nil {
+		return nil, cleanup, err
+	}
+	if b == rdt.BackendMem {
+		return nil, cleanup, nil
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "rdtsim-store-")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		dir, cleanup = tmp, func() { os.RemoveAll(tmp) }
+	}
+	return []rdt.Option{rdt.WithStorage(b, dir)}, cleanup, nil
+}
+
 // runLive drives the goroutine runtime with one worker per process.
-func runLive(n, ops int, seed int64, tcp bool, crash int, useLI bool) {
-	cluster, err := rdt.NewCluster(n, rdt.Network{TCP: tcp, Seed: seed})
+func runLive(n, ops int, seed int64, tcp bool, crash int, useLI bool, storeOpts []rdt.Option) {
+	cluster, err := rdt.NewCluster(n, rdt.Network{TCP: tcp, Seed: seed}, storeOpts...)
 	exitOn(err)
 	defer func() { _ = cluster.Close() }()
 

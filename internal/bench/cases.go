@@ -2,6 +2,7 @@ package bench
 
 import (
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/gc"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/storage/logstore"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/workload"
@@ -81,6 +83,17 @@ func Suite(sizes []int) []Case {
 	// full-every-K chains of single-entry deltas, so the scan decodes
 	// O(changed) per record.
 	add("storage/rehydrate-delta", false, 2, rehydrateDeltaCase)
+	// Group-commit durable saves on the segmented log store: concurrent
+	// savers stage records the committer goroutine batches under one fsync,
+	// so ns/op is the acknowledged per-save latency with the sync cost
+	// amortized across the batch. Disk- and scheduler-bound, so only
+	// allocations gate; the slack absorbs batch-boundary jitter (whether a
+	// save opens a batch or joins one changes its allocation count).
+	add("storage/save-group", false, 3, saveGroupCase)
+	// Log crash recovery: open a segmented log holding delta-chained
+	// checkpoints, verify every batch checksum and rebuild the index — what
+	// a restarting process pays before rejoining.
+	add("storage/replay", false, 2, replayCase)
 	// The shared middleware kernel's end-to-end delivery path: FIFO
 	// bookkeeping-free full-vector deliver — forced-checkpoint decision,
 	// merge, RDT-LGC collect, periodic forced checkpoints — exactly what
@@ -368,6 +381,103 @@ func rehydrateCase(n int) func(*T) {
 				t.Fatalf("reopen: %v", err)
 			}
 			Sink += re.Stats().Live
+		}
+		t.Stop()
+	}
+}
+
+func saveGroupCase(n int) func(*T) {
+	return func(t *T) {
+		dir, err := os.MkdirTemp("", "bench-save-group-")
+		if err != nil {
+			t.Fatalf("tempdir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }() // runs after Stop; also on Fatalf
+		ls, err := logstore.Open(dir, logstore.Options{})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		const workers = 8
+		const window = 16      // trailing live checkpoints per worker
+		const stride = 1 << 24 // disjoint index ranges per worker
+		per := make([]int, workers)
+		for i := 0; i < t.N; i++ {
+			per[i%workers]++
+		}
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		t.Start()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w, ops int) {
+				defer wg.Done()
+				cp := storage.Checkpoint{Process: 0, DV: vclock.New(n), State: make([]byte, stateBytes)}
+				for i := 0; i < ops; i++ {
+					// Every entry moves: full records, the dense gauge.
+					for j := range cp.DV {
+						cp.DV[j]++
+					}
+					cp.Index = w*stride + i
+					if err := ls.Save(cp); err != nil {
+						errs <- err
+						return
+					}
+					if i >= window {
+						if err := ls.Delete(w*stride + i - window); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}(w, per[w])
+		}
+		wg.Wait()
+		t.Stop()
+		select {
+		case err := <-errs:
+			t.Fatalf("save-group: %v", err)
+		default:
+		}
+		if err := ls.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+}
+
+func replayCase(n int) func(*T) {
+	return func(t *T) {
+		dir, err := os.MkdirTemp("", "bench-replay-")
+		if err != nil {
+			t.Fatalf("tempdir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }() // runs after Stop; also on Fatalf
+		ls, err := logstore.Open(dir, logstore.Options{})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		dv := vclock.New(n)
+		for i := 0; i < rehydrateCkpts; i++ {
+			// One entry moves per checkpoint: the log holds chains of
+			// single-entry deltas with a full record every K-th, the same
+			// shape the rehydrate-delta case gives FileStore.
+			dv[0] = i + 1
+			if err := ls.Save(storage.Checkpoint{Process: 0, Index: i, DV: dv, State: make([]byte, stateBytes)}); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+		}
+		if err := ls.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		t.Start()
+		for i := 0; i < t.N; i++ {
+			re, err := logstore.Open(dir, logstore.Options{NoCompact: true})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			Sink += re.Stats().Live
+			if err := re.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
 		}
 		t.Stop()
 	}

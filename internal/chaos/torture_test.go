@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestTortureLogStore runs the full crash-torture matrix against the
+// segmented log backend: truncation images at and inside every commit
+// boundary must rehydrate the exact acknowledged prefix, and bit-flip
+// images must refuse loudly. This is the CI torture lane's main dish.
+func TestTortureLogStore(t *testing.T) {
+	res, err := Torture(TortureConfig{
+		Backend:      storage.Log,
+		Dir:          t.TempDir(),
+		Ops:          48,
+		Seed:         1,
+		SegmentBytes: 1024,
+		BitFlips:     32,
+	})
+	if err != nil {
+		t.Fatalf("%v (after %s)", err, res)
+	}
+	if res.CleanPrefix == 0 || res.LoudRefusals == 0 {
+		t.Fatalf("matrix did not exercise both outcomes: %s", res)
+	}
+	if res.TornTails == 0 {
+		t.Fatalf("no injection produced a torn tail: %s", res)
+	}
+	t.Logf("log torture: %s", res)
+}
+
+// TestTortureLogStoreSeeds varies the stream seed so the op mix (rollback
+// positions, delete density, segment roll points) differs run to run while
+// staying reproducible per seed.
+func TestTortureLogStoreSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture matrix sweep is not a -short test")
+	}
+	for seed := int64(2); seed <= 5; seed++ {
+		res, err := Torture(TortureConfig{
+			Backend:      storage.Log,
+			Dir:          t.TempDir(),
+			Ops:          40,
+			Seed:         seed,
+			SegmentBytes: 768,
+			BitFlips:     8,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v (after %s)", seed, err, res)
+		}
+	}
+}
+
+// TestTortureFileStore runs the matrix against the one-file-per-checkpoint
+// backend: every per-op prefix image and every stray-.tmp image must
+// rehydrate cleanly, every truncated checkpoint file must refuse loudly.
+func TestTortureFileStore(t *testing.T) {
+	res, err := Torture(TortureConfig{
+		Backend: storage.File,
+		Dir:     t.TempDir(),
+		Ops:     40,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatalf("%v (after %s)", err, res)
+	}
+	if res.CleanPrefix == 0 || res.LoudRefusals == 0 {
+		t.Fatalf("matrix did not exercise both outcomes: %s", res)
+	}
+	t.Logf("file torture: %s", res)
+}

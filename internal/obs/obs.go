@@ -71,6 +71,14 @@ const (
 	StorageReaps      = "storage.tombstone_reaps"
 	StorageRetained   = "storage.retained"
 
+	// Storage, log backend only (internal/storage/logstore): group-commit
+	// shape and the segment lifecycle. Mem/FileStore leave these untouched.
+	StorageBatchRecords = "storage.commit.batch_records" // records per group commit
+	StorageCommitNs     = "storage.commit_ns"            // write+sync latency per batch
+	StorageCompactions  = "storage.compactions"          // segments rewritten and dropped
+	StorageTornTails    = "storage.torn_tails"           // torn tails truncated at replay
+	StorageLiveRatioPct = "storage.live_ratio_pct"       // live bytes / log bytes, percent
+
 	// Chaos / recovery (internal/chaos, internal/runtime recovery).
 	ChaosCrashes          = "chaos.crashes"
 	ChaosRecoveries       = "chaos.recoveries"
@@ -160,8 +168,10 @@ func TransportMetricsFrom(r *Registry) TransportMetrics {
 	}
 }
 
-// StoreMetrics is the storage layer's handle bundle, shared by MemStore
-// and FileStore.
+// StoreMetrics is the storage layer's handle bundle, shared by MemStore,
+// FileStore and the log store. The group-commit handles (BatchRecords,
+// CommitNs, Compactions, TornTails, LiveRatioPct) are written only by the
+// log backend; for the other stores they stay at zero.
 type StoreMetrics struct {
 	Saves      *Counter
 	Deletes    *Counter
@@ -170,6 +180,12 @@ type StoreMetrics struct {
 	DeltaChain *Histogram
 	Reaps      *Counter
 	Retained   *Gauge
+
+	BatchRecords *Histogram
+	CommitNs     *Histogram
+	Compactions  *Counter
+	TornTails    *Counter
+	LiveRatioPct *Gauge
 }
 
 // StoreMetricsFrom resolves the storage bundle against a registry.
@@ -182,6 +198,12 @@ func StoreMetricsFrom(r *Registry) StoreMetrics {
 		DeltaChain: r.Histogram(StorageDeltaChain),
 		Reaps:      r.Counter(StorageReaps),
 		Retained:   r.Gauge(StorageRetained),
+
+		BatchRecords: r.Histogram(StorageBatchRecords),
+		CommitNs:     r.Histogram(StorageCommitNs),
+		Compactions:  r.Counter(StorageCompactions),
+		TornTails:    r.Counter(StorageTornTails),
+		LiveRatioPct: r.Gauge(StorageLiveRatioPct),
 	}
 }
 

@@ -75,6 +75,11 @@ func (fs *FileStore) SetObs(m obs.StoreMetrics, rec *obs.Recorder, process int) 
 // chain can cost at most fullEvery records.
 const fullEvery = 8
 
+// FullEvery exports the delta-chain bound for other backends writing the
+// same v2 records (internal/storage/logstore), so every store agrees on the
+// maximum chain a reader may have to resolve.
+const FullEvery = fullEvery
+
 // OpenFileStore opens (or creates) a file store rooted at dir. Existing
 // checkpoint files are indexed and counted as live. Every file is decoded
 // once during the scan: crash recovery rehydrates volatile state from these
@@ -124,20 +129,20 @@ func OpenFileStore(dir string) (*FileStore, error) {
 			return nil, fmt.Errorf("storage: corrupt checkpoint file %s: %w", e.Name(), err)
 		}
 		if rec.Index != idx {
-			return nil, fmt.Errorf("storage: checkpoint file %s records index %d", e.Name(), rec.Index)
+			return nil, corruptf(nil, "storage: checkpoint file %s records index %d", e.Name(), rec.Index)
 		}
 		if _, dup := fs.live[idx]; dup || fs.dead[idx] {
-			return nil, fmt.Errorf("storage: checkpoint %d present both live and as tombstone", idx)
+			return nil, corruptf(nil, "storage: checkpoint %d present both live and as tombstone", idx)
 		}
 		if rec.Delta {
 			if rec.Base >= idx {
-				return nil, fmt.Errorf("storage: checkpoint file %s patches non-preceding base %d", e.Name(), rec.Base)
+				return nil, corruptf(nil, "storage: checkpoint file %s patches non-preceding base %d", e.Name(), rec.Base)
 			}
 			if _, okLive := fs.live[rec.Base]; !okLive && !fs.dead[rec.Base] {
-				return nil, fmt.Errorf("storage: checkpoint file %s patches missing base %d", e.Name(), rec.Base)
+				return nil, corruptf(nil, "storage: checkpoint file %s patches missing base %d", e.Name(), rec.Base)
 			}
 			if dep, dup := fs.child[rec.Base]; dup {
-				return nil, fmt.Errorf("storage: checkpoints %d and %d both patch base %d", dep, idx, rec.Base)
+				return nil, corruptf(nil, "storage: checkpoints %d and %d both patch base %d", dep, idx, rec.Base)
 			}
 			fs.base[idx] = rec.Base
 			fs.child[rec.Base] = idx
@@ -247,6 +252,20 @@ type Record struct {
 // per-checkpoint encoding cost.
 func EncodeCheckpoint(cp Checkpoint) []byte { return encodeFull(nil, cp) }
 
+// AppendRecord appends the full-record encoding of cp to buf and returns
+// the extended slice. It is the writer-side counterpart of DecodeRecord,
+// exported so other backends (the segmented log store) write the same v2
+// record bytes FileStore does.
+func AppendRecord(buf []byte, cp Checkpoint) []byte { return encodeFull(buf, cp) }
+
+// AppendDeltaRecord appends a delta-record encoding of cp — only the
+// entries that changed against the record at index base — to buf. The
+// caller owns the chain invariants (base precedes cp.Index and is present
+// wherever the record will be decoded).
+func AppendDeltaRecord(buf []byte, cp Checkpoint, base int, entries vclock.Delta) []byte {
+	return encodeDelta(buf, cp, base, entries)
+}
+
 // DecodeCheckpoint parses one self-contained checkpoint record (v1 or a v2
 // full record). Delta records need their chain; use DecodeRecord and a
 // FileStore for those.
@@ -331,30 +350,30 @@ func DecodeRecord(b []byte) (Record, error) {
 	}
 	magic, ok := rd()
 	if !ok || (magic != ckptMagic && magic != ckptMagicV2) {
-		return Record{}, fmt.Errorf("storage: bad checkpoint file header")
+		return Record{}, corruptf(nil, "storage: bad checkpoint file header")
 	}
 	var rec Record
 	p, ok := rd()
 	if !ok {
-		return Record{}, io.ErrUnexpectedEOF
+		return Record{}, corruptf(io.ErrUnexpectedEOF, "storage: truncated record header")
 	}
 	idx, ok := rd()
 	if !ok {
-		return Record{}, io.ErrUnexpectedEOF
+		return Record{}, corruptf(io.ErrUnexpectedEOF, "storage: truncated record header")
 	}
 	rec.Process, rec.Index = int(p), int(idx)
 	kind := int64(recFull)
 	if magic == ckptMagicV2 {
 		kind, ok = rd()
 		if !ok || (kind != recFull && kind != recDelta) {
-			return Record{}, fmt.Errorf("storage: bad record kind")
+			return Record{}, corruptf(nil, "storage: bad record kind")
 		}
 	}
 	switch kind {
 	case recFull:
 		n, ok := rd()
 		if !ok || n < 0 || n > maxCount || n > int64(len(b)-off)/8 {
-			return Record{}, fmt.Errorf("storage: bad vector length")
+			return Record{}, corruptf(nil, "storage: bad vector length")
 		}
 		rec.DV = vclock.New(int(n))
 		for i := range rec.DV {
@@ -365,12 +384,12 @@ func DecodeRecord(b []byte) (Record, error) {
 		rec.Delta = true
 		base, ok := rd()
 		if !ok || base < 0 {
-			return Record{}, fmt.Errorf("storage: bad delta base")
+			return Record{}, corruptf(nil, "storage: bad delta base")
 		}
 		rec.Base = int(base)
 		n, ok := rd()
 		if !ok || n < 0 || n > maxCount || n > int64(len(b)-off)/16 {
-			return Record{}, fmt.Errorf("storage: bad delta entry count")
+			return Record{}, corruptf(nil, "storage: bad delta entry count")
 		}
 		rec.Entries = make(vclock.Delta, n)
 		for i := range rec.Entries {
@@ -379,13 +398,13 @@ func DecodeRecord(b []byte) (Record, error) {
 			rec.Entries[i] = vclock.Entry{K: int(k), V: int(v)}
 		}
 		if err := rec.Entries.Validate(maxCount); err != nil {
-			return Record{}, fmt.Errorf("storage: bad delta entries: %w", err)
+			return Record{}, corruptf(err, "storage: bad delta entries")
 		}
 	}
 	sl, ok := rd()
 	if !ok || sl < 0 || sl > int64(len(b)-off) {
 		// The state length must not exceed the bytes actually present.
-		return Record{}, fmt.Errorf("storage: bad state length")
+		return Record{}, corruptf(nil, "storage: bad state length")
 	}
 	rec.State = make([]byte, sl)
 	copy(rec.State, b[off:off+int(sl)])

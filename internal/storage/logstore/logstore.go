@@ -1,0 +1,826 @@
+// Package logstore implements storage.Store as a segmented append-only log
+// with group commit: the storage engine v3 of the ROADMAP. Where FileStore
+// pays one file creation and one rename per checkpoint, the log store
+// appends every mutation — checkpoint saves and deletion tombstones alike —
+// to a fixed-size segment file, and a single committer goroutine folds all
+// mutations staged while the previous write+sync was in flight into the
+// next one. Under concurrent writers the sync cost amortizes across the
+// batch; a lone writer still pays exactly one write+sync per save.
+//
+// On-disk layout. A directory holds segment files seg-%08d.log. A segment
+// starts with a 16-byte header (magic, segment id — the id is checked
+// against the filename so a misplaced file cannot impersonate another
+// segment). After the header, segments are a sequence of batches, each the
+// unit of one group commit:
+//
+//	u32 batchMagic | u32 recordCount | u32 payloadLen |
+//	u32 payloadCRC32 | u32 headerCRC32(first 16 bytes) | payload
+//
+// The payload is recordCount frames of: u32 bodyLen | 1 kind byte | body.
+// A checkpoint frame's body is exactly the format-v2 record FileStore
+// writes (storage.AppendRecord / storage.AppendDeltaRecord), so delta-chain
+// encoding and decoding are shared with the other backends. A tombstone
+// frame's body is the deleted checkpoint index as a u64.
+//
+// The two checksums split the failure modes: a batch whose declared extent
+// runs past the end of the final segment is a torn tail — a crash hit
+// mid-write before the sync, so the batch was never acknowledged and replay
+// truncates it loudly-but-successfully at the last durable batch boundary.
+// A batch whose bytes are all present but whose header or payload CRC
+// fails is not a crash artifact, it is bit rot in acknowledged data, and
+// replay refuses the store with storage.ErrCorrupt. The header CRC exists
+// precisely so a flipped bit in payloadLen cannot make acknowledged data
+// masquerade as a torn tail.
+//
+// Durability contract: Save and Delete return only after the batch holding
+// their record has been written and synced (or after the store has failed,
+// loudly). In-memory index state is applied at staging time under the
+// store lock, so the Store view is sequentially consistent for callers even
+// while batches are in flight; Load serves not-yet-durable records from the
+// staging buffer.
+//
+// Deletion writes a tombstone and keeps the record's bookkeeping: the dead
+// bytes stay in their segment until background compaction rewrites a
+// segment whose live ratio has dropped below Options.CompactRatio —
+// surviving records are re-appended at the tail as self-contained full
+// records, tombstones whose target bytes live elsewhere are carried
+// forward, and the victim file is deleted. Delta chains never cross a
+// segment boundary (the chain resets on every roll), which is what makes a
+// segment individually rewritable.
+package logstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+const (
+	segMagic   = uint64(0x5244544c4f473353) // "RDTLOG3S"
+	batchMagic = uint32(0xb47c4d17)
+
+	segHdrLen   = 16
+	batchHdrLen = 20
+	frameHdrLen = 5 // u32 body length + kind byte
+
+	kindCheckpoint = byte(0)
+	kindTombstone  = byte(1)
+
+	// maxPayload caps a declared batch payload so a corrupt header cannot
+	// demand an absurd allocation during replay.
+	maxPayload = 1 << 30
+)
+
+// Options tunes a log store. The zero value gives production defaults; the
+// hooks exist for the torture harness and tests.
+type Options struct {
+	// SegmentBytes is the roll threshold: a batch that would run past this
+	// offset goes to a fresh segment instead (a single oversized record is
+	// allowed to overflow a segment that holds nothing else). Default 4 MiB.
+	SegmentBytes int64
+	// CommitDelay is the group-commit latency cap: how long the committer
+	// lets an open batch accumulate before sealing it. The default 0 commits
+	// as fast as the disk allows — batching still emerges from mutations
+	// staged while the previous sync is in flight.
+	CommitDelay time.Duration
+	// MaxStaged bounds the bytes staged but not yet durable; writers block
+	// (backpressure) rather than grow the buffer without bound. Default 1 MiB.
+	MaxStaged int
+	// CompactRatio is the live-bytes/segment-bytes threshold below which a
+	// sealed segment becomes a compaction victim. Default 0.45.
+	CompactRatio float64
+	// NoCompact disables background compaction (the torture harness uses
+	// this so injected damage maps 1:1 to staged operations).
+	NoCompact bool
+	// Sync flushes a segment file to stable storage; nil means
+	// (*os.File).Sync. The torture harness injects failures here.
+	Sync func(*os.File) error
+	// OnCommit, if set, is called after every durable batch with its extent.
+	// The torture harness records these boundaries as injection points.
+	OnCommit func(Commit)
+}
+
+// Commit describes one durable batch: the half-open byte range
+// [Start, End) it occupies in segment Seg, and the records it carried.
+type Commit struct {
+	Seg     int
+	Start   int64
+	End     int64
+	Records int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.MaxStaged <= 0 {
+		o.MaxStaged = 1 << 20
+	}
+	if o.CompactRatio <= 0 {
+		o.CompactRatio = 0.45
+	}
+	if o.Sync == nil {
+		o.Sync = (*os.File).Sync
+	}
+	return o
+}
+
+func init() {
+	storage.RegisterBackend(storage.Log, func(dir string) (storage.Store, error) {
+		return Open(dir, Options{})
+	})
+}
+
+// recInfo is the in-memory index entry for one checkpoint record: where its
+// body bytes live, its delta-chain role, and its deletion state. Dead
+// entries persist until the segment holding their bytes is compacted away —
+// they are what tells compaction which tombstones still matter.
+type recInfo struct {
+	seg      int
+	off      int64 // offset of the record body (v2 bytes) in the segment
+	size     int   // body length
+	stateLen int
+	delta    bool
+	base     int
+	dead     bool
+	tombSeg  int // segment holding the tombstone; -1 while live
+
+	// pending holds the body bytes until the batch carrying them is
+	// durable, so Load works on staged-but-unsynced records; pendingIn
+	// identifies that batch so a supersede cannot be cleared by the old
+	// version's commit.
+	pending   []byte
+	pendingIn *batch
+}
+
+// segInfo is per-segment accounting: projected size, live body bytes (the
+// compaction trigger), and the number of staged batches still targeting it
+// (a segment with in-flight writes is never a compaction victim).
+type segInfo struct {
+	size    int64
+	live    int64
+	batches int
+}
+
+// batch is one group commit being assembled or awaiting the committer. buf
+// holds the 20-byte header placeholder followed by the payload; done is
+// closed (after err is set) once the batch is durable or the store failed.
+type batch struct {
+	seg     int
+	off     int64
+	newSeg  bool // the committer must create the segment file first
+	buf     []byte
+	records int
+	saved   []int // checkpoint indices staged here, for pending cleanup
+	born    time.Time
+	err     error
+	done    chan struct{}
+}
+
+// LogStore is a segmented group-commit log implementing storage.Store. Use
+// Open; the zero value is not usable. Safe for concurrent use.
+type LogStore struct {
+	mu     sync.Mutex
+	commit sync.Cond // committer waits here for staged batches
+	flow   sync.Cond // writers wait here under MaxStaged backpressure
+	dir    string
+	opt    Options
+
+	recs   map[int]*recInfo
+	child  map[int]int // delta base index -> its one dependent
+	sorted []int       // live indices, ascending
+	stats  storage.Stats
+
+	lastIdx int // most recent save, base candidate for the next; −1: none
+	lastDV  vclock.DV
+	chain   int          // delta records since the last full one
+	diffBuf vclock.Delta // reused DiffAppend buffer
+	enc     []byte       // reused record-encode buffer
+
+	segs    map[int]*segInfo
+	projSeg int   // tail segment id; −1 before the first record
+	projOff int64 // projected next write offset in projSeg
+
+	queue       []*batch // staged batches, FIFO
+	cur         *batch   // open batch accepting records (tail of queue)
+	stagedBytes int
+
+	tornTails int
+	failed    error // sticky: a commit failed; every later op returns this
+	closed    bool
+
+	// f is the open tail segment file, owned by the committer goroutine.
+	f    *os.File
+	fSeg int
+
+	committerDone chan struct{}
+	compactKick   chan struct{}
+	compactorDone chan struct{}
+	stop          chan struct{}
+	closeOnce     sync.Once
+
+	obs    obs.StoreMetrics
+	flight *obs.Recorder
+	proc   int
+}
+
+var _ storage.Store = (*LogStore)(nil)
+var _ obs.Instrumentable = (*LogStore)(nil)
+
+func segPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.log", id))
+}
+
+// Open opens (or creates) a log store rooted at dir, replaying existing
+// segments to rebuild the index: every batch's checksums are verified, a
+// torn tail in the final segment is truncated at the last durable batch
+// boundary (counted — see TornTails), and any other damage fails the open
+// with storage.ErrCorrupt. The returned store has running committer (and,
+// unless opt.NoCompact, compactor) goroutines; Close stops them.
+func Open(dir string, opt Options) (*LogStore, error) {
+	s := &LogStore{
+		dir:           dir,
+		opt:           opt.withDefaults(),
+		recs:          make(map[int]*recInfo),
+		child:         make(map[int]int),
+		segs:          make(map[int]*segInfo),
+		lastIdx:       -1,
+		projSeg:       -1,
+		fSeg:          -1,
+		committerDone: make(chan struct{}),
+		compactKick:   make(chan struct{}, 1),
+		compactorDone: make(chan struct{}),
+		stop:          make(chan struct{}),
+	}
+	s.commit.L = &s.mu
+	s.flow.L = &s.mu
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	go s.committer()
+	if s.opt.NoCompact {
+		close(s.compactorDone)
+	} else {
+		go s.compactor()
+	}
+	return s, nil
+}
+
+// SetObs implements obs.Instrumentable; see MemStore.SetObs. The torn-tail
+// count of the opening replay is credited to the counter at attach time.
+func (s *LogStore) SetObs(m obs.StoreMetrics, rec *obs.Recorder, process int) {
+	s.mu.Lock()
+	s.obs, s.flight, s.proc = m, rec, process
+	if s.tornTails > 0 {
+		m.TornTails.Add(uint64(s.tornTails))
+	}
+	s.updateLiveRatioLocked()
+	s.mu.Unlock()
+}
+
+// TornTails reports how many torn tails the opening replay truncated.
+func (s *LogStore) TornTails() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tornTails
+}
+
+func (s *LogStore) usableLocked() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.closed {
+		return errors.New("logstore: store is closed")
+	}
+	return nil
+}
+
+// failLocked marks the store broken and releases every waiter loudly.
+func (s *LogStore) failLocked(err error) {
+	if s.failed != nil {
+		return
+	}
+	s.failed = fmt.Errorf("logstore: commit failed: %w", err)
+	for _, b := range s.queue {
+		b.err = s.failed
+		close(b.done)
+	}
+	s.queue = nil
+	s.cur = nil
+	s.flow.Broadcast()
+	s.commit.Broadcast()
+}
+
+// Save implements Store: the record is staged into the open batch and the
+// call returns once that batch is durable. Index state is applied at
+// staging time, so concurrent callers observe the save immediately while
+// its durability is still being bought.
+func (s *LogStore) Save(cp storage.Checkpoint) error {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	var t0 time.Time
+	saveNs := s.obs.SaveNs
+	if saveNs != nil {
+		t0 = time.Now()
+	}
+	for s.stagedBytes > s.opt.MaxStaged && s.failed == nil && !s.closed {
+		s.flow.Wait()
+	}
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if old := s.recs[cp.Index]; old != nil {
+		_, chained := s.child[cp.Index]
+		if !old.dead || chained {
+			// A dead record some live delta still chains through counts as
+			// present, exactly like a FileStore tombstone. A dead childless
+			// record does not: a rollback deletes every later checkpoint
+			// before re-saving an index, so this save supersedes it.
+			s.mu.Unlock()
+			return fmt.Errorf("storage: duplicate save of checkpoint %d of p%d", cp.Index, cp.Process)
+		}
+	}
+	b := s.stageSaveLocked(cp)
+	s.mu.Unlock()
+	<-b.done
+	if b.err == nil && saveNs != nil {
+		saveNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	return b.err
+}
+
+// stageSaveLocked encodes cp (delta against the previous save when the
+// chain rules allow, full otherwise), stages the frame, and applies index
+// state. The caller waits on the returned batch for durability.
+func (s *LogStore) stageSaveLocked(cp storage.Checkpoint) *batch {
+	prevLast := s.lastIdx
+	asDelta := prevLast >= 0 && s.chain < storage.FullEvery-1 && len(s.lastDV) == len(cp.DV)
+	if asDelta {
+		// The base must be present and undeleted, unchained (one dependent
+		// per record), and in the tail segment — chains never cross a
+		// segment boundary, so compaction can rewrite any sealed segment
+		// without chasing references into it.
+		ri := s.recs[prevLast]
+		if ri == nil || ri.dead || ri.seg != s.projSeg {
+			asDelta = false
+		} else if _, ok := s.child[prevLast]; ok {
+			asDelta = false
+		}
+	}
+	if asDelta {
+		s.diffBuf = vclock.DiffAppend(s.lastDV, cp.DV, s.diffBuf[:0])
+		if 2*len(s.diffBuf)+1 >= len(cp.DV) {
+			asDelta = false // the delta would not be smaller than the vector
+		}
+	}
+	if asDelta {
+		s.enc = storage.AppendDeltaRecord(s.enc[:0], cp, prevLast, s.diffBuf)
+	} else {
+		s.enc = storage.AppendRecord(s.enc[:0], cp)
+	}
+	if rolled := s.roomLocked(frameHdrLen + len(s.enc)); rolled && asDelta {
+		// The record moved to a fresh segment; the chain may not follow it.
+		asDelta = false
+		s.enc = storage.AppendRecord(s.enc[:0], cp)
+	}
+	b, bodyOff, body := s.appendFrameLocked(kindCheckpoint, s.enc)
+	b.saved = append(b.saved, cp.Index)
+
+	ri := &recInfo{
+		seg: b.seg, off: bodyOff, size: len(body), stateLen: len(cp.State),
+		tombSeg: -1, pending: body, pendingIn: b,
+	}
+	if old := s.recs[cp.Index]; old != nil {
+		// Supersede of a dead childless record: dissolve its chain link.
+		if old.delta && s.child[old.base] == cp.Index {
+			delete(s.child, old.base)
+		}
+	}
+	if asDelta {
+		ri.delta, ri.base = true, prevLast
+		s.child[prevLast] = cp.Index
+		s.chain++
+	} else {
+		s.chain = 0
+	}
+	s.recs[cp.Index] = ri
+	s.lastIdx = cp.Index
+	if len(s.lastDV) == len(cp.DV) {
+		s.lastDV.CopyFrom(cp.DV)
+	} else {
+		s.lastDV = cp.DV.Clone()
+	}
+	s.sorted = insertSorted(s.sorted, cp.Index)
+	s.segs[b.seg].live += int64(len(body))
+	s.stats.Saved++
+	s.stats.Live++
+	s.stats.LiveBytes += len(cp.State)
+	if s.stats.Live > s.stats.Peak {
+		s.stats.Peak = s.stats.Live
+	}
+	if s.stats.LiveBytes > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.stats.LiveBytes
+	}
+	s.obs.Saves.Inc()
+	s.obs.Retained.Add(1)
+	s.obs.DeltaChain.Observe(int64(s.chain))
+	return b
+}
+
+// roomLocked makes sure the open batch can take a frame of the given size,
+// sealing it and rolling to a fresh segment when the segment would
+// overflow. Reports whether a roll happened (which resets the delta chain,
+// so the caller must re-encode a staged delta as a full record). A frame
+// too large for any segment is allowed to overflow a segment holding
+// nothing else.
+func (s *LogStore) roomLocked(need int) (rolled bool) {
+	if s.cur != nil {
+		if s.cur.off+int64(len(s.cur.buf)+need) <= s.opt.SegmentBytes {
+			return false
+		}
+		s.cur = nil // seal; it stays queued for the committer
+	}
+	fresh := s.projSeg < 0 || s.projOff+int64(batchHdrLen+need) > s.opt.SegmentBytes
+	if fresh && s.projOff == segHdrLen {
+		fresh = false // empty segment: take the oversized frame here
+	}
+	if fresh {
+		s.projSeg++
+		s.projOff = segHdrLen
+		s.segs[s.projSeg] = &segInfo{size: segHdrLen}
+		s.lastIdx = -1
+		s.chain = 0
+		rolled = true
+	}
+	b := &batch{
+		seg:    s.projSeg,
+		off:    s.projOff,
+		newSeg: rolled,
+		buf:    make([]byte, batchHdrLen, batchHdrLen+need),
+		done:   make(chan struct{}),
+	}
+	if s.opt.CommitDelay > 0 {
+		b.born = time.Now()
+	}
+	s.cur = b
+	s.queue = append(s.queue, b)
+	s.segs[b.seg].batches++
+	s.projOff += batchHdrLen
+	s.segs[b.seg].size += batchHdrLen
+	s.stagedBytes += batchHdrLen
+	return rolled
+}
+
+// appendFrameLocked appends one frame to the open batch and returns the
+// batch, the segment offset of the body, and the staged body bytes (stable:
+// later appends never rewrite an already-staged region).
+func (s *LogStore) appendFrameLocked(kind byte, body []byte) (*batch, int64, []byte) {
+	b := s.cur
+	bodyOff := b.off + int64(len(b.buf)) + frameHdrLen
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(body)))
+	b.buf = append(b.buf, kind)
+	b.buf = append(b.buf, body...)
+	b.records++
+	n := frameHdrLen + len(body)
+	s.projOff += int64(n)
+	s.segs[b.seg].size += int64(n)
+	s.stagedBytes += n
+	s.commit.Signal()
+	return b, bodyOff, b.buf[len(b.buf)-len(body):]
+}
+
+// Delete implements Store: the record is marked dead and a tombstone is
+// staged; the call returns once the tombstone is durable. The dead bytes
+// stay in their segment until compaction claims it.
+func (s *LogStore) Delete(index int) error {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	ri := s.recs[index]
+	if ri == nil || ri.dead {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: delete of absent checkpoint %d", index)
+	}
+	var body [8]byte
+	binary.LittleEndian.PutUint64(body[:], uint64(index))
+	s.roomLocked(frameHdrLen + len(body))
+	b, _, _ := s.appendFrameLocked(kindTombstone, body[:])
+
+	if s.lastIdx == index {
+		s.lastIdx = -1 // the next save opens a fresh chain
+	}
+	ri.dead = true
+	ri.tombSeg = b.seg
+	s.sorted = removeSorted(s.sorted, index)
+	s.segs[ri.seg].live -= int64(ri.size)
+	s.stats.Collected++
+	s.stats.Live--
+	s.stats.LiveBytes -= ri.stateLen
+	s.obs.Deletes.Inc()
+	s.obs.Retained.Add(-1)
+	s.flight.Record(obs.Event{Kind: obs.EvCollect, P: s.proc, Msg: index})
+	s.unlinkLocked(index)
+	s.kickCompactLocked()
+	s.mu.Unlock()
+	<-b.done
+	return b.err
+}
+
+// unlinkLocked dissolves the chain links of a dead childless record and
+// cascades down its base chain, mirroring FileStore's tombstone reap: once
+// nothing chains through a dead record it stops counting as present (a
+// rollback may re-save its index), though its bytes stay until compaction.
+func (s *LogStore) unlinkLocked(index int) {
+	for {
+		if _, chained := s.child[index]; chained {
+			return
+		}
+		ri := s.recs[index]
+		if ri == nil || !ri.dead || !ri.delta {
+			return
+		}
+		base := ri.base
+		if s.child[base] == index {
+			delete(s.child, base)
+		}
+		bi := s.recs[base]
+		if bi == nil || !bi.dead {
+			return
+		}
+		s.obs.Reaps.Inc()
+		index = base
+	}
+}
+
+// Load implements Store, resolving delta records through their chain (at
+// most FullEvery−1 hops). Staged-but-unsynced records are served from the
+// staging buffer; durable ones are read back from their segment.
+func (s *LogStore) Load(index int) (storage.Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ri := s.recs[index]; ri == nil || ri.dead {
+		return storage.Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
+	}
+	var t0 time.Time
+	if s.obs.LoadNs != nil {
+		t0 = time.Now()
+	}
+	cp, err := s.loadLocked(index)
+	if err == nil && s.obs.LoadNs != nil {
+		s.obs.LoadNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	return cp, err
+}
+
+func (s *LogStore) loadLocked(index int) (storage.Checkpoint, error) {
+	ri := s.recs[index]
+	if ri == nil {
+		return storage.Checkpoint{}, fmt.Errorf("storage: load of absent checkpoint %d", index)
+	}
+	body, err := s.bodyLocked(ri)
+	if err != nil {
+		return storage.Checkpoint{}, fmt.Errorf("storage: read checkpoint %d: %w", index, err)
+	}
+	rec, err := storage.DecodeRecord(body)
+	if err != nil {
+		return storage.Checkpoint{}, fmt.Errorf("storage: corrupt checkpoint %d: %w", index, err)
+	}
+	if !rec.Delta {
+		return rec.Checkpoint, nil
+	}
+	base, err := s.loadLocked(rec.Base)
+	if err != nil {
+		return storage.Checkpoint{}, fmt.Errorf("storage: checkpoint %d: resolve delta base: %w", index, err)
+	}
+	cp := storage.Checkpoint{Process: rec.Process, Index: rec.Index, DV: base.DV, State: rec.State}
+	if err := rec.Entries.Patch(cp.DV); err != nil {
+		return storage.Checkpoint{}, fmt.Errorf("storage: corrupt checkpoint %d: %w", index, err)
+	}
+	return cp, nil
+}
+
+// bodyLocked returns a record's body bytes: the staging copy while its
+// batch is in flight, a segment read once durable.
+func (s *LogStore) bodyLocked(ri *recInfo) ([]byte, error) {
+	if ri.pending != nil {
+		return ri.pending, nil
+	}
+	f, err := os.Open(segPath(s.dir, ri.seg))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	body := make([]byte, ri.size)
+	if _, err := f.ReadAt(body, ri.off); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Indices implements Store.
+func (s *LogStore) Indices() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.sorted...)
+}
+
+// Stats implements Store.
+func (s *LogStore) Stats() storage.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close seals the store: staged batches are committed, the goroutines exit,
+// the tail file handle closes. Later operations fail; Close is idempotent.
+func (s *LogStore) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.commit.Broadcast()
+	s.flow.Broadcast()
+	s.mu.Unlock()
+	<-s.committerDone
+	s.closeOnce.Do(func() { close(s.stop) })
+	<-s.compactorDone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if already {
+		return nil
+	}
+	return s.failed
+}
+
+// committer is the single goroutine that buys durability: it dequeues
+// batches FIFO, finalizes their header (counts and checksums), performs one
+// write and one sync each, then releases the callers blocked on the batch.
+// Group commit emerges from this seriality — every record staged while a
+// sync is in flight shares the next one.
+func (s *LogStore) committer() {
+	defer close(s.committerDone)
+	s.mu.Lock()
+	for {
+		for len(s.queue) == 0 && !s.closed && s.failed == nil {
+			s.commit.Wait()
+		}
+		if s.failed != nil || (len(s.queue) == 0 && s.closed) {
+			break
+		}
+		b := s.queue[0]
+		if s.opt.CommitDelay > 0 && b == s.cur && b.records > 0 {
+			if wait := s.opt.CommitDelay - time.Since(b.born); wait > 0 {
+				s.mu.Unlock()
+				time.Sleep(wait)
+				s.mu.Lock()
+				continue
+			}
+		}
+		if b.records == 0 && b == s.cur {
+			// An open batch no record ever reached (rolled away from
+			// immediately); wait for content or a seal.
+			s.commit.Wait()
+			continue
+		}
+		s.queue = s.queue[1:]
+		if b == s.cur {
+			s.cur = nil
+		}
+		finalizeBatch(b.buf, b.records)
+		commitNs := s.obs.CommitNs
+		s.mu.Unlock()
+
+		var t0 time.Time
+		if commitNs != nil {
+			t0 = time.Now()
+		}
+		err := s.writeBatch(b)
+		if commitNs != nil {
+			commitNs.Observe(time.Since(t0).Nanoseconds())
+		}
+
+		s.mu.Lock()
+		if err != nil {
+			s.failLocked(err)
+			b.err = s.failed
+			close(b.done)
+			continue
+		}
+		if seg := s.segs[b.seg]; seg != nil {
+			seg.batches--
+		}
+		s.stagedBytes -= len(b.buf)
+		for _, idx := range b.saved {
+			if ri := s.recs[idx]; ri != nil && ri.pendingIn == b {
+				ri.pending, ri.pendingIn = nil, nil
+			}
+		}
+		s.obs.BatchRecords.Observe(int64(b.records))
+		s.updateLiveRatioLocked()
+		c := Commit{Seg: b.seg, Start: b.off, End: b.off + int64(len(b.buf)), Records: b.records}
+		b.err = nil
+		close(b.done)
+		s.flow.Broadcast()
+		s.kickCompactLocked()
+		if s.opt.OnCommit != nil {
+			s.mu.Unlock()
+			s.opt.OnCommit(c)
+			s.mu.Lock()
+		}
+	}
+	s.mu.Unlock()
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// finalizeBatch fills the header placeholder: magic, record count, payload
+// length, payload CRC, and the header CRC over the first 16 bytes.
+func finalizeBatch(buf []byte, records int) {
+	payload := buf[batchHdrLen:]
+	binary.LittleEndian.PutUint32(buf[0:], batchMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(records))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(buf[0:16]))
+}
+
+// writeBatch writes one finalized batch at its precomputed offset and syncs
+// the segment. Only the committer calls this; it owns s.f.
+func (s *LogStore) writeBatch(b *batch) error {
+	if s.f == nil || s.fSeg != b.seg {
+		if s.f != nil {
+			s.f.Close()
+			s.f = nil
+		}
+		f, err := os.OpenFile(segPath(s.dir, b.seg), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		s.f, s.fSeg = f, b.seg
+		if b.newSeg {
+			var hdr [segHdrLen]byte
+			binary.LittleEndian.PutUint64(hdr[0:], segMagic)
+			binary.LittleEndian.PutUint64(hdr[8:], uint64(b.seg))
+			if _, err := f.WriteAt(hdr[:], 0); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := s.f.WriteAt(b.buf, b.off); err != nil {
+		return err
+	}
+	return s.opt.Sync(s.f)
+}
+
+// updateLiveRatioLocked refreshes the live-ratio gauge from the per-segment
+// accounting. Free when no gauge is attached.
+func (s *LogStore) updateLiveRatioLocked() {
+	if s.obs.LiveRatioPct == nil {
+		return
+	}
+	var live, size int64
+	for _, seg := range s.segs {
+		live += seg.live
+		size += seg.size
+	}
+	if size > 0 {
+		s.obs.LiveRatioPct.Set(100 * live / size)
+	}
+}
+
+// insertSorted and removeSorted mirror the helpers the sibling stores use.
+func insertSorted(s []int, idx int) []int {
+	if n := len(s); n == 0 || idx > s[n-1] {
+		return append(s, idx)
+	}
+	at := sort.SearchInts(s, idx)
+	s = append(s, 0)
+	copy(s[at+1:], s[at:])
+	s[at] = idx
+	return s
+}
+
+func removeSorted(s []int, idx int) []int {
+	at := sort.SearchInts(s, idx)
+	if at >= len(s) || s[at] != idx {
+		return s
+	}
+	return append(s[:at], s[at+1:]...)
+}

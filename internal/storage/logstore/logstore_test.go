@@ -1,0 +1,720 @@
+package logstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+func openTest(t *testing.T, dir string, opt Options) *LogStore {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// ckpt builds a deterministic checkpoint for index idx.
+func ckpt(idx int) storage.Checkpoint {
+	return storage.Checkpoint{
+		Process: 1,
+		Index:   idx,
+		DV:      vclock.DV{idx, 2 * idx, 7, idx % 3},
+		State:   []byte(fmt.Sprintf("state-%04d", idx)),
+	}
+}
+
+func wantCkpt(t *testing.T, s storage.Store, idx int) {
+	t.Helper()
+	got, err := s.Load(idx)
+	if err != nil {
+		t.Fatalf("Load(%d): %v", idx, err)
+	}
+	want := ckpt(idx)
+	if got.Process != want.Process || got.Index != idx || !got.DV.Equal(want.DV) || !bytes.Equal(got.State, want.State) {
+		t.Fatalf("Load(%d) = %+v, want %+v", idx, got, want)
+	}
+}
+
+func TestLogStoreBasics(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	cp := storage.Checkpoint{Process: 2, Index: 0, DV: vclock.DV{1, 0, 3}, State: []byte("hello")}
+	if err := s.Save(cp); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := s.Save(cp); err == nil {
+		t.Fatal("duplicate Save should fail")
+	}
+	got, err := s.Load(0)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Process != 2 || !got.DV.Equal(cp.DV) || !bytes.Equal(got.State, cp.State) {
+		t.Fatalf("Load = %+v, want %+v", got, cp)
+	}
+	if err := s.Save(storage.Checkpoint{Process: 2, Index: 3, DV: vclock.DV{2, 0, 4}}); err != nil {
+		t.Fatalf("Save(3): %v", err)
+	}
+	if got := s.Indices(); !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Fatalf("Indices = %v, want [0 3]", got)
+	}
+	if err := s.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete(0); err == nil {
+		t.Fatal("double Delete should fail")
+	}
+	if _, err := s.Load(0); err == nil {
+		t.Fatal("Load after Delete should fail")
+	}
+	st := s.Stats()
+	if st.Live != 1 || st.Saved != 2 || st.Collected != 1 || st.Peak != 2 {
+		t.Fatalf("Stats = %+v, want Live=1 Saved=2 Collected=1 Peak=2", st)
+	}
+}
+
+// TestLogStoreIsolation checks stored checkpoints do not alias caller data:
+// the Save contract says cp.DV and cp.State must not be retained.
+func TestLogStoreIsolation(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	dv := vclock.DV{1, 2}
+	state := []byte{9}
+	if err := s.Save(storage.Checkpoint{Index: 0, DV: dv, State: state}); err != nil {
+		t.Fatal(err)
+	}
+	dv[0] = 99
+	state[0] = 99
+	got, err := s.Load(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DV[0] != 1 || got.State[0] != 9 {
+		t.Fatalf("stored checkpoint aliases caller slices: %+v", got)
+	}
+}
+
+// TestLogStoreReopen saves enough records for delta chains and several
+// segments, deletes some, reopens, and checks the rebuilt index matches.
+func TestLogStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 512, NoCompact: true})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := s.Save(ckpt(i)); err != nil {
+			t.Fatalf("Save(%d): %v", i, err)
+		}
+	}
+	deleted := map[int]bool{3: true, 4: true, 17: true, 30: true}
+	for idx := range deleted {
+		if err := s.Delete(idx); err != nil {
+			t.Fatalf("Delete(%d): %v", idx, err)
+		}
+	}
+	before := s.Stats()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openTest(t, dir, Options{SegmentBytes: 512, NoCompact: true})
+	var want []int
+	for i := 0; i < n; i++ {
+		if !deleted[i] {
+			want = append(want, i)
+			wantCkpt(t, r, i)
+		}
+	}
+	if got := r.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices after reopen = %v, want %v", got, want)
+	}
+	st := r.Stats()
+	if st.Live != before.Live || st.LiveBytes != before.LiveBytes {
+		t.Fatalf("Stats after reopen = %+v, want Live=%d LiveBytes=%d", st, before.Live, before.LiveBytes)
+	}
+	if r.TornTails() != 0 {
+		t.Fatalf("clean reopen reported %d torn tails", r.TornTails())
+	}
+	// The reopened store keeps working: chains restart, saves land.
+	if err := r.Save(ckpt(n)); err != nil {
+		t.Fatalf("Save after reopen: %v", err)
+	}
+	wantCkpt(t, r, n)
+}
+
+// TestLogStoreSupersede exercises the rollback pattern: delete the latest
+// checkpoints top-down, re-save the same indices, and verify the re-saved
+// content wins both live and across a reopen.
+func TestLogStoreSupersede(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{NoCompact: true})
+	for i := 0; i < 10; i++ {
+		if err := s.Save(ckpt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 9; i >= 6; i-- { // rollback deletes from the top down
+		if err := s.Delete(i); err != nil {
+			t.Fatalf("Delete(%d): %v", i, err)
+		}
+	}
+	resaved := storage.Checkpoint{Process: 1, Index: 6, DV: vclock.DV{100, 200, 7, 0}, State: []byte("resaved")}
+	if err := s.Save(resaved); err != nil {
+		t.Fatalf("re-save after rollback: %v", err)
+	}
+	check := func(st storage.Store) {
+		t.Helper()
+		got, err := st.Load(6)
+		if err != nil {
+			t.Fatalf("Load(6): %v", err)
+		}
+		if !got.DV.Equal(resaved.DV) || !bytes.Equal(got.State, resaved.State) {
+			t.Fatalf("Load(6) = %+v, want re-saved copy", got)
+		}
+		if got := st.Indices(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6}) {
+			t.Fatalf("Indices = %v", got)
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(openTest(t, dir, Options{NoCompact: true}))
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if _, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, e.Name())
+		}
+	}
+	return segs
+}
+
+// TestLogStoreCompaction deletes most of the early segments' records and
+// waits for the compactor to rewrite them; the view must be unchanged, the
+// segment count must drop, and a reopen must agree (tombstone carry and
+// supersede both get exercised by the rewrite).
+func TestLogStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := openTest(t, dir, Options{SegmentBytes: 1024})
+	s.SetObs(obs.StoreMetricsFrom(reg), nil, 0)
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := s.Save(ckpt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nsegs := len(segFiles(t, dir))
+	if nsegs < 3 {
+		t.Fatalf("want several segments before compaction, got %d", nsegs)
+	}
+	var live []int
+	for i := 0; i < n; i++ {
+		if i%5 == 0 {
+			live = append(live, i)
+			continue
+		}
+		if err := s.Delete(i); err != nil {
+			t.Fatalf("Delete(%d): %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(obs.StorageCompactions).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("compaction never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Indices(); !reflect.DeepEqual(got, live) {
+		t.Fatalf("Indices after compaction = %v, want %v", got, live)
+	}
+	for _, idx := range live {
+		wantCkpt(t, s, idx)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Options{SegmentBytes: 1024, NoCompact: true})
+	if got := r.Indices(); !reflect.DeepEqual(got, live) {
+		t.Fatalf("Indices after compaction+reopen = %v, want %v", got, live)
+	}
+	for _, idx := range live {
+		wantCkpt(t, r, idx)
+	}
+}
+
+// TestLogStoreTornTail truncates the final segment mid-batch and checks
+// replay comes back with exactly the prefix before that batch, counting the
+// torn tail; a truncation in a non-final segment must refuse loudly.
+func TestLogStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var commits []Commit
+	s := openTest(t, dir, Options{
+		SegmentBytes: 4 << 20, NoCompact: true,
+		OnCommit: func(c Commit) { mu.Lock(); commits = append(commits, c); mu.Unlock() },
+	})
+	const n = 8
+	for i := 0; i < n; i++ { // serial saves: one batch per op
+		if err := s.Save(ckpt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) != n {
+		t.Fatalf("got %d commits for %d serial saves", len(commits), n)
+	}
+	seg := filepath.Join(dir, segFiles(t, dir)[0])
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut inside the batch of op 5: ops 0..4 must survive, 5.. must vanish.
+	cut := commits[5].Start + 7
+	if err := os.WriteFile(seg, whole[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Options{NoCompact: true})
+	if got := r.Indices(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("Indices after torn tail = %v, want [0 1 2 3 4]", got)
+	}
+	for i := 0; i < 5; i++ {
+		wantCkpt(t, r, i)
+	}
+	if r.TornTails() != 1 {
+		t.Fatalf("TornTails = %d, want 1", r.TornTails())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The truncation was made physical: a second reopen sees a clean log.
+	r2 := openTest(t, dir, Options{NoCompact: true})
+	if r2.TornTails() != 0 {
+		t.Fatalf("second reopen still torn: %d", r2.TornTails())
+	}
+	r2.Close()
+
+	// A mid-batch truncation in a non-final segment is not a crash shape:
+	// it must refuse with storage.ErrCorrupt, not quietly drop a suffix.
+	if err := os.WriteFile(seg, whole[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, segHdrLen)
+	copy(hdr, whole[:segHdrLen])
+	hdr[8] = 1 // segment id 1
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000001.log"), hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoCompact: true}); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("mid-log truncation: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLogStoreBitFlip flips single bits in every region of a synced log —
+// segment header, batch header, payload — and requires the open to refuse
+// with storage.ErrCorrupt every time: bit rot is never a torn tail.
+func TestLogStoreBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{NoCompact: true})
+	for i := 0; i < 6; i++ {
+		if err := s.Save(ckpt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segFiles(t, dir)[0])
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	offsets := []int{0, 9, segHdrLen + 1, segHdrLen + 9, segHdrLen + batchHdrLen + 3, len(whole) - 2}
+	for i := 0; i < 12; i++ {
+		offsets = append(offsets, rng.Intn(len(whole)))
+	}
+	for _, off := range offsets {
+		flipped := append([]byte(nil), whole...)
+		flipped[off] ^= 1 << uint(rng.Intn(8))
+		if err := os.WriteFile(seg, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{NoCompact: true}); !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("bit flip at offset %d: err = %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+// TestLogStoreConcurrent hammers the store from many goroutines (the -race
+// lane's target): concurrent savers over disjoint index ranges plus loaders
+// and a deleter, then verifies the surviving view and that group commit
+// actually batched (fewer commits than records).
+func TestLogStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := openTest(t, dir, Options{SegmentBytes: 8 << 10})
+	s.SetObs(obs.StoreMetricsFrom(reg), nil, 0)
+	const (
+		workers = 8
+		per     = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				idx := w*per + i
+				if err := s.Save(ckpt(idx)); err != nil {
+					errs <- fmt.Errorf("Save(%d): %w", idx, err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := s.Load(idx); err != nil {
+						errs <- fmt.Errorf("Load(%d): %w", idx, err)
+						return
+					}
+				}
+				if i%4 == 3 { // delete an earlier own index
+					if err := s.Delete(idx - 1); err != nil {
+						errs <- fmt.Errorf("Delete(%d): %w", idx-1, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Saved != workers*per {
+		t.Fatalf("Saved = %d, want %d", st.Saved, workers*per)
+	}
+	if st.Live != len(s.Indices()) {
+		t.Fatalf("Live = %d but Indices has %d", st.Live, len(s.Indices()))
+	}
+	commits := reg.Histogram(obs.StorageBatchRecords).Count()
+	if commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Options{SegmentBytes: 8 << 10, NoCompact: true})
+	if got, live := r.Indices(), s.Indices(); !reflect.DeepEqual(got, live) {
+		t.Fatalf("reopen Indices = %v, want %v", got, live)
+	}
+}
+
+// TestTortureGroupCommitCrash is the staged-but-unsynced-batch oracle:
+// concurrent Save/Delete traffic runs until the sync hook simulates a power
+// failure (the batch is written but never synced, and the store fails
+// loudly). Every op acknowledged before the crash must replay; the ops in
+// the crashed batch were never acknowledged and must be absent after
+// replay — partially-applied batches must not exist, at any truncation
+// point inside the torn batch.
+func TestTortureGroupCommitCrash(t *testing.T) {
+	dir := t.TempDir()
+	var (
+		mu      sync.Mutex
+		commits []Commit
+		syncs   int
+	)
+	const crashAt = 12
+	crash := errors.New("injected power failure before sync")
+	s, err := Open(dir, Options{
+		SegmentBytes: 4 << 20, NoCompact: true,
+		OnCommit: func(c Commit) { mu.Lock(); commits = append(commits, c); mu.Unlock() },
+		Sync: func(f *os.File) error {
+			mu.Lock()
+			syncs++
+			n := syncs
+			mu.Unlock()
+			if n > crashAt {
+				return crash
+			}
+			return f.Sync()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Concurrent mutators; each records which of its ops were acknowledged.
+	const workers = 4
+	type op struct {
+		del bool
+		idx int
+	}
+	acked := make([][]op, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				idx := w*1000 + i
+				if err := s.Save(ckpt(idx)); err != nil {
+					return // crash reached; everything after is unacknowledged
+				}
+				acked[w] = append(acked[w], op{false, idx})
+				if i%3 == 2 {
+					if err := s.Delete(idx); err != nil {
+						return
+					}
+					acked[w] = append(acked[w], op{true, idx})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Save(ckpt(999999)); err == nil {
+		t.Fatal("store should be failed after the injected crash")
+	}
+	s.Close()
+
+	// Expected live view: acked saves minus acked deletes. (A delete only
+	// acks after its save did, so per-worker replay order is safe.)
+	want := map[int]bool{}
+	for _, ops := range acked {
+		for _, o := range ops {
+			if o.del {
+				delete(want, o.idx)
+			} else {
+				want[o.idx] = true
+			}
+		}
+	}
+
+	segs := segFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v", segs)
+	}
+	seg := filepath.Join(dir, segs[0])
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	durableEnd := int64(segHdrLen)
+	if len(commits) > 0 {
+		durableEnd = commits[len(commits)-1].End
+	}
+	mu.Unlock()
+	if int64(len(whole)) <= durableEnd {
+		t.Fatalf("crashed batch not on disk: file %d bytes, durable end %d", len(whole), durableEnd)
+	}
+
+	// The crash can persist any strict prefix of the unsynced batch (a
+	// fully persisted batch would just be an early commit — atomicity, not
+	// loss). Whatever prefix the disk kept, replay must produce exactly the
+	// acknowledged view: the batch is all-or-nothing, never partial.
+	cuts := []int64{durableEnd, durableEnd + 1, durableEnd + batchHdrLen,
+		(durableEnd + int64(len(whole))) / 2, int64(len(whole)) - 1}
+	for _, cut := range cuts {
+		if err := os.WriteFile(seg, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, Options{NoCompact: true})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		got := map[int]bool{}
+		for _, idx := range r.Indices() {
+			got[idx] = true
+		}
+		for idx := range want {
+			if !got[idx] {
+				t.Fatalf("cut=%d: acknowledged checkpoint %d lost after replay", cut, idx)
+			}
+		}
+		for idx := range got {
+			if !want[idx] {
+				t.Fatalf("cut=%d: unacknowledged checkpoint %d surfaced after replay", cut, idx)
+			}
+		}
+		if cut > durableEnd && r.TornTails() != 1 {
+			t.Fatalf("cut=%d: TornTails = %d, want 1", cut, r.TornTails())
+		}
+		r.Close()
+		// Restore the crashed image for the next cut.
+		if err := os.WriteFile(seg, whole, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreDifferential drives one seeded op stream — saves, random
+// deletes, rollback-style delete-then-resave — through all three backends
+// and requires identical Load/Indices/Stats views after every op. The CI
+// determinism lane runs this as the logstore-vs-filestore check.
+func TestStoreDifferential(t *testing.T) {
+	mem := storage.NewMemStore()
+	fs, err := storage.OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := openTest(t, t.TempDir(), Options{SegmentBytes: 2048})
+	stores := map[string]storage.Store{"mem": mem, "file": fs, "log": ls}
+
+	rng := rand.New(rand.NewSource(7))
+	next := 0
+	var live []int
+	apply := func(do func(storage.Store) error) {
+		t.Helper()
+		errs := map[string]error{}
+		for name, st := range stores {
+			errs[name] = do(st)
+		}
+		if (errs["mem"] == nil) != (errs["file"] == nil) || (errs["mem"] == nil) != (errs["log"] == nil) {
+			t.Fatalf("backends disagree on op outcome: %v", errs)
+		}
+	}
+	for step := 0; step < 400; step++ {
+		switch r := rng.Intn(10); {
+		case r < 6: // save the next index
+			cp := ckpt(next)
+			cp.DV = vclock.DV{rng.Intn(50), rng.Intn(50), rng.Intn(50), rng.Intn(50)}
+			apply(func(st storage.Store) error { return st.Save(cp) })
+			live = append(live, next)
+			next++
+		case r < 8 && len(live) > 0: // collect a random live checkpoint
+			at := rng.Intn(len(live))
+			idx := live[at]
+			apply(func(st storage.Store) error { return st.Delete(idx) })
+			live = append(live[:at], live[at+1:]...)
+		case r == 8 && len(live) > 2: // rollback: delete top-down, re-save
+			k := 1 + rng.Intn(2)
+			for i := 0; i < k && len(live) > 0; i++ {
+				idx := live[len(live)-1]
+				apply(func(st storage.Store) error { return st.Delete(idx) })
+				live = live[:len(live)-1]
+			}
+			next = 0
+			for _, idx := range live {
+				if idx >= next {
+					next = idx + 1
+				}
+			}
+		default: // delete of an absent index must fail everywhere
+			apply(func(st storage.Store) error { return st.Delete(next + 100) })
+		}
+
+		ref := mem.Indices()
+		for name, st := range stores {
+			if got := st.Indices(); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("step %d: %s Indices = %v, mem = %v", step, name, got, ref)
+			}
+		}
+		if len(ref) > 0 {
+			idx := ref[rng.Intn(len(ref))]
+			want, err := mem.Load(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, st := range stores {
+				got, err := st.Load(idx)
+				if err != nil {
+					t.Fatalf("step %d: %s Load(%d): %v", step, name, idx, err)
+				}
+				if !got.DV.Equal(want.DV) || !bytes.Equal(got.State, want.State) {
+					t.Fatalf("step %d: %s Load(%d) = %+v, mem = %+v", step, name, idx, got, want)
+				}
+			}
+		}
+		refStats := mem.Stats()
+		for name, st := range stores {
+			if got := st.Stats(); got.Live != refStats.Live || got.Saved != refStats.Saved ||
+				got.Collected != refStats.Collected || got.LiveBytes != refStats.LiveBytes {
+				t.Fatalf("step %d: %s Stats = %+v, mem = %+v", step, name, got, refStats)
+			}
+		}
+	}
+}
+
+// TestLogStoreObsMetrics checks the log backend reports through the obs
+// registry: batch sizes, commit latency, live ratio, and compactions.
+func TestLogStoreObsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := openTest(t, t.TempDir(), Options{SegmentBytes: 1024})
+	s.SetObs(obs.StoreMetricsFrom(reg), nil, 3)
+	for i := 0; i < 30; i++ {
+		if err := s.Save(ckpt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 27; i++ {
+		if err := s.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(obs.StorageSaves).Value(); got != 30 {
+		t.Fatalf("saves counter = %d, want 30", got)
+	}
+	if got := reg.Counter(obs.StorageDeletes).Value(); got != 27 {
+		t.Fatalf("deletes counter = %d, want 27", got)
+	}
+	if reg.Histogram(obs.StorageBatchRecords).Count() == 0 {
+		t.Fatal("no batch-size observations")
+	}
+	if reg.Histogram(obs.StorageCommitNs).Count() == 0 {
+		t.Fatal("no commit-latency observations")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(obs.StorageCompactions).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no compaction events after heavy deletes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Gauge(obs.StorageLiveRatioPct).Value(); got < 0 || got > 100 {
+		t.Fatalf("live ratio gauge = %d, want a percentage", got)
+	}
+}
+
+// TestLogStoreBackendRegistered checks the storage.Open selector reaches
+// this package via its init registration.
+func TestLogStoreBackendRegistered(t *testing.T) {
+	st, err := storage.Open(storage.Log, t.TempDir())
+	if err != nil {
+		t.Fatalf("storage.Open(log): %v", err)
+	}
+	if err := st.Save(ckpt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*LogStore); !ok {
+		t.Fatalf("storage.Open(log) = %T, want *LogStore", st)
+	}
+	st.(*LogStore).Close()
+}

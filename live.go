@@ -67,8 +67,8 @@ func NewCluster(n int, net Network, opt ...Option) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("rdt: live clusters support RDTLGC and NoGC collectors, not %v", o.collector)
 	}
-	if o.storageDir != "" {
-		cfg.NewStore = fileStores(o.storageDir)
+	if cfg.NewStore, err = o.stores(); err != nil {
+		return nil, err
 	}
 	c, err := runtime.NewCluster(cfg)
 	if err != nil {

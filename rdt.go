@@ -35,6 +35,10 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/storage"
+
+	// Importing the log backend registers it with storage.Open, so
+	// WithStorage(BackendLog, dir) works for every facade user.
+	_ "repro/internal/storage/logstore"
 )
 
 // Script is an application-level execution script: a total order of sends,
@@ -140,12 +144,30 @@ func (c Collector) String() string {
 	}
 }
 
+// Backend selects the stable-storage implementation behind every process;
+// see the Backend* constants.
+type Backend = storage.Backend
+
+// Storage backends. BackendMem keeps checkpoints in memory (the default),
+// BackendFile writes one file per checkpoint with atomic tmp+rename,
+// BackendLog appends to a segmented group-commit log with checksummed
+// batches, crash-truncated tails and background compaction.
+const (
+	BackendMem  = storage.Mem
+	BackendFile = storage.File
+	BackendLog  = storage.Log
+)
+
+// ParseBackend parses a backend name as the CLIs spell it: mem, file, log.
+func ParseBackend(s string) (Backend, error) { return storage.ParseBackend(s) }
+
 // Option configures New and NewCluster.
 type Option func(*options)
 
 type options struct {
 	protocol    Protocol
 	collector   Collector
+	backend     Backend
 	storageDir  string
 	stateBytes  int
 	globalEvery int
@@ -154,7 +176,7 @@ type options struct {
 }
 
 func defaults() options {
-	return options{protocol: FDAS, collector: RDTLGC, globalEvery: 1}
+	return options{protocol: FDAS, collector: RDTLGC, backend: BackendMem, globalEvery: 1}
 }
 
 // WithProtocol selects the checkpointing protocol (default FDAS, the
@@ -164,9 +186,16 @@ func WithProtocol(p Protocol) Option { return func(o *options) { o.protocol = p 
 // WithCollector selects the garbage collector (default RDTLGC).
 func WithCollector(c Collector) Option { return func(o *options) { o.collector = c } }
 
+// WithStorage selects the stable-storage backend and its root directory
+// (one subdirectory per process). Dir is ignored by BackendMem and required
+// by the on-disk backends.
+func WithStorage(b Backend, dir string) Option {
+	return func(o *options) { o.backend, o.storageDir = b, dir }
+}
+
 // WithFileStorage stores checkpoints under dir (one subdirectory per
-// process) instead of in memory.
-func WithFileStorage(dir string) Option { return func(o *options) { o.storageDir = dir } }
+// process) instead of in memory. It is WithStorage(BackendFile, dir).
+func WithFileStorage(dir string) Option { return WithStorage(BackendFile, dir) }
 
 // WithStateSize sets the opaque state payload saved with each checkpoint,
 // for storage-byte accounting.
@@ -186,13 +215,16 @@ func WithGlobalPeriod(k int) Option { return func(o *options) { o.globalEvery = 
 // and chaos runs refuse lossy baselines while keeping delay bursts.
 func WithCompression() Option { return func(o *options) { o.compress = true } }
 
-// fileStores returns the per-process on-disk store constructor for dir; an
-// unopenable directory surfaces as an error from New/NewCluster rather than
-// a panic.
-func fileStores(dir string) func(self int) (storage.Store, error) {
-	return func(self int) (storage.Store, error) {
-		return storage.OpenFileStore(fmt.Sprintf("%s/p%d", dir, self))
+// stores resolves the configured backend to the per-process NewStore hook
+// the engines share; nil means the engine's in-memory default.
+func (o options) stores() (func(self int) (storage.Store, error), error) {
+	if o.backend == BackendMem || o.backend == "" {
+		return nil, nil
 	}
+	if o.storageDir == "" {
+		return nil, fmt.Errorf("rdt: backend %q requires a storage directory", o.backend)
+	}
+	return storage.Factory(o.backend, o.storageDir), nil
 }
 
 func (o options) simConfig(n int) (sim.Config, error) {
@@ -208,8 +240,8 @@ func (o options) simConfig(n int) (sim.Config, error) {
 		Compress:    o.compress,
 		Obs:         o.obs,
 	}
-	if o.storageDir != "" {
-		cfg.NewStore = fileStores(o.storageDir)
+	if cfg.NewStore, err = o.stores(); err != nil {
+		return sim.Config{}, err
 	}
 	switch o.collector {
 	case RDTLGC:

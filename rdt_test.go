@@ -1,6 +1,7 @@
 package rdt_test
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -67,6 +68,39 @@ func TestFileStorageOption(t *testing.T) {
 	st := sys.StorageStats(0)
 	if st.Live == 0 || st.LiveBytes == 0 {
 		t.Errorf("file storage stats empty: %+v", st)
+	}
+}
+
+// TestStorageBackendOption runs the same workload on every backend through
+// WithStorage and checks the storage views agree: the collector's behavior
+// must not depend on which engine holds the stable bytes.
+func TestStorageBackendOption(t *testing.T) {
+	if _, err := rdt.ParseBackend("bogus"); err == nil {
+		t.Error("ParseBackend accepted a bogus name")
+	}
+	if _, err := rdt.New(3, rdt.WithStorage(rdt.BackendLog, "")); err == nil {
+		t.Error("an on-disk backend without a directory must refuse")
+	}
+	script := rdt.Workload(rdt.Uniform, rdt.WorkloadOptions{N: 3, Ops: 150, Seed: 5})
+	var views [][][]int
+	for _, b := range []rdt.Backend{rdt.BackendMem, rdt.BackendFile, rdt.BackendLog} {
+		sys, err := rdt.New(3, rdt.WithStorage(b, t.TempDir()), rdt.WithStateSize(64))
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if err := sys.Run(script); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		view := make([][]int, 3)
+		for i := range view {
+			view[i] = sys.Retained(i)
+		}
+		views = append(views, view)
+	}
+	for i := 1; i < len(views); i++ {
+		if !reflect.DeepEqual(views[0], views[i]) {
+			t.Errorf("backend views diverge: mem %v vs %v", views[0], views[i])
+		}
 	}
 }
 
