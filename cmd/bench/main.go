@@ -230,6 +230,16 @@ func runThroughput(quick, jsonOut, metrics bool, outFile, check, debugHTTP strin
 					"re-record with -throughput -quick -out\n", check, base.Quick, quick)
 			os.Exit(2)
 		}
+		// Throughput scales with scheduler parallelism, so msgs/sec gates
+		// are only meaningful at matching GOMAXPROCS — the geometric-mean
+		// normalization corrects machine speed, not parallelism shape.
+		if base.GOMAXPROCS != doc.GOMAXPROCS {
+			fmt.Fprintf(os.Stderr,
+				"bench: %s was recorded at GOMAXPROCS=%d but this run used %d; "+
+					"re-record with -throughput -out at this setting\n",
+				check, base.GOMAXPROCS, doc.GOMAXPROCS)
+			os.Exit(2)
+		}
 		regs := bench.CompareThroughput(base, doc, tolerance)
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "bench: %d throughput regression(s) against %s:\n", len(regs), check)

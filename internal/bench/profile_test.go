@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestProfileSaturatedCell is a profiling harness, not a regression test:
+// it runs one saturated pool-engine throughput cell (n=128, window=16)
+// long enough for go test's -cpuprofile/-memprofile to see the steady
+// state of the receive path. It is skipped unless PROFILE_CELL=1, because
+// a multi-second saturated cluster has no place in the ordinary test run.
+// scripts/profile_throughput.sh drives it and renders the pprof tables
+// that EXPERIMENTS.md E10 records.
+func TestProfileSaturatedCell(t *testing.T) {
+	if os.Getenv("PROFILE_CELL") != "1" {
+		t.Skip("set PROFILE_CELL=1 to run the profiling cell")
+	}
+	dur := 2 * time.Second
+	if s := os.Getenv("PROFILE_CELL_SECONDS"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			dur = time.Duration(sec) * time.Second
+		}
+	}
+	r, err := throughputCell("pool", 128, 16, dur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pool n=128 w=16 dur=%v: msgs=%d msgs/sec=%.0f p50=%.1fus p99=%.1fus",
+		dur, r.Msgs, r.MsgsPerSec, r.P50Ns/1e3, r.P99Ns/1e3)
+}

@@ -40,6 +40,13 @@ var (
 	ThroughputWindows = []int{1, 4, 16}
 )
 
+// ThroughputPoolOnlyNs extends the sweep to cluster sizes where the spawn
+// baseline's goroutine-per-message cost makes cross-engine cells
+// prohibitively slow: only the pool engine runs, only at the largest
+// window (the saturated shape that stresses the ingress ring), and the
+// cells participate in the regression gate like any other.
+var ThroughputPoolOnlyNs = []int{512}
+
 // Per-cell measurement budgets. Quick is the CI-lane budget; the baseline
 // must be recorded in the same mode (mode-for-mode, like the core gate).
 // Each cell runs throughputReps times and keeps the fastest run — the
@@ -56,11 +63,14 @@ const (
 // in the same run on the same machine, so no normalization applies.
 const throughputMinRatio = 2.0
 
-// ThroughputResult is one cell of the sweep.
+// ThroughputResult is one cell of the sweep. GOMAXPROCS is recorded per
+// cell — throughput scales with scheduler parallelism, so a cell is only
+// comparable to a baseline cell measured at the same setting.
 type ThroughputResult struct {
 	Engine     string  `json:"engine"`
 	N          int     `json:"n"`
 	Window     int     `json:"window"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
 	Msgs       int     `json:"msgs"`
 	MsgsPerSec float64 `json:"msgs_per_sec"`
 	P50Ns      float64 `json:"p50_ns"`
@@ -90,21 +100,33 @@ func RunThroughput(quick bool, reg *obs.Registry) (ThroughputDoc, error) {
 	}
 	start := time.Now()
 	var results []ThroughputResult
+	measure := func(engine string, n, w int) error {
+		var best ThroughputResult
+		for rep := 0; rep < throughputReps; rep++ {
+			r, err := throughputCell(engine, n, w, cell, reg)
+			if err != nil {
+				return fmt.Errorf("throughput: %s n=%d w=%d: %w", engine, n, w, err)
+			}
+			if rep == 0 || r.MsgsPerSec > best.MsgsPerSec {
+				best = r
+			}
+		}
+		results = append(results, best)
+		return nil
+	}
 	for _, engine := range ThroughputEngines {
 		for _, n := range ThroughputNs {
 			for _, w := range ThroughputWindows {
-				var best ThroughputResult
-				for rep := 0; rep < throughputReps; rep++ {
-					r, err := throughputCell(engine, n, w, cell, reg)
-					if err != nil {
-						return ThroughputDoc{}, fmt.Errorf("throughput: %s n=%d w=%d: %w", engine, n, w, err)
-					}
-					if rep == 0 || r.MsgsPerSec > best.MsgsPerSec {
-						best = r
-					}
+				if err := measure(engine, n, w); err != nil {
+					return ThroughputDoc{}, err
 				}
-				results = append(results, best)
 			}
+		}
+	}
+	maxW := ThroughputWindows[len(ThroughputWindows)-1]
+	for _, n := range ThroughputPoolOnlyNs {
+		if err := measure("pool", n, maxW); err != nil {
+			return ThroughputDoc{}, err
 		}
 	}
 	return ThroughputDoc{
@@ -213,6 +235,7 @@ func throughputCell(engine string, n, window int, dur time.Duration, reg *obs.Re
 		Engine:     engine,
 		N:          n,
 		Window:     window,
+		GOMAXPROCS: goruntime.GOMAXPROCS(0),
 		Msgs:       len(all),
 		MsgsPerSec: float64(len(all)) / elapsed.Seconds(),
 		P50Ns:      float64(percentile(all, 50)),
@@ -256,18 +279,24 @@ func CompareThroughput(base, cur ThroughputDoc, tolerance float64) []string {
 	for _, r := range base.Results {
 		baseBy[key(r)] = r
 	}
+	checkCell := func(engine string, n, w int) {
+		k := fmt.Sprintf("%s#%d#%d", engine, n, w)
+		if _, ok := curBy[k]; !ok {
+			regs = append(regs, fmt.Sprintf("%s n=%d w=%d: missing from this run", engine, n, w))
+		}
+		if _, ok := baseBy[k]; !ok {
+			regs = append(regs, fmt.Sprintf("%s n=%d w=%d: missing from baseline; re-record with -throughput -quick -out", engine, n, w))
+		}
+	}
 	for _, engine := range ThroughputEngines {
 		for _, n := range ThroughputNs {
 			for _, w := range ThroughputWindows {
-				k := fmt.Sprintf("%s#%d#%d", engine, n, w)
-				if _, ok := curBy[k]; !ok {
-					regs = append(regs, fmt.Sprintf("%s n=%d w=%d: missing from this run", engine, n, w))
-				}
-				if _, ok := baseBy[k]; !ok {
-					regs = append(regs, fmt.Sprintf("%s n=%d w=%d: missing from baseline; re-record with -throughput -quick -out", engine, n, w))
-				}
+				checkCell(engine, n, w)
 			}
 		}
+	}
+	for _, n := range ThroughputPoolOnlyNs {
+		checkCell("pool", n, ThroughputWindows[len(ThroughputWindows)-1])
 	}
 	if len(regs) > 0 {
 		return regs

@@ -1,0 +1,68 @@
+package node_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+)
+
+// TestObsDeliverBatchCoalescing pins the kernel's coalescing accounting
+// deterministically: a batch of three consecutive compressed messages from
+// one sender is one merge (one flushed run) covering two coalesced
+// messages, and the deliveries counter still counts every message.
+func TestObsDeliverBatchCoalescing(t *testing.T) {
+	reg := obs.NewRegistry()
+	build := func(id int) *node.Kernel {
+		k, err := node.New(node.Config{
+			ID: id, N: 2,
+			Store:    storage.NewMemStore(),
+			Protocol: func(int) protocol.Protocol { return protocol.NewNone() },
+			LocalGC:  func(self, nn int, st storage.Store) gc.Local { return core.New(self, nn, st) },
+			Compress: true,
+			Metrics:  obs.KernelMetricsFrom(reg),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	sender, receiver := build(0), build(1)
+	var pbs []node.Piggyback
+	for i := 0; i < 3; i++ {
+		pb, err := sender.Send(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pbs = append(pbs, pb)
+	}
+	posts := 0
+	if err := receiver.DeliverBatch(pbs, func(int) { posts++ }); err != nil {
+		t.Fatal(err)
+	}
+	if posts != 3 {
+		t.Errorf("post hook ran %d times, want 3", posts)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter(obs.KernelDeliveryMerges); got != 1 {
+		t.Errorf("%s = %d, want 1 (one same-sender run)", obs.KernelDeliveryMerges, got)
+	}
+	if got := snap.Counter(obs.KernelDeliveryCoalesced); got != 2 {
+		t.Errorf("%s = %d, want 2 (three messages, one merge)", obs.KernelDeliveryCoalesced, got)
+	}
+	if got := snap.Counter(obs.KernelDeliveries); got != 3 {
+		t.Errorf("%s = %d, want 3", obs.KernelDeliveries, got)
+	}
+	want := sender.DV()
+	got := receiver.DV()
+	for i, v := range want {
+		if i != 1 && got[i] < v {
+			t.Errorf("receiver DV %v did not absorb sender DV %v", got, want)
+			break
+		}
+	}
+}

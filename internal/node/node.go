@@ -96,6 +96,18 @@ type Kernel struct {
 	// merge.
 	scratch []int
 
+	// Batch receive state (deliver.go): the composed entries of the
+	// pending same-sender run, its ComposePatch ping-pong buffer, and the
+	// lazily materialized dv ⊔ run vector the forced-checkpoint predicate
+	// evaluates against. Always empty between DeliverBatch calls —
+	// flushRun runs before the batch returns.
+	pendRun  vclock.Delta
+	pendBuf  vclock.Delta
+	pendFrom int
+	pendN    int
+	virt     vclock.DV
+	virtOK   bool
+
 	comp *compressor // non-nil iff cfg.Compress and not crashed
 
 	basic, forced int
@@ -370,6 +382,7 @@ func (k *Kernel) CrashVolatile() {
 	k.gcol = nil
 	k.app = nil
 	k.comp = nil
+	k.pendRun, k.pendN, k.virt, k.virtOK = nil, 0, nil, false
 }
 
 // Rehydrate rebuilds a crashed kernel's volatile state from stable storage:

@@ -1,6 +1,9 @@
 package node_test
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -240,5 +243,140 @@ func TestResetCompressionRestartsPairs(t *testing.T) {
 	}
 	if _, err := b.Deliver(pb); err != nil {
 		t.Fatalf("post-reset delivery failed: %v", err)
+	}
+}
+
+// TestDeliverBatchMatchesSequential is the batch path's differential
+// oracle: the same seeded traffic — sends, basic checkpoints, and
+// deliveries in per-pair FIFO order but randomly chunked into batches —
+// runs through a message-by-message universe (Deliver) and a batched one
+// (DeliverBatch), across every protocol, both piggyback encodings and two
+// collectors. Coalescing is exact or it is wrong: vectors, checkpoint
+// counts, stable indices, stored checkpoints and piggyback cost must all
+// match bit for bit.
+func TestDeliverBatchMatchesSequential(t *testing.T) {
+	const n = 4
+	protocols := map[string]func(int) protocol.Protocol{
+		"none":    func(int) protocol.Protocol { return protocol.NewNone() },
+		"cbr":     func(int) protocol.Protocol { return protocol.NewCBR() },
+		"fdi":     func(int) protocol.Protocol { return protocol.NewFDI() },
+		"fdas":    func(int) protocol.Protocol { return protocol.NewFDAS() },
+		"russell": func(int) protocol.Protocol { return protocol.NewRussell() },
+		"bcs":     func(int) protocol.Protocol { return protocol.NewBCS() },
+	}
+	collectors := map[string]func(self, nn int, st storage.Store) gc.Local{
+		"core": func(self, nn int, st storage.Store) gc.Local { return core.New(self, nn, st) },
+		"nogc": func(self, nn int, st storage.Store) gc.Local { return gc.NewNoGC(self, nn, st) },
+	}
+	for pname, proto := range protocols {
+		for gname, lgc := range collectors {
+			for _, compress := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/compress=%v", pname, gname, compress)
+				t.Run(name, func(t *testing.T) {
+					build := func() []*node.Kernel {
+						ks := make([]*node.Kernel, n)
+						for i := range ks {
+							k, err := node.New(node.Config{
+								ID: i, N: n,
+								Store:    storage.NewMemStore(),
+								Protocol: proto,
+								LocalGC:  lgc,
+								Compress: compress,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							ks[i] = k
+						}
+						return ks
+					}
+					seq, bat := build(), build()
+					// Per-receiver FIFO queues of undelivered piggybacks,
+					// one per universe. Identical kernels produce identical
+					// piggybacks, so the queues stay in lockstep.
+					seqQ := make([][]node.Piggyback, n)
+					batQ := make([][]node.Piggyback, n)
+					rng := rand.New(rand.NewSource(int64(len(pname))*1000 + int64(len(gname))))
+					flush := func(to int) {
+						for _, pb := range seqQ[to] {
+							if _, err := seq[to].Deliver(pb); err != nil {
+								t.Fatalf("sequential deliver on p%d: %v", to, err)
+							}
+						}
+						seqQ[to] = seqQ[to][:0]
+						// The batched universe consumes the same messages in
+						// the same order, but in random chunks of 1..4 —
+						// single-message drains, same-sender runs and
+						// cross-sender boundaries all get exercised.
+						q := batQ[to]
+						for len(q) > 0 {
+							c := 1 + rng.Intn(4)
+							if c > len(q) {
+								c = len(q)
+							}
+							if err := bat[to].DeliverBatch(q[:c], nil); err != nil {
+								t.Fatalf("batched deliver on p%d: %v", to, err)
+							}
+							q = q[c:]
+						}
+						batQ[to] = batQ[to][:0]
+					}
+					for op := 0; op < 600; op++ {
+						switch r := rng.Intn(10); {
+						case r < 6: // send
+							from := rng.Intn(n)
+							to := rng.Intn(n - 1)
+							if to >= from {
+								to++
+							}
+							pbS, err := seq[from].Send(to)
+							if err != nil {
+								t.Fatal(err)
+							}
+							pbB, err := bat[from].Send(to)
+							if err != nil {
+								t.Fatal(err)
+							}
+							seqQ[to] = append(seqQ[to], pbS)
+							batQ[to] = append(batQ[to], pbB)
+						case r < 8: // deliver everything queued at one process
+							flush(rng.Intn(n))
+						default: // basic checkpoint
+							p := rng.Intn(n)
+							if _, err := seq[p].Checkpoint(true); err != nil {
+								t.Fatal(err)
+							}
+							if _, err := bat[p].Checkpoint(true); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					for to := 0; to < n; to++ {
+						flush(to)
+					}
+					for i := 0; i < n; i++ {
+						if !seq[i].DV().Equal(bat[i].DV()) {
+							t.Errorf("p%d DV: sequential %v != batched %v", i, seq[i].DV(), bat[i].DV())
+						}
+						sb, sf := seq[i].Counts()
+						bb, bf := bat[i].Counts()
+						if sb != bb || sf != bf {
+							t.Errorf("p%d checkpoint counts: sequential (%d,%d) != batched (%d,%d)", i, sb, sf, bb, bf)
+						}
+						if seq[i].LastStable() != bat[i].LastStable() {
+							t.Errorf("p%d last stable: sequential %d != batched %d", i, seq[i].LastStable(), bat[i].LastStable())
+						}
+						if seq[i].PiggybackEntries() != bat[i].PiggybackEntries() {
+							t.Errorf("p%d piggyback entries: sequential %d != batched %d",
+								i, seq[i].PiggybackEntries(), bat[i].PiggybackEntries())
+						}
+						si, bi := seq[i].Store().Indices(), bat[i].Store().Indices()
+						if !reflect.DeepEqual(si, bi) {
+							t.Errorf("p%d stored checkpoints: sequential %v != batched %v", i, si, bi)
+						}
+					}
+				})
+			}
+		}
 	}
 }

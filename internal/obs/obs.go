@@ -41,6 +41,12 @@ const (
 	KernelPiggybackEntries  = "kernel.piggyback.entries"      // sparse entries actually shipped
 	KernelPiggybackFull     = "kernel.piggyback.full_entries" // entries a full vector would have shipped
 	KernelPiggybackBytes    = "kernel.piggyback.bytes"
+	// Batch delivery (Kernel.DeliverBatch): merges counts the composed-run
+	// flushes that actually touched the vector, coalesced the messages
+	// folded into an earlier message's flush — deliveries / merges is the
+	// coalescing ratio of the receive path.
+	KernelDeliveryMerges    = "kernel.delivery.merges"
+	KernelDeliveryCoalesced = "kernel.delivery.coalesced"
 
 	// Runtime (internal/runtime).
 	RuntimeQueueDepth   = "runtime.sendpool.queue_depth"
@@ -49,6 +55,13 @@ const (
 	RuntimeTimerResets  = "runtime.sendpool.timer_resets"
 	RuntimeQuiesceNs    = "runtime.quiesce_ns"
 	RuntimeWireErrors   = "runtime.wire_errors"
+	// Ingress ring (the receive path): depth is producer batches queued and
+	// not yet drained, summed over the nodes; drains counts applier passes
+	// (each one node-lock acquisition for every batch it grabbed); drain_ns
+	// is the latency of one pass, grab to applied.
+	RuntimeIngressDepth  = "runtime.ingress.depth"
+	RuntimeIngressDrains = "runtime.ingress.drains"
+	RuntimeIngressNs     = "runtime.ingress.drain_ns"
 
 	// Transport (internal/transport).
 	TransportBatches        = "transport.batches"
@@ -99,6 +112,8 @@ type KernelMetrics struct {
 	PiggybackEntries  *Counter
 	PiggybackFull     *Counter
 	PiggybackBytes    *Counter
+	DeliveryMerges    *Counter
+	DeliveryCoalesced *Counter
 }
 
 // KernelMetricsFrom resolves the kernel bundle against a registry. A nil
@@ -112,6 +127,8 @@ func KernelMetricsFrom(r *Registry) KernelMetrics {
 		PiggybackEntries:  r.Counter(KernelPiggybackEntries),
 		PiggybackFull:     r.Counter(KernelPiggybackFull),
 		PiggybackBytes:    r.Counter(KernelPiggybackBytes),
+		DeliveryMerges:    r.Counter(KernelDeliveryMerges),
+		DeliveryCoalesced: r.Counter(KernelDeliveryCoalesced),
 	}
 }
 
@@ -124,6 +141,10 @@ type RuntimeMetrics struct {
 	TimerResets  *Counter
 	QuiesceNs    *Histogram
 	WireErrors   *Counter
+
+	IngressDepth  *Gauge
+	IngressDrains *Counter
+	IngressNs     *Histogram
 }
 
 // RuntimeMetricsFrom resolves the runtime bundle against a registry.
@@ -135,6 +156,10 @@ func RuntimeMetricsFrom(r *Registry) RuntimeMetrics {
 		TimerResets:  r.Counter(RuntimeTimerResets),
 		QuiesceNs:    r.Histogram(RuntimeQuiesceNs),
 		WireErrors:   r.Counter(RuntimeWireErrors),
+
+		IngressDepth:  r.Gauge(RuntimeIngressDepth),
+		IngressDrains: r.Counter(RuntimeIngressDrains),
+		IngressNs:     r.Histogram(RuntimeIngressNs),
 	}
 }
 

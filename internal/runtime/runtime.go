@@ -123,6 +123,14 @@ type Cluster struct {
 	dvMu   sync.Mutex
 	dvFree []vclock.DV
 
+	// pendMu guards pendFree, the freelist of inbound-batch slices onWire
+	// draws from: mesh streams to one receiver run concurrent readLoops, so
+	// the batch cannot live on a per-destination scratch, but it can be
+	// recycled — ingest returns only after the batch is applied, so the
+	// slice is dead by the time onWire parks it.
+	pendMu   sync.Mutex
+	pendFree [][]pending
+
 	// queues are the sender pool: one due-time-ordered queue and at most
 	// one worker goroutine per destination (see sendpool.go). pairDue
 	// backs the compressed-mode FIFO clamp — the latest due time handed
@@ -162,6 +170,15 @@ type Node struct {
 	// to it are dropped, and every application-facing method refuses with
 	// ErrCrashed until Restart rehydrates it from stable storage.
 	down bool
+
+	// ing is the bounded ingress ring every inbound batch passes through
+	// (see ingress.go); pbs/meta are the drain's reusable kernel-call
+	// scratch and postFn the pre-bound per-message post hook, all owned by
+	// whichever producer holds the drainer role.
+	ing    ingress
+	pbs    []node.Piggyback
+	meta   []deliverMeta
+	postFn func(i int)
 }
 
 // NewCluster starts a cluster. As in the model, every node stores its
@@ -250,7 +267,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runtime: %w", err)
 		}
-		c.nodes = append(c.nodes, &Node{c: c, id: i, k: k})
+		nd := &Node{c: c, id: i, k: k}
+		nd.ing.space.L = &nd.ing.mu
+		nd.ing.done.L = &nd.ing.mu
+		nd.postFn = nd.postDeliver
+		// Drain scratch is built up front like the sender queues': growing
+		// it lazily would bill every node's first drains — mid-measurement
+		// — for the ring's working memory (≈2KB per node). Saturated
+		// drains still grow past this once and keep the larger capacity.
+		nd.ing.scratch = make([][]pending, 0, 4)
+		nd.pbs = make([]node.Piggyback, 0, 8)
+		nd.meta = make([]deliverMeta, 0, 8)
+		k.PrewarmBatch()
+		c.nodes = append(c.nodes, nd)
 	}
 	if c.mesh != nil {
 		if err := c.mesh.StartBatched(c.onWire); err != nil {
@@ -261,17 +290,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// onWire delivers a batch of messages arriving from one TCP stream — all
-// from the same (sender, receiver) pair, in stream order — under a single
-// receiver-lock acquisition. The matching inflight increments happened at
-// send. Sparse frames hand their entries to the kernel natively — no
-// flattening or rebuilding on either side of the wire.
+// onWire feeds a batch of messages arriving from one TCP stream — all
+// from the same (sender, receiver) pair, in stream order — into the
+// receiver's ingress ring. The matching inflight increments happened at
+// send. Everything here is a view: sparse entries, full vectors and
+// payloads alias the readLoop's frame buffers (zero-copy decode), which
+// the transport reuses once this callback returns — safe because ingest
+// blocks until the batch is applied. For the same reason the decoded
+// vectors must NOT feed the DV freelist: they are transport-owned memory,
+// not CloneDV snapshots.
 func (c *Cluster) onWire(ms []transport.Message) {
 	defer c.inflight.Add(-len(ms))
-	// Per-call batch: streams from different senders to the same receiver
-	// run concurrent readLoops, so this cannot be shared per-destination.
-	// One amortized allocation per inbound batch, not per message.
-	batch := make([]pending, 0, len(ms))
+	batch := c.getPending(len(ms))
 	for _, m := range ms {
 		if err := m.Validate(c.cfg.N); err != nil {
 			// Structurally sound but semantically damaged — an entry index
@@ -295,11 +325,33 @@ func (c *Cluster) onWire(ms []transport.Message) {
 		})
 	}
 	if len(batch) > 0 {
-		c.nodes[ms[0].To].deliverPending(batch)
-		for i := range batch {
-			c.recycleDV(batch[i].pb.DV)
-		}
+		c.nodes[ms[0].To].ingest(batch)
 	}
+	c.putPending(batch)
+}
+
+// getPending draws an inbound-batch slice from the freelist (concurrent
+// readLoops share it, so it is mutex-guarded leaf state — far cheaper than
+// the per-batch allocation it replaces).
+func (c *Cluster) getPending(n int) []pending {
+	c.pendMu.Lock()
+	if k := len(c.pendFree); k > 0 {
+		b := c.pendFree[k-1]
+		c.pendFree = c.pendFree[:k-1]
+		c.pendMu.Unlock()
+		return b
+	}
+	c.pendMu.Unlock()
+	return make([]pending, 0, n)
+}
+
+// putPending parks a consumed batch slice for reuse, dropping the view
+// references it carried first.
+func (c *Cluster) putPending(b []pending) {
+	clear(b)
+	c.pendMu.Lock()
+	c.pendFree = append(c.pendFree, b[:0])
+	c.pendMu.Unlock()
 }
 
 // Close releases the network resources of a TCP-backed cluster. Clusters
@@ -650,46 +702,14 @@ func (n *Node) sendSpawn(to, msg int, pb node.Piggyback, epoch uint64, payload [
 	return nil
 }
 
-// deliverOne delivers a single message (spawn path).
+// deliverOne delivers a single message (spawn path). The one-element batch
+// escapes into the ingress ring, so it heap-allocates per message — an
+// accepted cost on the measured baseline path; the pooled path hands whole
+// dispatch batches to ingest with no per-message allocation.
 func (c *Cluster) deliverOne(from, to int, d delivery) {
 	batch := [1]pending{{delivery: d, from: from}}
-	c.nodes[to].deliverPending(batch[:])
+	c.nodes[to].ingest(batch[:])
 	c.recycleDV(d.pb.DV)
-}
-
-// deliverPending hands a batch of incoming messages to the kernel under
-// one lock acquisition: for each message, forced checkpoint first if the
-// protocol demands one (stored before the GC work, per Section 4.5), then
-// vector merge, collector update and protocol notification. Messages from
-// a previous epoch (sent before a recovery session) are dropped: they were
-// in transit when the failure hit, and the model treats them as lost.
-//
-// Each piggyback vector is only read for the duration of its delivery:
-// nothing here (protocols and collectors included, per their interface
-// contracts) may retain it — the caller recycles the snapshots afterwards.
-func (n *Node) deliverPending(batch []pending) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for i := range batch {
-		d := &batch[i].delivery
-		if n.down || d.epoch != n.c.curEpoch() {
-			// A crashed destination loses the message, exactly as the
-			// model loses messages addressed to a failed process.
-			continue
-		}
-		if _, err := n.k.Deliver(d.pb); err != nil {
-			panic(fmt.Sprintf("runtime: delivery on p%d: %v", n.id, err))
-		}
-		if n.c.cfg.OnDeliver != nil {
-			n.c.cfg.OnDeliver(n.id, n.k.App(), d.payload)
-		}
-		n.c.recMu.Lock()
-		n.c.rec.Recv(n.id, d.msg)
-		n.c.recMu.Unlock()
-		n.c.flight.Record(obs.Event{
-			Kind: obs.EvDeliver, P: n.id, Msg: d.msg, Aux: batch[i].from, Clock: n.k.DVRef()[n.id],
-		})
-	}
 }
 
 // Checkpoint takes a basic checkpoint.

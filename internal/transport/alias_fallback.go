@@ -1,0 +1,17 @@
+// Fallback for targets that are not 64-bit little-endian: frames are never
+// aliasable, so decodeView degrades to the portable copying decoder and the
+// view helpers are unreachable.
+
+//go:build !(amd64 || arm64 || riscv64 || ppc64le || loong64)
+
+package transport
+
+import "repro/internal/vclock"
+
+func aliasable([]byte) bool { return false }
+
+func intsView([]byte, int, int) []int { panic("transport: intsView without aliasable") }
+
+func entriesView([]byte, int, int) vclock.Delta {
+	panic("transport: entriesView without aliasable")
+}

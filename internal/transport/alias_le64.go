@@ -1,0 +1,45 @@
+// Zero-copy word views for 64-bit little-endian targets: the wire format
+// is little-endian 8-byte words, so on these platforms an []int or
+// []vclock.Entry view over the frame bytes reads exactly the values the
+// portable decoder would copy out. Other targets build alias_fallback.go
+// and keep the copying decoder.
+
+//go:build amd64 || arm64 || riscv64 || ppc64le || loong64
+
+package transport
+
+import (
+	"unsafe"
+
+	"repro/internal/vclock"
+)
+
+// Entry must be exactly two native 8-byte words {K, V} — the wire layout of
+// a sparse entry — for entriesView to be sound.
+var _ [16]byte = [unsafe.Sizeof(vclock.Entry{})]byte{}
+
+// aliasable reports whether frame b supports zero-copy views: the buffer
+// must be 8-byte aligned (every word section of a frame then is too, since
+// all header fields are 8-byte words). Heap []byte allocations of frame
+// size always are; the check guards the odd caller handing in a sub-slice.
+func aliasable(b []byte) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(b)))%8 == 0
+}
+
+// intsView returns b[off : off+8*n] as an []int without copying. n == 0
+// short-circuits: the pointer conversion alone asserts a full element at
+// off, which an exactly-sized frame does not have.
+func intsView(b []byte, off, n int) []int {
+	if n == 0 {
+		return []int{}
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[off])), n)
+}
+
+// entriesView returns b[off : off+16*n] as a Delta without copying.
+func entriesView(b []byte, off, n int) vclock.Delta {
+	if n == 0 {
+		return vclock.Delta{}
+	}
+	return unsafe.Slice((*vclock.Entry)(unsafe.Pointer(&b[off])), n)
+}

@@ -69,7 +69,8 @@ func (m Message) Validate(n int) error {
 // harness (internal/bench), which gates the per-message framing cost.
 func Encode(m Message) []byte { return appendEncode(nil, m) }
 
-// Decode parses one wire frame.
+// Decode parses one wire frame. The returned message owns its memory (the
+// variable-length sections are copied out of b).
 func Decode(b []byte) (Message, error) { return decode(b) }
 
 // encodedSize is the exact wire size of a message (excluding the frame
@@ -117,8 +118,21 @@ func appendEncode(buf []byte, m Message) []byte {
 	return append(buf, m.Payload...)
 }
 
-// decode parses one frame payload.
-func decode(b []byte) (Message, error) {
+// decode parses one frame payload, copying the entries, vector and payload
+// out of b — the portable path, and the public Decode.
+func decode(b []byte) (Message, error) { return decodeFrame(b, false) }
+
+// decodeView parses one frame payload zero-copy where the platform allows:
+// Entries, DV and Payload alias b, so the message is valid only as long as
+// b's bytes are. The mesh read path uses it — frame buffers there outlive
+// the delivery callback, which is the ownership handoff StartBatched
+// documents. On targets without aliasing support it copies like decode.
+func decodeView(b []byte) (Message, error) { return decodeFrame(b, aliasable(b)) }
+
+// decodeFrame parses one frame payload; view selects aliasing (the caller
+// has verified the platform and alignment) or copying for the
+// variable-length sections.
+func decodeFrame(b []byte, view bool) (Message, error) {
 	off := 0
 	rd := func() (int64, bool) {
 		if off+8 > len(b) {
@@ -167,11 +181,16 @@ func decode(b []byte) (Message, error) {
 			// present is a corrupted frame and must not drive the allocation.
 			return Message{}, errors.New("transport: bad entry count")
 		}
-		m.Entries = make(vclock.Delta, n)
-		for i := range m.Entries {
-			k, _ := rd()
-			v, _ := rd() // count was validated against the bytes present
-			m.Entries[i] = vclock.Entry{K: int(k), V: int(v)}
+		if view {
+			m.Entries = entriesView(b, off, int(n))
+			off += int(n) * 16
+		} else {
+			m.Entries = make(vclock.Delta, n)
+			for i := range m.Entries {
+				k, _ := rd()
+				v, _ := rd() // count was validated against the bytes present
+				m.Entries[i] = vclock.Entry{K: int(k), V: int(v)}
+			}
 		}
 		if err := m.Entries.Validate(1 << 20); err != nil {
 			return Message{}, fmt.Errorf("transport: bad sparse entries: %w", err)
@@ -183,18 +202,27 @@ func decode(b []byte) (Message, error) {
 			// a corrupted frame and must not drive the allocation.
 			return Message{}, errors.New("transport: bad vector length")
 		}
-		m.DV = make([]int, n)
-		for i := range m.DV {
-			v, _ := rd() // length was validated against the bytes present
-			m.DV[i] = int(v)
+		if view {
+			m.DV = intsView(b, off, int(n))
+			off += int(n) * 8
+		} else {
+			m.DV = make([]int, n)
+			for i := range m.DV {
+				v, _ := rd() // length was validated against the bytes present
+				m.DV[i] = int(v)
+			}
 		}
 	}
 	pl, ok := rd()
 	if !ok || pl < 0 || pl > int64(len(b)-off) {
 		return Message{}, errors.New("transport: bad payload length")
 	}
-	m.Payload = make([]byte, pl)
-	copy(m.Payload, b[off:off+int(pl)])
+	if view {
+		m.Payload = b[off : off+int(pl) : off+int(pl)]
+	} else {
+		m.Payload = make([]byte, pl)
+		copy(m.Payload, b[off:off+int(pl)])
+	}
 	return m, nil
 }
 
@@ -273,8 +301,23 @@ type sendConn struct {
 	buf    []byte   // reused frame buffer (guarded by mu)
 	ends   []int    // reused per-frame end offsets of buf (guarded by mu)
 	sent   int64    // frames fully written to the stream
-	dead   bool     // no further writes; Send returns ErrLinkDown
 	reaped bool     // lost-frame reconciliation has run (at most once)
+
+	// dead and live are deliberately outside mu: a writer blocked on a
+	// full socket holds mu for the whole Write, and the only thing that
+	// unblocks it is closing the socket — so BreakLink, reap and Close
+	// must be able to mark the pair dead and close the conn without
+	// queueing on mu behind that writer.
+	dead atomic.Bool
+	live atomic.Pointer[net.Conn] // set once, when the dial succeeds
+}
+
+// closeConn closes the pair's socket without taking the pair lock,
+// unblocking any writer mid-Write; safe to call repeatedly.
+func (sc *sendConn) closeConn() {
+	if p := sc.live.Load(); p != nil {
+		_ = (*p).Close()
+	}
 }
 
 // NewTCP opens one loopback listener per node. Call Start to begin
@@ -320,8 +363,13 @@ func (t *TCP) Start(deliver func(Message)) error {
 // connections. The callback receives every frame of one (from, to) stream
 // in order; consecutive frames already buffered on the connection arrive
 // as one batch, so the receiver pays its per-delivery locking once per
-// batch instead of once per message. The slice is reused after the
-// callback returns; implementations must consume it synchronously.
+// batch instead of once per message.
+//
+// Ownership handoff: the slice AND the messages' variable-length sections
+// (Entries, DV, Payload) are views into per-stream read buffers that are
+// reused as soon as the callback returns — messages are decoded zero-copy
+// (decodeView). Implementations must fully consume a batch synchronously;
+// anything that must outlive the callback has to be copied inside it.
 func (t *TCP) StartBatched(deliver func([]Message)) error {
 	if deliver == nil {
 		return errors.New("transport: nil deliver callback")
@@ -404,9 +452,15 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 	defer t.reapPair(from, to)
 
-	var payload []byte // reused across frames; decode copies what escapes
+	// One reusable frame buffer per batch slot: messages are decoded
+	// zero-copy (decodeView aliases the buffer), so every frame of a batch
+	// must stay resident until the delivery callback has consumed the
+	// batch. Slot i is only overwritten when a later batch reads its i-th
+	// frame — after the callback for this batch returned (the StartBatched
+	// ownership handoff).
+	frameBufs := make([][]byte, maxInboundBatch)
 	batch := make([]Message, 0, maxInboundBatch)
-	readFrame := func() (Message, error) {
+	readFrame := func(slot int) (Message, error) {
 		var hdr [8]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return Message{}, err
@@ -415,18 +469,20 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if size <= 0 || size > 1<<20 {
 			return Message{}, fmt.Errorf("transport: frame size %d outside (0, 1MiB]", size)
 		}
-		if int64(cap(payload)) < size {
-			payload = make([]byte, size)
+		buf := frameBufs[slot]
+		if int64(cap(buf)) < size {
+			buf = make([]byte, size)
 		}
-		payload = payload[:size]
-		if _, err := io.ReadFull(br, payload); err != nil {
+		buf = buf[:size]
+		frameBufs[slot] = buf
+		if _, err := io.ReadFull(br, buf); err != nil {
 			return Message{}, err
 		}
 		t.obs.BytesIn.Add(uint64(8 + size))
-		return decode(payload)
+		return decodeView(buf)
 	}
 	for {
-		m, err := readFrame()
+		m, err := readFrame(0)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				t.frameError(from, to, err)
@@ -443,7 +499,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 			if size <= 0 || size > 1<<20 || int64(br.Buffered()) < 8+size {
 				break
 			}
-			m, err = readFrame()
+			m, err = readFrame(len(batch))
 			if err != nil {
 				t.deliverBatch(from, to, batch)
 				t.frameError(from, to, err)
@@ -491,7 +547,7 @@ func (t *TCP) conn(from, to int) (*sendConn, error) {
 	t.mu.Unlock()
 
 	sc.mu.Lock()
-	if sc.dead {
+	if sc.dead.Load() {
 		sc.mu.Unlock()
 		return nil, ErrLinkDown
 	}
@@ -513,7 +569,7 @@ func (t *TCP) conn(from, to int) (*sendConn, error) {
 			// but the pair is not: dropping the placeholder lets the next
 			// Send dial afresh.
 			t.obs.DialFailures.Inc()
-			sc.dead = true
+			sc.dead.Store(true)
 			sc.mu.Unlock()
 			t.mu.Lock()
 			if t.conns[key] == sc {
@@ -523,6 +579,14 @@ func (t *TCP) conn(from, to int) (*sendConn, error) {
 			return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
 		}
 		sc.c = conn
+		sc.live.Store(&conn)
+		if sc.dead.Load() {
+			// A BreakLink raced the dial: it marked the pair dead while
+			// the socket did not exist yet, so closing it falls to us.
+			_ = conn.Close()
+			sc.mu.Unlock()
+			return nil, ErrLinkDown
+		}
 	}
 	return sc, nil
 }
@@ -569,7 +633,7 @@ func (t *TCP) SendBatch(from, to int, msgs []Message) (int, error) {
 			}
 		}
 		sc.sent += int64(accepted)
-		sc.dead = true
+		sc.dead.Store(true)
 		_ = sc.c.Close()
 		t.obs.FramesSent.Add(uint64(accepted))
 		t.obs.BytesOut.Add(uint64(nw))
@@ -586,7 +650,8 @@ func (t *TCP) SendBatch(from, to int, msgs []Message) (int, error) {
 // BreakLink severs the (from, to) stream, modeling a link failure: the
 // sender side refuses further frames with ErrLinkDown, the reader drains
 // what the stream already carried and then reconciles the rest through
-// OnLinkDown. It reports whether there was a live link to break.
+// OnLinkDown. It reports whether there was a link (live, or mid-dial) to
+// break.
 func (t *TCP) BreakLink(from, to int) bool {
 	t.mu.Lock()
 	sc := t.conns[[2]int{from, to}]
@@ -594,13 +659,15 @@ func (t *TCP) BreakLink(from, to int) bool {
 	if sc == nil {
 		return false
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if sc.c == nil || sc.dead {
+	// Lock-free on purpose: the writer this break is meant to interrupt
+	// may be holding the pair lock, blocked on the very socket being
+	// closed. Swap makes the kill exactly-once; if the dial is still in
+	// flight (live unset), conn re-checks dead after publishing the
+	// socket and closes it on our behalf.
+	if sc.dead.Swap(true) {
 		return false
 	}
-	sc.dead = true
-	_ = sc.c.Close()
+	sc.closeConn()
 	return true
 }
 
@@ -622,17 +689,18 @@ func (t *TCP) reapPair(from, to int) {
 // so a write racing the teardown is either refused (dead was seen) or
 // counted here (the write finished first).
 func (t *TCP) reap(sc *sendConn, from, to int) {
+	// Kill the socket before queueing on the pair lock: a writer blocked
+	// on a full stream holds the lock until the close errors it out, and
+	// waiting for it with the socket still open would deadlock the reap.
+	sc.dead.Store(true)
+	sc.closeConn()
 	sc.mu.Lock()
 	if sc.reaped {
 		sc.mu.Unlock()
 		return
 	}
 	sc.reaped = true
-	sc.dead = true
 	sent := sc.sent
-	if sc.c != nil {
-		_ = sc.c.Close()
-	}
 	sc.mu.Unlock()
 	if lost := sent - t.delivered[from*t.n+to].Load(); lost > 0 {
 		t.obs.FramesLost.Add(uint64(lost))
@@ -662,12 +730,10 @@ func (t *TCP) Close() error {
 		}
 		t.mu.Unlock()
 		for _, sc := range scs {
-			sc.mu.Lock()
-			sc.dead = true
-			if sc.c != nil {
-				_ = sc.c.Close()
-			}
-			sc.mu.Unlock()
+			// Same lock-free kill as reap: a writer blocked on a full
+			// socket holds the pair lock, and this close is what frees it.
+			sc.dead.Store(true)
+			sc.closeConn()
 		}
 		t.accMu.Lock()
 		for c := range t.accepted {

@@ -9,7 +9,26 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/vclock"
 )
+
+// cloneMessage deep-copies the variable-length sections of a Message. The
+// Start/StartBatched ownership contract says DV, Entries, and Payload are
+// views into transport-owned buffers valid only for the callback's duration;
+// tests that retain messages past the callback must copy, like any consumer.
+func cloneMessage(m Message) Message {
+	if m.DV != nil {
+		m.DV = append(make([]int, 0, len(m.DV)), m.DV...)
+	}
+	if m.Entries != nil {
+		m.Entries = append(make(vclock.Delta, 0, len(m.Entries)), m.Entries...)
+	}
+	if m.Payload != nil {
+		m.Payload = append(make([]byte, 0, len(m.Payload)), m.Payload...)
+	}
+	return m
+}
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
@@ -46,6 +65,51 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecodeViewMatchesDecode pins the zero-copy decoder to the portable
+// one: for any encodable message — full, sparse, with and without payload,
+// at aligned and unaligned buffer offsets — decodeView yields the same
+// Message decode does.
+func TestDecodeViewMatchesDecode(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Message{
+			From:    rng.Intn(64),
+			To:      rng.Intn(64),
+			Msg:     rng.Intn(1 << 20),
+			Epoch:   uint64(rng.Intn(100)),
+			Index:   rng.Intn(1000),
+			Ord:     rng.Intn(1000),
+			Payload: make([]byte, rng.Intn(64)),
+		}
+		rng.Read(m.Payload)
+		if rng.Intn(2) == 0 {
+			m.Sparse = true
+			m.Entries = make(vclock.Delta, rng.Intn(8))
+			for i := range m.Entries {
+				m.Entries[i] = vclock.Entry{K: i * 3, V: rng.Intn(1000)}
+			}
+		} else {
+			m.DV = make([]int, rng.Intn(16))
+			for i := range m.DV {
+				m.DV[i] = rng.Intn(1000)
+			}
+		}
+		// Encode at a random byte offset inside a larger buffer so the view
+		// path sees both aliasable (8-aligned) and fallback-copy frames.
+		pad := rng.Intn(16)
+		frame := appendEncode(make([]byte, pad, pad+256), m)[pad:]
+		want, werr := decode(frame)
+		got, gerr := decodeView(frame)
+		if werr != nil || gerr != nil {
+			return false
+		}
+		return reflect.DeepEqual(want, cloneMessage(got))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := decode([]byte("nope")); err == nil {
 		t.Fatal("garbage should not decode")
@@ -71,7 +135,7 @@ func TestTCPMeshDelivery(t *testing.T) {
 	const total = n * (n - 1) * 5
 	if err := mesh.Start(func(m Message) {
 		mu.Lock()
-		got[m.Msg] = m
+		got[m.Msg] = cloneMessage(m)
 		if len(got) == total {
 			select {
 			case done <- struct{}{}:
@@ -246,7 +310,7 @@ func TestTCPDialFailureAllowsRetry(t *testing.T) {
 	}
 	defer func() { _ = mesh.Close() }()
 	got := make(chan Message, 1)
-	if err := mesh.Start(func(m Message) { got <- m }); err != nil {
+	if err := mesh.Start(func(m Message) { got <- cloneMessage(m) }); err != nil {
 		t.Fatal(err)
 	}
 

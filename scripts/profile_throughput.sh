@@ -1,0 +1,32 @@
+#!/bin/sh
+# profile_throughput.sh — pprof the saturated receive path.
+#
+# Runs the env-gated profiling cell (internal/bench TestProfileSaturatedCell:
+# pool engine, n=128, window=16, saturating closed-loop load over the
+# loopback TCP mesh) under go test's CPU and allocation profilers, then
+# renders the flat-top tables. The rendered text is what EXPERIMENTS.md E10
+# quotes; the raw .out files stay in the output directory for interactive
+# `go tool pprof` sessions.
+#
+# Usage: scripts/profile_throughput.sh [outdir]   (default /tmp/throughput_prof)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-/tmp/throughput_prof}
+mkdir -p "$out"
+
+PROFILE_CELL=1 PROFILE_CELL_SECONDS=${PROFILE_CELL_SECONDS:-4} \
+	go test -run TestProfileSaturatedCell -count=1 -v \
+	-cpuprofile "$out/cpu.out" -memprofile "$out/mem.out" \
+	-o "$out/bench.test" ./internal/bench/ | tee "$out/cell.txt"
+
+go tool pprof -top -nodecount=25 "$out/bench.test" "$out/cpu.out" >"$out/cpu_top.txt"
+go tool pprof -top -cum -nodecount=25 "$out/bench.test" "$out/cpu.out" >"$out/cpu_cum.txt"
+go tool pprof -sample_index=alloc_space -top -nodecount=25 "$out/bench.test" "$out/mem.out" >"$out/alloc_top.txt"
+
+echo
+echo "== CPU (flat) ==" && sed -n '1,15p' "$out/cpu_top.txt"
+echo
+echo "== allocations (alloc_space) ==" && sed -n '1,15p' "$out/alloc_top.txt"
+echo
+echo "profiles in $out: cpu.out mem.out (raw), cpu_top.txt cpu_cum.txt alloc_top.txt (rendered)"
