@@ -16,11 +16,20 @@ type ChaosPattern = chaos.Pattern
 // Fault patterns. Single crashes one process per cycle; Correlated crashes
 // a random set at once; Rolling sweeps the cluster one process per cycle;
 // Repeated crashes the same process again immediately after each recovery.
+// The partition patterns run over the real TCP mesh (RunChaos enables it
+// automatically): SplitBrain severs two seeded halves mid-traffic and
+// heals; Flapping breaks and heals one seeded link repeatedly under load;
+// Isolation cuts one process off per cycle, rolling through the cluster;
+// PartitionRecovery runs the recovery session while the split is open.
 const (
-	ChaosSingle     = chaos.Single
-	ChaosCorrelated = chaos.Correlated
-	ChaosRolling    = chaos.Rolling
-	ChaosRepeated   = chaos.Repeated
+	ChaosSingle            = chaos.Single
+	ChaosCorrelated        = chaos.Correlated
+	ChaosRolling           = chaos.Rolling
+	ChaosRepeated          = chaos.Repeated
+	ChaosSplitBrain        = chaos.SplitBrain
+	ChaosFlapping          = chaos.Flapping
+	ChaosIsolation         = chaos.Isolation
+	ChaosPartitionRecovery = chaos.PartitionRecovery
 )
 
 // ChaosPlanOptions parameterizes NewChaosPlan.
@@ -42,11 +51,12 @@ func NewChaosPlan(o ChaosPlanOptions) (ChaosPlan, error) { return chaos.NewPlan(
 // restored cut equals the Lemma 1 recovery line, the post-recovery pattern
 // stays RD-trackable, only obsolete checkpoints were collected, and
 // retention respects the RDT-LGC bound. The engine runs deterministically:
-// the same plan and options yield the same measurements.
+// the same plan and options yield the same measurements. Plans with
+// partition steps route the cluster over the loopback TCP mesh (Network.TCP
+// turns it on explicitly for the other patterns), where every heal is
+// followed by a full drain — reconnect, retransmit, delivery — and the
+// oracle battery.
 func RunChaos(plan ChaosPlan, net Network, opt ...Option) (ChaosResult, error) {
-	if net.TCP {
-		return ChaosResult{}, fmt.Errorf("rdt: chaos runs do not support the TCP mesh")
-	}
 	o := defaults()
 	for _, f := range opt {
 		f(&o)
@@ -67,6 +77,7 @@ func RunChaos(plan ChaosPlan, net Network, opt ...Option) (ChaosResult, error) {
 		Deterministic: true,
 		Compress:      o.compress,
 		RDT:           o.protocol.RDT(),
+		TCP:           net.TCP || plan.Partitioned(),
 	}
 	switch o.collector {
 	case RDTLGC:

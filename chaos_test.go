@@ -95,9 +95,18 @@ func TestChaosFacadeRun(t *testing.T) {
 		t.Fatalf("two runs of the same plan diverged:\n%+v\n%+v", a, b)
 	}
 
-	// Unsupported assemblies fail loudly instead of panicking.
-	if _, err := rdt.RunChaos(plan, rdt.Network{TCP: true}); err == nil {
-		t.Error("TCP chaos run should be rejected")
+	// A TCP run of the same plan exercises the wire path; deterministic
+	// mode drains between operations, so the measurements still match the
+	// in-process run exactly (wall-clock aside).
+	tcp, err := rdt.RunChaos(plan, rdt.Network{Loss: 0.05, Seed: 3, TCP: true},
+		rdt.WithProtocol(rdt.CBR), rdt.WithCollector(rdt.RDTLGC),
+		rdt.WithFileStorage(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp.Latency = 0
+	if !reflect.DeepEqual(a, tcp) {
+		t.Fatalf("TCP run of the same plan diverged:\n%+v\n%+v", a, tcp)
 	}
 	if _, err := rdt.RunChaos(plan, rdt.Network{}, rdt.WithCollector(rdt.SyncOptimal)); err == nil {
 		t.Error("global-collector chaos run should be rejected")

@@ -34,17 +34,18 @@ import (
 
 func main() {
 	var (
-		patterns = flag.String("patterns", "single,correlated,rolling,repeated", "comma-separated fault patterns")
-		sizes    = flag.String("sizes", "4,8", "comma-separated process counts")
-		seeds    = flag.Int("seeds", 2, "seeded fault plans averaged per cell")
-		cycles   = flag.Int("cycles", 4, "crash/restart cycles per run")
-		ops      = flag.Int("ops", 150, "application operations per drive phase")
-		pcheck   = flag.Float64("pcheckpoint", 0.2, "basic checkpoint probability")
-		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size (result order does not depend on it)")
-		format   = flag.String("format", "text", "output format: text|json")
-		bench    = flag.Bool("bench", false, "run the grid serially and with -workers, emit the timing comparison as JSON")
-		store    = flag.String("store", "mem", "stable-storage backend for observed runs and -torture: mem|file|log")
-		torture  = flag.Bool("torture", false, "run the storage crash-torture matrix instead of the survivability grid")
+		patterns  = flag.String("patterns", "single,correlated,rolling,repeated", "comma-separated fault patterns")
+		partition = flag.String("partition", "", "comma-separated partition patterns to add to the grid: split|flap|isolate|partition-recovery (run over the real TCP mesh; heal latency lands in the JSON and bench outputs)")
+		sizes     = flag.String("sizes", "4,8", "comma-separated process counts")
+		seeds     = flag.Int("seeds", 2, "seeded fault plans averaged per cell")
+		cycles    = flag.Int("cycles", 4, "crash/restart cycles per run")
+		ops       = flag.Int("ops", 150, "application operations per drive phase")
+		pcheck    = flag.Float64("pcheckpoint", 0.2, "basic checkpoint probability")
+		workers   = flag.Int("workers", runtime.NumCPU(), "worker pool size (result order does not depend on it)")
+		format    = flag.String("format", "text", "output format: text|json")
+		bench     = flag.Bool("bench", false, "run the grid serially and with -workers, emit the timing comparison as JSON")
+		store     = flag.String("store", "mem", "stable-storage backend for observed runs and -torture: mem|file|log")
+		torture   = flag.Bool("torture", false, "run the storage crash-torture matrix instead of the survivability grid")
 	)
 	var obsf observedFlags
 	flag.BoolVar(&obsf.metrics, "metrics", false, "observed single run: print the metrics-registry snapshot")
@@ -57,6 +58,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *partition != "" {
+		parts, err := parsePatterns(*partition)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, p := range parts {
+			if !p.UsesPartitions() {
+				fmt.Fprintf(os.Stderr, "chaos: %s is not a partition pattern (want split|flap|isolate|partition-recovery)\n", p)
+				os.Exit(2)
+			}
+		}
+		pats = append(pats, parts...)
 	}
 	ns, err := sweep.ParseSizes(*sizes)
 	if err != nil {

@@ -89,6 +89,18 @@ type Result struct {
 	// Latency is the total wall clock spent inside Restart calls —
 	// rehydration from stable storage plus the recovery session.
 	Latency time.Duration
+
+	// Partitions counts partition faults injected: one per StepPartition,
+	// one per StepBreakLink flap.
+	Partitions int
+	// Heals counts StepHeal executions — each heals the whole mesh, drains
+	// the retransmit backlog, and verifies the cluster against the
+	// replayed history.
+	Heals int
+	// HealLatency is the total wall clock from each HealAll call to the
+	// drained cluster — reconnect, retransmit, and delivery of every
+	// parked frame.
+	HealLatency time.Duration
 }
 
 // MeanRollbackDepth is the mean of RollbackDepth (0 with no rollbacks).
@@ -100,6 +112,14 @@ func (r Result) MeanLatency() time.Duration {
 		return 0
 	}
 	return r.Latency / time.Duration(r.Recoveries)
+}
+
+// MeanHealLatency is the mean wall clock per heal step (0 with no heals).
+func (r Result) MeanHealLatency() time.Duration {
+	if r.Heals == 0 {
+		return 0
+	}
+	return r.HealLatency / time.Duration(r.Heals)
 }
 
 // Run executes the plan against a fresh cluster and verifies every
@@ -118,6 +138,9 @@ func Run(cfg Config, plan Plan) (Result, error) {
 	}
 	if cfg.Compress && base.Loss > 0 {
 		return Result{}, fmt.Errorf("chaos: compressed piggybacking requires a lossless baseline network (loss %g)", base.Loss)
+	}
+	if plan.Partitioned() && !cfg.TCP {
+		return Result{}, fmt.Errorf("chaos: partition plans need the TCP mesh (set Config.TCP)")
 	}
 	c, err := runtime.NewCluster(runtime.Config{
 		N:        plan.N,
@@ -180,6 +203,52 @@ func Run(cfg Config, plan Plan) (Result, error) {
 		case StepRestart:
 			if err := restartAndVerify(c, cfg, om, &res); err != nil {
 				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+			}
+		case StepPartition:
+			if err := c.Partition(step.Groups); err != nil {
+				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+			}
+			res.Partitions++
+		case StepHeal:
+			t0 := time.Now()
+			if cfg.Deterministic {
+				// Heal one directed pair at a time, draining between pairs.
+				// Parked backlogs are per-pair FIFO, but a whole-mesh heal
+				// flushes them concurrently and the cross-pair interleaving
+				// at each receiver is OS-scheduled — and forced-checkpoint
+				// decisions depend on arrival order. Sequential heals give
+				// the drain a canonical order, keeping the table a pure
+				// function of the plan for any worker count.
+				for from := 0; from < plan.N; from++ {
+					for to := 0; to < plan.N; to++ {
+						if from != to {
+							c.HealLink(from, to)
+							c.Quiesce()
+						}
+					}
+				}
+			}
+			c.HealAll()
+			// The drain after a heal is the whole point: reconnect, flush the
+			// retransmit backlog, deliver every parked frame — only then is
+			// the healed state checkable against the replayed history.
+			c.Quiesce()
+			res.HealLatency += time.Since(t0)
+			res.Heals++
+			if err := verifyHeal(c, cfg); err != nil {
+				om.OracleViolations.Inc()
+				return res, fmt.Errorf("chaos: step %d: %w", stepIdx, err)
+			}
+			om.OracleOK.Inc()
+		case StepBreakLink:
+			c.BreakLink(step.Procs[0], step.Procs[1])
+			res.Partitions++
+		case StepHealLink:
+			c.HealLink(step.Procs[0], step.Procs[1])
+			if cfg.Deterministic {
+				// Drain the flushed backlog before the next drive op so its
+				// frames cannot race a fresh send into a shared receiver.
+				c.Quiesce()
 			}
 		default:
 			return res, fmt.Errorf("chaos: step %d: unknown kind %d", stepIdx, int(step.Kind))
@@ -349,10 +418,23 @@ func verifyRecovery(c *runtime.Cluster, cfg Config, pre *ccp.CCP, victims []int,
 	}
 	res.Replayed += len(rep.RolledBack)
 
+	return verifyClusterState(c, cfg, res, true)
+}
+
+// verifyClusterState checks the live middleware against the ground truth
+// replayed from the recorded history: per-process last-stable agreement,
+// RD-trackability of the current pattern (RDT protocols), Theorem 4 safety
+// (only oracle-obsolete checkpoints were collected) with intact reference
+// counts, and — afterRecovery only, it is a recovery-session post-condition
+// — the Section 4.5 retention n-bound. Shared by the post-recovery
+// verification and the post-heal check, so a healed partition faces the
+// same oracle battery a recovery does.
+func verifyClusterState(c *runtime.Cluster, cfg Config, res *Result, afterRecovery bool) error {
+	n := c.N()
 	post := c.Oracle()
 	if cfg.RDT {
 		if v, bad := post.FirstRDTViolation(); bad {
-			return fmt.Errorf("chaos: post-recovery pattern not RDT: %v", v)
+			return fmt.Errorf("chaos: pattern not RDT: %v", v)
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -362,11 +444,13 @@ func verifyRecovery(c *runtime.Cluster, cfg Config, pre *ccp.CCP, victims []int,
 				i, node.LastStable(), post.LastStable(i))
 		}
 		indices := node.Store().Indices()
-		if len(indices) > res.RetainedAfterMax {
-			res.RetainedAfterMax = len(indices)
-		}
-		if cfg.CheckNBound && len(indices) > n {
-			return fmt.Errorf("chaos: p%d retains %d > n stable checkpoints after recovery", i, len(indices))
+		if afterRecovery {
+			if len(indices) > res.RetainedAfterMax {
+				res.RetainedAfterMax = len(indices)
+			}
+			if cfg.CheckNBound && len(indices) > n {
+				return fmt.Errorf("chaos: p%d retains %d > n stable checkpoints after recovery", i, len(indices))
+			}
 		}
 		stored := make(map[int]bool, len(indices))
 		for _, idx := range indices {
@@ -384,4 +468,16 @@ func verifyRecovery(c *runtime.Cluster, cfg Config, pre *ccp.CCP, victims []int,
 		}
 	}
 	return nil
+}
+
+// verifyHeal asserts a drained post-heal cluster: no pair still severed,
+// and the live state passes the shared oracle battery — in particular the
+// compressed-piggyback delivery-order verification already ran inside
+// every kernel during the drain, so a duplicated or reordered retransmit
+// would have surfaced before this check.
+func verifyHeal(c *runtime.Cluster, cfg Config) error {
+	if open := c.PartitionedPairs(); open != 0 {
+		return fmt.Errorf("chaos: %d directed pairs still severed after heal", open)
+	}
+	return verifyClusterState(c, cfg, &Result{}, false)
 }

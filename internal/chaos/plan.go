@@ -39,6 +39,23 @@ const (
 	// intervening traffic — the process keeps failing during the window in
 	// which the cluster is still digesting its previous recovery.
 	Repeated
+	// SplitBrain partitions the mesh into two seeded halves mid-traffic,
+	// drives both sides against the wall, heals, drains the retransmit
+	// backlog, and then runs a crash/restart cycle so the full oracle
+	// battery covers the healed pattern. TCP clusters only.
+	SplitBrain
+	// Flapping breaks and heals one seeded directed link repeatedly under
+	// traffic — the reconnect path exercised while the sender pool is hot.
+	// TCP clusters only.
+	Flapping
+	// Isolation cuts one process off from everyone (both directions) per
+	// cycle, rolling through the cluster like Rolling does with crashes.
+	// TCP clusters only.
+	Isolation
+	// PartitionRecovery opens a split, crashes a process, and runs the
+	// recovery session while the partition is still open — the session's
+	// drain must not hang on parked frames — before healing. TCP only.
+	PartitionRecovery
 )
 
 // String returns the pattern name used on the cmd/chaos command line.
@@ -52,17 +69,46 @@ func (p Pattern) String() string {
 		return "rolling"
 	case Repeated:
 		return "repeated"
+	case SplitBrain:
+		return "split"
+	case Flapping:
+		return "flap"
+	case Isolation:
+		return "isolate"
+	case PartitionRecovery:
+		return "partition-recovery"
 	default:
 		return fmt.Sprintf("pattern(%d)", int(p))
 	}
 }
 
-// Patterns lists every fault pattern, in table order.
+// Patterns lists the crash-fault patterns, in table order.
 func Patterns() []Pattern { return []Pattern{Single, Correlated, Rolling, Repeated} }
 
-// ParsePattern maps a -patterns flag element to a Pattern.
+// PartitionPatterns lists the network-partition patterns (TCP clusters
+// only), in table order.
+func PartitionPatterns() []Pattern {
+	return []Pattern{SplitBrain, Flapping, Isolation, PartitionRecovery}
+}
+
+// UsesPartitions reports whether the pattern schedules partition or
+// link-flap steps, which require a TCP cluster.
+func (p Pattern) UsesPartitions() bool {
+	switch p {
+	case SplitBrain, Flapping, Isolation, PartitionRecovery:
+		return true
+	}
+	return false
+}
+
+// ParsePattern maps a -patterns / -partition flag element to a Pattern.
 func ParsePattern(s string) (Pattern, error) {
 	for _, p := range Patterns() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	for _, p := range PartitionPatterns() {
 		if p.String() == s {
 			return p, nil
 		}
@@ -85,18 +131,33 @@ const (
 	// StepRestart rehydrates every crashed process from stable storage and
 	// runs the recovery session, then verifies it against the oracles.
 	StepRestart
+	// StepPartition severs every cross-group mesh pair atomically; frames
+	// into the cut park for retransmit. TCP clusters only.
+	StepPartition
+	// StepHeal lifts every open partition and break, drains the retransmit
+	// backlog, and verifies the healed cluster state against the replayed
+	// history.
+	StepHeal
+	// StepBreakLink severs one directed pair (Procs[0] -> Procs[1]).
+	StepBreakLink
+	// StepHealLink heals one directed pair (Procs[0] -> Procs[1]).
+	StepHealLink
 )
 
 // Step is one instruction of a plan.
 type Step struct {
 	Kind StepKind
-	// Procs lists the crash victims (StepCrash).
+	// Procs lists the crash victims (StepCrash) or the directed pair
+	// (StepBreakLink / StepHealLink: Procs[0] -> Procs[1]).
 	Procs []int
 	// Ops is the number of application operations (StepDrive).
 	Ops int
 	// Loss and MaxDelay shape the burst (StepBurst).
 	Loss     float64
 	MaxDelay time.Duration
+	// Groups lists the partition's sides (StepPartition); processes in no
+	// group form one implicit extra side.
+	Groups [][]int
 }
 
 // PlanOptions parameterizes NewPlan.
@@ -124,6 +185,12 @@ type PlanOptions struct {
 	// RepeatedCrashes is how many back-to-back crash/restart rounds the
 	// Repeated pattern runs per cycle (default 3; ignored otherwise).
 	RepeatedCrashes int
+	// Flaps is how many break/heal rounds the Flapping pattern runs per
+	// cycle (default 4; ignored otherwise). Partition plans always end each
+	// cycle with a crash/restart tail so the full oracle battery covers the
+	// healed pattern; build Steps directly for a crash-free plan, as the
+	// differential delivery-equivalence test does.
+	Flaps int
 }
 
 // Plan is a seeded fault schedule. Plans are pure data: the same options
@@ -158,6 +225,18 @@ func (p Plan) Crashes() int {
 	return k
 }
 
+// Partitioned reports whether the plan schedules partition or link-flap
+// steps, which require running the cluster over the TCP mesh.
+func (p Plan) Partitioned() bool {
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case StepPartition, StepHeal, StepBreakLink, StepHealLink:
+			return true
+		}
+	}
+	return false
+}
+
 // NewPlan expands the options into a seeded fault schedule.
 func NewPlan(o PlanOptions) (Plan, error) {
 	if o.N < 2 {
@@ -170,7 +249,7 @@ func NewPlan(o PlanOptions) (Plan, error) {
 		return Plan{}, fmt.Errorf("chaos: need at least one operation per drive phase, got %d", o.Ops)
 	}
 	switch o.Pattern {
-	case Single, Correlated, Rolling, Repeated:
+	case Single, Correlated, Rolling, Repeated, SplitBrain, Flapping, Isolation, PartitionRecovery:
 	default:
 		return Plan{}, fmt.Errorf("chaos: unknown fault pattern %d", int(o.Pattern))
 	}
@@ -183,10 +262,17 @@ func NewPlan(o PlanOptions) (Plan, error) {
 	if o.RepeatedCrashes <= 0 {
 		o.RepeatedCrashes = 3
 	}
+	if o.Flaps <= 0 {
+		o.Flaps = 4
+	}
 
 	rng := rand.New(rand.NewSource(o.Seed))
 	plan := Plan{N: o.N, Pattern: o.Pattern, Seed: o.Seed}
 	for cycle := 0; cycle < o.Cycles; cycle++ {
+		if o.Pattern.UsesPartitions() {
+			partitionCycle(&plan, rng, o, cycle)
+			continue
+		}
 		if o.PBurst > 0 && rng.Float64() < o.PBurst {
 			plan.Steps = append(plan.Steps, Step{Kind: StepBurst, Loss: o.BurstLoss, MaxDelay: o.BurstDelay})
 		}
@@ -208,6 +294,70 @@ func NewPlan(o PlanOptions) (Plan, error) {
 		}
 	}
 	return plan, nil
+}
+
+// partitionCycle appends one cycle of a partition pattern. Every draw comes
+// from the plan RNG here, at expansion time — the engine's drive RNG never
+// advances on partition steps, so a plan with its partition steps deleted
+// drives the byte-identical op stream (the differential oracle's lever).
+func partitionCycle(plan *Plan, rng *rand.Rand, o PlanOptions, cycle int) {
+	ops := o.DowntimeOps
+	if ops < 1 {
+		ops = 1
+	}
+	add := func(steps ...Step) { plan.Steps = append(plan.Steps, steps...) }
+	add(Step{Kind: StepDrive, Ops: o.Ops})
+	switch o.Pattern {
+	case SplitBrain:
+		add(Step{Kind: StepPartition, Groups: halves(rng, o.N)})
+		add(Step{Kind: StepDrive, Ops: ops})
+		add(Step{Kind: StepHeal})
+		add(Step{Kind: StepDrive, Ops: ops})
+	case Flapping:
+		from := rng.Intn(o.N)
+		to := rng.Intn(o.N - 1)
+		if to >= from {
+			to++
+		}
+		for f := 0; f < o.Flaps; f++ {
+			add(Step{Kind: StepBreakLink, Procs: []int{from, to}})
+			add(Step{Kind: StepDrive, Ops: ops})
+			add(Step{Kind: StepHealLink, Procs: []int{from, to}})
+			add(Step{Kind: StepDrive, Ops: ops})
+		}
+		add(Step{Kind: StepHeal}) // settle: verify the healed state once per cycle
+	case Isolation:
+		add(Step{Kind: StepPartition, Groups: [][]int{{cycle % o.N}}})
+		add(Step{Kind: StepDrive, Ops: ops})
+		add(Step{Kind: StepHeal})
+		add(Step{Kind: StepDrive, Ops: ops})
+	case PartitionRecovery:
+		// The crash and the recovery session both happen while the split is
+		// open; the session's drain crosses parked frames and must return.
+		add(Step{Kind: StepPartition, Groups: halves(rng, o.N)})
+		add(Step{Kind: StepDrive, Ops: ops})
+		add(Step{Kind: StepCrash, Procs: []int{rng.Intn(o.N)}})
+		add(Step{Kind: StepDrive, Ops: ops})
+		add(Step{Kind: StepRestart})
+		add(Step{Kind: StepHeal})
+		add(Step{Kind: StepDrive, Ops: ops})
+		return
+	}
+	// Close the cycle with a crash/restart so the healed pattern passes the
+	// full oracle battery, not just the heal checks.
+	add(Step{Kind: StepCrash, Procs: []int{rng.Intn(o.N)}})
+	add(Step{Kind: StepDrive, Ops: ops})
+	add(Step{Kind: StepRestart})
+}
+
+// halves splits the processes into two seeded halves.
+func halves(rng *rand.Rand, n int) [][]int {
+	perm := rng.Perm(n)
+	a := append([]int(nil), perm[:n/2]...)
+	b := append([]int(nil), perm[n/2:]...)
+	sort.Ints(a)
+	sort.Ints(b)
+	return [][]int{a, b}
 }
 
 // victims draws the cycle's crash set.

@@ -62,6 +62,19 @@ const (
 	RuntimeIngressDepth  = "runtime.ingress.depth"
 	RuntimeIngressDrains = "runtime.ingress.drains"
 	RuntimeIngressNs     = "runtime.ingress.drain_ns"
+	// Reliability layer (per-pair retransmit windows over the mesh):
+	// retransmits counts frames resent through the retry path after a link
+	// died, reconnects counts pairs whose parked backlog flushed clean,
+	// parked is the frames currently awaiting a reconnect, lost is frames
+	// dropped past the retransmit window (permanently, like the old
+	// severed-link semantics), duplicates is receiver-side dedup drops, and
+	// backoff_ns samples every retry delay the backoff schedule draws.
+	RuntimeLinkRetransmits = "runtime.link.retransmits"
+	RuntimeLinkReconnects  = "runtime.link.reconnects"
+	RuntimeLinkParked      = "runtime.link.parked"
+	RuntimeLinkLost        = "runtime.link.lost"
+	RuntimeLinkDups        = "runtime.link.duplicates"
+	RuntimeLinkBackoffNs   = "runtime.link.backoff_ns"
 
 	// Transport (internal/transport).
 	TransportBatches        = "transport.batches"
@@ -74,6 +87,9 @@ const (
 	TransportDials          = "transport.dials"
 	TransportDialFailures   = "transport.dial_failures"
 	TransportBadFrames      = "transport.bad_frames"
+	// PartitionedPairs gauges the directed pairs currently administratively
+	// blocked (BreakLink/Partition); it returns to zero on heal.
+	TransportPartitionedPairs = "transport.partitioned_pairs"
 
 	// Storage (internal/storage).
 	StorageSaves      = "storage.saves"
@@ -145,6 +161,13 @@ type RuntimeMetrics struct {
 	IngressDepth  *Gauge
 	IngressDrains *Counter
 	IngressNs     *Histogram
+
+	LinkRetransmits *Counter
+	LinkReconnects  *Counter
+	LinkParked      *Gauge
+	LinkLost        *Counter
+	LinkDups        *Counter
+	LinkBackoffNs   *Histogram
 }
 
 // RuntimeMetricsFrom resolves the runtime bundle against a registry.
@@ -160,20 +183,28 @@ func RuntimeMetricsFrom(r *Registry) RuntimeMetrics {
 		IngressDepth:  r.Gauge(RuntimeIngressDepth),
 		IngressDrains: r.Counter(RuntimeIngressDrains),
 		IngressNs:     r.Histogram(RuntimeIngressNs),
+
+		LinkRetransmits: r.Counter(RuntimeLinkRetransmits),
+		LinkReconnects:  r.Counter(RuntimeLinkReconnects),
+		LinkParked:      r.Gauge(RuntimeLinkParked),
+		LinkLost:        r.Counter(RuntimeLinkLost),
+		LinkDups:        r.Counter(RuntimeLinkDups),
+		LinkBackoffNs:   r.Histogram(RuntimeLinkBackoffNs),
 	}
 }
 
 // TransportMetrics is the TCP mesh's handle bundle.
 type TransportMetrics struct {
-	Batches        *Counter
-	FramesPerBatch *Histogram
-	FramesSent     *Counter
-	FramesDeliv    *Counter
-	FramesLost     *Counter
-	BytesOut       *Counter
-	BytesIn        *Counter
-	Dials          *Counter
-	DialFailures   *Counter
+	Batches          *Counter
+	FramesPerBatch   *Histogram
+	FramesSent       *Counter
+	FramesDeliv      *Counter
+	FramesLost       *Counter
+	BytesOut         *Counter
+	BytesIn          *Counter
+	Dials            *Counter
+	DialFailures     *Counter
+	PartitionedPairs *Gauge
 }
 
 // TransportMetricsFrom resolves the transport bundle against a registry.
@@ -181,15 +212,16 @@ type TransportMetrics struct {
 // (the PR-6 accessor) and adopts it into the registry via RegisterCounter.
 func TransportMetricsFrom(r *Registry) TransportMetrics {
 	return TransportMetrics{
-		Batches:        r.Counter(TransportBatches),
-		FramesPerBatch: r.Histogram(TransportFramesPerBatch),
-		FramesSent:     r.Counter(TransportFramesSent),
-		FramesDeliv:    r.Counter(TransportFramesDeliv),
-		FramesLost:     r.Counter(TransportFramesLost),
-		BytesOut:       r.Counter(TransportBytesOut),
-		BytesIn:        r.Counter(TransportBytesIn),
-		Dials:          r.Counter(TransportDials),
-		DialFailures:   r.Counter(TransportDialFailures),
+		Batches:          r.Counter(TransportBatches),
+		FramesPerBatch:   r.Histogram(TransportFramesPerBatch),
+		FramesSent:       r.Counter(TransportFramesSent),
+		FramesDeliv:      r.Counter(TransportFramesDeliv),
+		FramesLost:       r.Counter(TransportFramesLost),
+		BytesOut:         r.Counter(TransportBytesOut),
+		BytesIn:          r.Counter(TransportBytesIn),
+		Dials:            r.Counter(TransportDials),
+		DialFailures:     r.Counter(TransportDialFailures),
+		PartitionedPairs: r.Gauge(TransportPartitionedPairs),
 	}
 }
 

@@ -19,6 +19,8 @@ const (
 	EvCollect
 	EvCrash
 	EvRestart
+	EvLinkDown
+	EvLinkUp
 	evKinds
 )
 
@@ -31,6 +33,8 @@ var kindNames = [evKinds]string{
 	EvCollect:    "collect",
 	EvCrash:      "crash",
 	EvRestart:    "restart",
+	EvLinkDown:   "link_down",
+	EvLinkUp:     "link_up",
 }
 
 // String names the kind ("send", "deliver", ...).
@@ -52,6 +56,8 @@ func (k EventKind) String() string {
 //	Collect     P=process,   Msg=collected checkpoint index
 //	Crash       P=process,   Clock=own DV entry at the instant of failure
 //	Restart     P=process,   Msg=checkpoint index rehydrated from
+//	LinkDown    P=sender,    Aux=receiver, Msg=frames parked for retransmit
+//	LinkUp      P=sender,    Aux=receiver, Msg=frames resent on reconnect
 type Event struct {
 	Kind  EventKind
 	T     int64 // wall clock, UnixNano

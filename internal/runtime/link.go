@@ -1,0 +1,479 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// This file is the reliability layer between the sender pool and the TCP
+// mesh: per-(from,to) wire sequence numbers, a bounded retransmit window,
+// and parked-frame retry with exponential backoff, so a severed or
+// partitioned link heals instead of silently losing every frame forever.
+//
+// Invariants (the DESIGN.md "Partitions and healing" section states them
+// with the argument; the code enforces them):
+//
+//   - Every mesh send of a pair passes through the pair's pairLink with its
+//     lock held, in dispatch order, and is stamped with the next wire seq
+//     there — so wire seq order equals dispatch order equals (via the
+//     pooled queue's per-pair due-time clamp) application send order.
+//   - window holds exactly the frames accepted onto the wire and not yet
+//     known delivered, oldest first; winBase is the cumulative
+//     wire-acceptance index of window[0] and wireDeliv the cumulative
+//     delivered count, so pruning window[0] while winBase < wireDeliv
+//     discards only frames the receiver has consumed.
+//   - OnLinkDown moves the window's undelivered tail to the FRONT of
+//     parked (frames that failed a later send are already there and are
+//     newer), so parked stays in wire-seq order and a flush resends the
+//     pair's frames in their original order.
+//   - Parked frames hold no in-flight accounting: Quiesce does not wait on
+//     a partition, only on frames actually on the wire or in delivery.
+//   - The receiver drops any frame whose seq is below the pair's expected
+//     seq (a retransmit raced its own delivery) and advances over gaps
+//     (frames dropped past the window are permanent losses); together with
+//     reap-gated redial this keeps delivery exactly-once and per-pair FIFO.
+type pairLink struct {
+	mu      sync.Mutex
+	sendSeq uint64    // next wire seq to stamp
+	window  []pending // wire-accepted, not yet known-delivered, oldest first
+	winBase int64     // cumulative wire-acceptance index of window[0]
+	parked  []pending // awaiting reconnect, wire-seq order; no inflight held
+	tries   int       // consecutive failed flushes (drives the backoff)
+	timer   *time.Timer
+	down    bool // a link-down flight event was recorded and not yet matched
+
+	wire []transport.Message // reused frame batch for this pair's sends
+}
+
+// LinkOptions tunes the reliability layer and the mesh's failure behavior
+// (Config.Link). The zero value selects the defaults below.
+type LinkOptions struct {
+	// RetryBase and RetryCap shape the exponential retransmit backoff
+	// (defaults 10ms and 1s): after the k-th consecutive failed flush the
+	// pair waits about base<<k, jittered ±50%, capped, before retrying.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Window bounds the frames a pair retains for retransmit — parked and
+	// wire-accepted alike (default 4096). Overflow drops frames
+	// permanently, exactly like the pre-heal mesh lost them; compressed
+	// clusters should size it above the largest burst a partition can
+	// strand, since the piggyback verifier fails loudly on a genuine loss.
+	Window int
+	// DialTimeout and WriteTimeout forward to transport.Options.
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+func (o LinkOptions) withDefaults() LinkOptions {
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = time.Second
+	}
+	if o.Window <= 0 {
+		o.Window = 4096
+	}
+	return o
+}
+
+// inflight counts messages in transit. It replaces the sync.WaitGroup the
+// cluster used before links could heal: retry timers legitimately re-add
+// in-flight frames while Quiesce waits (a WaitGroup forbids Add during
+// Wait), and this counter allows it — Quiesce returns at any zero
+// crossing, and a flush that starts afterwards is new traffic, exactly
+// like a send racing Quiesce always was.
+type inflight struct {
+	n    atomic.Int64
+	mu   sync.Mutex
+	zero sync.Cond
+}
+
+func (f *inflight) init() { f.zero.L = &f.mu }
+
+func (f *inflight) Add(d int) {
+	if f.n.Add(int64(d)) == 0 {
+		f.mu.Lock()
+		f.zero.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+func (f *inflight) Done() { f.Add(-1) }
+
+func (f *inflight) Wait() {
+	if f.n.Load() == 0 {
+		return
+	}
+	f.mu.Lock()
+	for f.n.Load() != 0 {
+		f.zero.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// link returns the (from,to) pairLink, creating it on first use (CAS into
+// a pointer table: n² eager pairLinks would cost tens of MB at n=512 for
+// pairs that mostly never talk).
+func (c *Cluster) link(from, to int) *pairLink {
+	slot := &c.links[from*c.cfg.N+to]
+	if pl := slot.Load(); pl != nil {
+		return pl
+	}
+	pl := &pairLink{}
+	if slot.CompareAndSwap(nil, pl) {
+		return pl
+	}
+	return slot.Load()
+}
+
+// sendRun pushes one dispatch run (same (from,to), dispatch order) through
+// the pair's reliability state: stamp wire seqs, then either hand the run
+// to the wire or park it behind the pair's existing backlog. Called from
+// the dest queue's worker; the pairLink lock serializes it against the
+// pair's retry timer and OnLinkDown.
+func (c *Cluster) sendRun(from, to int, run []pending) {
+	pl := c.link(from, to)
+	pl.mu.Lock()
+	for i := range run {
+		run[i].wseq = pl.sendSeq
+		pl.sendSeq++
+	}
+	if len(pl.parked) > 0 || pl.timer != nil {
+		// The link is down (or a retry is pending): joining the parked tail
+		// instead of racing the flush keeps the pair's wire order intact.
+		c.park(pl, from, to, run, true)
+		pl.mu.Unlock()
+		return
+	}
+	c.wireSend(pl, from, to, run, true)
+	pl.mu.Unlock()
+}
+
+// wireSend encodes and writes one run, appends the accepted frames to the
+// retransmit window and parks the rest. Called with pl.mu held. haveFlight
+// says the frames currently hold in-flight accounting (dispatch runs do; a
+// flush re-adds it before calling). Returns how many frames the wire
+// accepted.
+func (c *Cluster) wireSend(pl *pairLink, from, to int, run []pending, haveFlight bool) int {
+	c.pruneWindow(pl, from, to)
+	msgs := pl.wire[:0]
+	for k := range run {
+		msgs = append(msgs, wireMessage(from, to, run[k]))
+	}
+	accepted, _ := c.mesh.SendBatch(from, to, msgs)
+	clear(msgs)
+	pl.wire = msgs[:0]
+	for k := 0; k < accepted; k++ {
+		if len(pl.window) >= c.linkOpts.Window {
+			// Window overflow: the oldest wire-accepted frame loses its
+			// retransmit coverage. It is not lost yet — only unprotected; if
+			// its stream dies before delivering it, OnLinkDown counts it
+			// under the gap (linkLost) path.
+			c.recycleDV(pl.window[0].pb.DV)
+			pl.window[0] = pending{}
+			pl.window = pl.window[1:]
+			pl.winBase++
+		}
+		pl.window = append(pl.window, run[k])
+	}
+	if accepted < len(run) {
+		c.park(pl, from, to, run[accepted:], haveFlight)
+	}
+	return accepted
+}
+
+// park appends frames to the pair's parked backlog (dropping overflow past
+// the window bound as permanent losses) and arms the retry timer. Called
+// with pl.mu held. releaseFlight drops the frames' in-flight accounting:
+// parked frames must not hold it, or Quiesce would hang for as long as a
+// partition stays open.
+func (c *Cluster) park(pl *pairLink, from, to int, run []pending, releaseFlight bool) {
+	if !pl.down {
+		pl.down = true
+		c.flight.Record(obs.Event{Kind: obs.EvLinkDown, P: from, Aux: to, Msg: len(run)})
+	}
+	for k := range run {
+		if c.closed.Load() || len(pl.parked)+len(pl.window) >= c.linkOpts.Window {
+			c.obs.LinkLost.Inc()
+			c.recycleDV(run[k].pb.DV)
+		} else {
+			pl.parked = append(pl.parked, run[k])
+			c.obs.LinkParked.Add(1)
+		}
+		if releaseFlight {
+			c.inflight.Done()
+		}
+	}
+	c.armRetry(pl, from, to)
+}
+
+// pruneWindow discards the window prefix the receiver has consumed
+// (wireDeliv counts every frame handed to onWire for the pair, duplicates
+// included — and a retransmitted frame re-entered the window at its
+// re-acceptance, so acceptances and deliveries stay 1:1). Called with
+// pl.mu held.
+func (c *Cluster) pruneWindow(pl *pairLink, from, to int) {
+	deliv := c.wireDeliv[from*c.cfg.N+to].Load()
+	for len(pl.window) > 0 && pl.winBase < deliv {
+		c.recycleDV(pl.window[0].pb.DV)
+		pl.window[0] = pending{}
+		pl.window = pl.window[1:]
+		pl.winBase++
+	}
+	if len(pl.window) == 0 {
+		pl.window = nil // let the backing array go once fully consumed
+	}
+}
+
+// onLinkDown is the mesh's lost-frame reconciliation on a reliable
+// cluster: the lost count is exact (sent minus delivered for the dead
+// stream), and after a final prune the window holds exactly those frames —
+// minus any that overflowed their retransmit coverage. The survivors move
+// to the front of the parked backlog to await the reconnect; the overflow
+// is a permanent loss and its accounting ends here.
+func (c *Cluster) onLinkDown(from, to, lost int) {
+	pl := c.link(from, to)
+	pl.mu.Lock()
+	c.pruneWindow(pl, from, to)
+	gone := lost - len(pl.window)
+	if gone < 0 {
+		// Cannot happen while the transport's lost count is exact; guard so
+		// accounting never goes negative if it ever stops being.
+		gone = 0
+	}
+	if keep := lost - gone; keep > 0 || gone > 0 {
+		if !pl.down {
+			pl.down = true
+			c.flight.Record(obs.Event{Kind: obs.EvLinkDown, P: from, Aux: to, Msg: lost - gone})
+		}
+		drop := c.closed.Load()
+		kept := 0
+		if !drop && len(pl.window) > 0 {
+			head := pl.window
+			if len(head) > lost {
+				head = head[len(head)-lost:]
+			}
+			pl.parked = append(head[:len(head):len(head)], pl.parked...)
+			kept = len(head)
+			c.obs.LinkParked.Add(int64(kept))
+		}
+		for i := kept; i < len(pl.window); i++ {
+			c.recycleDV(pl.window[i].pb.DV)
+		}
+		if dropped := gone + (len(pl.window) - kept); dropped > 0 {
+			c.obs.LinkLost.Add(uint64(dropped))
+		}
+		// Lost frames held in-flight accounting since their send; parked or
+		// dropped, they are no longer in transit.
+		c.inflight.Add(-lost)
+		pl.window = nil
+		// Re-base to the delivered count: the lost frames' wire slots will
+		// never deliver, so carrying their acceptance indices forward would
+		// leave the prune cursor permanently behind. The count is final —
+		// the transport reconciles a dead stream only after its deliveries
+		// have completed.
+		pl.winBase = c.wireDeliv[from*c.cfg.N+to].Load()
+		c.armRetry(pl, from, to)
+	}
+	pl.mu.Unlock()
+}
+
+// armRetry schedules the pair's next flush attempt with exponential
+// backoff and ±50% jitter from the cluster's seeded RNG. Called with pl.mu
+// held; no-op if a retry is already pending, the backlog is empty, or the
+// cluster is closed.
+func (c *Cluster) armRetry(pl *pairLink, from, to int) {
+	if pl.timer != nil || len(pl.parked) == 0 || c.closed.Load() {
+		return
+	}
+	d := c.linkOpts.RetryBase
+	for i := 0; i < pl.tries && d < c.linkOpts.RetryCap; i++ {
+		d *= 2
+	}
+	if d > c.linkOpts.RetryCap {
+		d = c.linkOpts.RetryCap
+	}
+	c.jitMu.Lock()
+	d = d/2 + time.Duration(c.jit.Int63n(int64(d)))
+	c.jitMu.Unlock()
+	c.obs.LinkBackoffNs.Observe(d.Nanoseconds())
+	pl.timer = time.AfterFunc(d, func() { c.retryPair(pl, from, to) })
+}
+
+// retryPair is the timer body: one flush attempt, re-arming itself on
+// failure. It observes the cluster's closed flag first, so Close during an
+// open partition never waits out a backoff schedule.
+func (c *Cluster) retryPair(pl *pairLink, from, to int) {
+	pl.mu.Lock()
+	pl.timer = nil
+	if c.closed.Load() {
+		c.dropParkedLocked(pl)
+		pl.mu.Unlock()
+		return
+	}
+	c.flushLocked(pl, from, to)
+	pl.mu.Unlock()
+}
+
+// flushLocked attempts to push the pair's parked backlog back onto the
+// wire: the frames re-enter in-flight accounting, ride the normal wireSend
+// path (window, overflow parking), and on a wire refusal the remainder
+// re-parks and the backoff deepens. Called with pl.mu held.
+func (c *Cluster) flushLocked(pl *pairLink, from, to int) {
+	if len(pl.parked) == 0 {
+		pl.tries = 0
+		return
+	}
+	run := pl.parked
+	pl.parked = nil
+	c.obs.LinkParked.Add(-int64(len(run)))
+	c.inflight.Add(len(run))
+	total := 0
+	for len(run) > 0 {
+		chunk := run
+		if len(chunk) > maxDispatchBatch {
+			chunk = chunk[:maxDispatchBatch]
+		}
+		accepted := c.wireSend(pl, from, to, chunk, true)
+		total += accepted
+		if accepted < len(chunk) {
+			// wireSend parked the chunk's remainder (releasing its
+			// accounting); the untouched tail follows it.
+			c.park(pl, from, to, run[len(chunk):], true)
+			pl.tries++
+			c.armRetry(pl, from, to)
+			return
+		}
+		run = run[len(chunk):]
+	}
+	pl.tries = 0
+	if pl.down {
+		pl.down = false
+		c.flight.Record(obs.Event{Kind: obs.EvLinkUp, P: from, Aux: to, Msg: total})
+	}
+	if total > 0 {
+		c.obs.LinkRetransmits.Add(uint64(total))
+		c.obs.LinkReconnects.Inc()
+	}
+}
+
+// dropParkedLocked abandons the pair's backlog (cluster closing, or a
+// recovery session purging epoch-stale frames). Called with pl.mu held.
+func (c *Cluster) dropParkedLocked(pl *pairLink) {
+	if pl.timer != nil {
+		pl.timer.Stop()
+		pl.timer = nil
+	}
+	for i := range pl.parked {
+		c.recycleDV(pl.parked[i].pb.DV)
+	}
+	if len(pl.parked) > 0 {
+		c.obs.LinkParked.Add(-int64(len(pl.parked)))
+		c.obs.LinkLost.Add(uint64(len(pl.parked)))
+		pl.parked = nil
+	}
+	pl.tries = 0
+	pl.down = false
+}
+
+// purgeParked drops every pair's backlog. A recovery session calls it with
+// the cluster halted: the parked frames carry the pre-session epoch, so
+// delivery would drop them anyway — exactly the "in transit at the
+// failure" loss the model already permits.
+func (c *Cluster) purgeParked() {
+	if c.links == nil {
+		return
+	}
+	for i := range c.links {
+		if pl := c.links[i].Load(); pl != nil {
+			pl.mu.Lock()
+			c.dropParkedLocked(pl)
+			pl.mu.Unlock()
+		}
+	}
+}
+
+// flushPair synchronously pushes one pair's backlog after a heal, retrying
+// briefly so that a heal followed by Quiesce drains the backlog instead of
+// leaving it to the background schedule. Gives up to the background timer
+// on persistent refusal.
+func (c *Cluster) flushPair(from, to int) {
+	pl := c.link(from, to)
+	for attempt := 0; attempt < 50; attempt++ {
+		pl.mu.Lock()
+		if pl.timer != nil {
+			pl.timer.Stop()
+			pl.timer = nil
+		}
+		if c.closed.Load() {
+			c.dropParkedLocked(pl)
+			pl.mu.Unlock()
+			return
+		}
+		c.flushLocked(pl, from, to)
+		empty := len(pl.parked) == 0
+		pl.mu.Unlock()
+		if empty {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Partition severs every directed pair that crosses the given groups on
+// the mesh, atomically: cross-group sends park (reliable clusters) or
+// refuse (spawn clusters) until HealAll. Nodes absent from every group
+// form one implicit extra group, so Partition([][]int{{3}}) isolates node
+// 3. Only TCP clusters have links to partition.
+func (c *Cluster) Partition(groups [][]int) error {
+	if c.mesh == nil {
+		return fmt.Errorf("runtime: partitions require a TCP cluster")
+	}
+	return c.mesh.Partition(groups)
+}
+
+// HealAll lifts every break and partition and synchronously flushes every
+// pair's parked backlog, so HealAll followed by Quiesce observes the
+// stranded frames delivered. Returns how many directed pairs healed.
+func (c *Cluster) HealAll() int {
+	if c.mesh == nil {
+		return 0
+	}
+	healed := c.mesh.HealAll()
+	if c.links != nil {
+		for i := range c.links {
+			if pl := c.links[i].Load(); pl != nil {
+				c.flushPair(i/c.cfg.N, i%c.cfg.N)
+			}
+		}
+	}
+	return healed
+}
+
+// HealLink lifts one directed break and flushes that pair's backlog.
+// Reports whether the pair was blocked.
+func (c *Cluster) HealLink(from, to int) bool {
+	if c.mesh == nil {
+		return false
+	}
+	healed := c.mesh.HealLink(from, to)
+	if c.links != nil {
+		c.flushPair(from, to)
+	}
+	return healed
+}
+
+// PartitionedPairs reports how many directed pairs are currently severed
+// by BreakLink or Partition (0 on non-TCP clusters).
+func (c *Cluster) PartitionedPairs() int {
+	if c.mesh == nil {
+		return 0
+	}
+	return c.mesh.PartitionedPairs()
+}

@@ -1,0 +1,297 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ccp"
+	"repro/internal/runtime"
+)
+
+// compressedTCPCluster builds the configuration the partition tests lean
+// on: pooled TCP mesh (so the reliability layer runs) with compressed
+// piggybacking, whose delivery-order verification inside every kernel is
+// the loud witness that retransmission introduced no duplicate, reorder,
+// or silent loss.
+func compressedTCPCluster(t *testing.T, n int, link runtime.LinkOptions) *runtime.Cluster {
+	t.Helper()
+	c, err := runtime.NewCluster(runtime.Config{
+		N:        n,
+		TCP:      true,
+		Compress: true,
+		Link:     link,
+		Net:      runtime.NetworkOptions{Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// pairStreams extracts, per (sender, receiver) pair, the sequence of
+// message ids delivered, in delivery order, from a linearized history.
+func pairStreams(h ccp.Script) map[[2]int][]int {
+	sender := make(map[int]int)
+	for _, op := range h.Ops {
+		if op.Kind == ccp.OpSend {
+			sender[op.Msg] = op.P
+		}
+	}
+	streams := make(map[[2]int][]int)
+	for _, op := range h.Ops {
+		if op.Kind == ccp.OpRecv {
+			key := [2]int{sender[op.Msg], op.P}
+			streams[key] = append(streams[key], op.Msg)
+		}
+	}
+	return streams
+}
+
+// counts returns (sends, recvs) of a history.
+func counts(h ccp.Script) (int, int) {
+	var s, r int
+	for _, op := range h.Ops {
+		switch op.Kind {
+		case ccp.OpSend:
+			s++
+		case ccp.OpRecv:
+			r++
+		}
+	}
+	return s, r
+}
+
+// TestPartitionQuiesceWhileOpen pins the no-hang contract: with a split
+// open and traffic parked behind it, Quiesce returns — parked frames hold
+// no in-flight accounting — and a heal followed by another Quiesce drains
+// every stranded message into the receivers.
+func TestPartitionQuiesceWhileOpen(t *testing.T) {
+	c := compressedTCPCluster(t, 4, runtime.LinkOptions{})
+	defer c.Close()
+
+	if err := c.Partition([][]int{{0, 1}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PartitionedPairs(); got != 8 {
+		t.Fatalf("PartitionedPairs = %d, want 8", got)
+	}
+	const crossSends = 20
+	for k := 0; k < crossSends; k++ {
+		if err := c.Node(0).Send(2); err != nil {
+			t.Fatalf("cross-partition send %d: %v", k, err)
+		}
+		if err := c.Node(1).Send(0); err != nil {
+			t.Fatalf("in-group send %d: %v", k, err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { c.Quiesce(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Quiesce hung while a partition was open")
+	}
+
+	_, recvs := counts(c.History())
+	if recvs < crossSends {
+		t.Fatalf("in-group traffic did not flow during the split: %d recvs", recvs)
+	}
+	if recvs >= 2*crossSends {
+		t.Fatalf("cross-partition traffic leaked through the split: %d recvs", recvs)
+	}
+
+	if healed := c.HealAll(); healed != 8 {
+		t.Fatalf("HealAll healed %d pairs, want 8", healed)
+	}
+	c.Quiesce()
+	sends, recvs := counts(c.History())
+	if sends != 2*crossSends || recvs != sends {
+		t.Fatalf("after heal: %d sends, %d recvs; want %d of each (retransmit lost frames?)",
+			sends, recvs, 2*crossSends)
+	}
+	for pair, stream := range pairStreams(c.History()) {
+		for i := 1; i < len(stream); i++ {
+			if stream[i] <= stream[i-1] {
+				t.Fatalf("pair %v delivered out of order: %v", pair, stream)
+			}
+		}
+	}
+}
+
+// TestPartitionFlappingUnderLoad is the reconnect torture: a link flaps
+// while every node pushes traffic flat out, and afterwards the healed
+// cluster must show exactly-once, per-pair-FIFO delivery of every message
+// — zero loss, zero duplicates, zero reorders. Compressed piggybacking is
+// on, so the kernel's delta decoding would have failed loudly mid-run on
+// any wire-order violation. The CI partition lane runs this under -race.
+func TestPartitionFlappingUnderLoad(t *testing.T) {
+	const (
+		n          = 3
+		opsPerNode = 400
+		flaps      = 40
+	)
+	c := compressedTCPCluster(t, n, runtime.LinkOptions{Window: 1 << 15})
+	defer c.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + id)))
+			node := c.Node(id)
+			for k := 0; k < opsPerNode; k++ {
+				to := rng.Intn(n - 1)
+				if to >= id {
+					to++
+				}
+				if err := node.Send(to); err != nil {
+					t.Errorf("p%d send: %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for f := 0; f < flaps && !stop.Load(); f++ {
+			c.BreakLink(0, 1)
+			time.Sleep(time.Millisecond)
+			c.HealLink(0, 1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	c.HealAll()
+	c.Quiesce()
+
+	h := c.History()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("history invalid after flapping (duplicate delivery?): %v", err)
+	}
+	sends, recvs := counts(h)
+	if sends != n*opsPerNode {
+		t.Fatalf("recorded %d sends, drove %d", sends, n*opsPerNode)
+	}
+	if recvs != sends {
+		t.Fatalf("%d of %d messages delivered: the flapped link lost traffic", recvs, sends)
+	}
+	for pair, stream := range pairStreams(h) {
+		for i := 1; i < len(stream); i++ {
+			if stream[i] <= stream[i-1] {
+				t.Fatalf("pair %v delivered out of order across reconnects: %v", pair, stream)
+			}
+		}
+	}
+	if v, bad := c.Oracle().FirstRDTViolation(); bad {
+		t.Fatalf("post-flap pattern not RDT: %v", v)
+	}
+}
+
+// TestPartitionCloseDuringBackoff pins the prompt-shutdown fix: Close
+// while a partition is open and retransmit timers are armed with a huge
+// backoff must return promptly — the reconnect machinery observes the
+// closed flag instead of waiting out its schedule.
+func TestPartitionCloseDuringBackoff(t *testing.T) {
+	c := compressedTCPCluster(t, 2, runtime.LinkOptions{
+		RetryBase: 30 * time.Second,
+		RetryCap:  time.Minute,
+	})
+
+	if err := c.Partition([][]int{{0}, {1}}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if err := c.Node(0).Send(1); err != nil {
+			t.Fatalf("send %d: %v", k, err)
+		}
+	}
+	c.Quiesce() // park everything; retry timers now hold 30s+ schedules
+
+	t0 := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if d := time.Since(t0); d > 3*time.Second {
+		t.Fatalf("Close took %v during an open partition; must not wait on backoff timers", d)
+	}
+}
+
+// TestPartitionDifferentialDelivery is the differential oracle: the same
+// seeded op stream driven once through a split-and-heal and once through
+// an untouched mesh must produce delivery-equivalent histories — identical
+// per-pair message sequences — differing only in when the cut's messages
+// arrived. This is exactly the sense in which the healed mesh is
+// indistinguishable from one that never partitioned.
+func TestPartitionDifferentialDelivery(t *testing.T) {
+	const (
+		n    = 4
+		ops  = 120
+		seed = 7
+	)
+	drive := func(partitioned bool) ccp.Script {
+		c := compressedTCPCluster(t, n, runtime.LinkOptions{})
+		defer c.Close()
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < ops; k++ {
+			if partitioned && k == ops/3 {
+				if err := c.Partition([][]int{{0, 1}, {2, 3}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if partitioned && k == 2*ops/3 {
+				c.HealAll()
+				c.Quiesce()
+			}
+			from := rng.Intn(n)
+			to := rng.Intn(n - 1)
+			if to >= from {
+				to++
+			}
+			if err := c.Node(from).Send(to); err != nil {
+				t.Fatalf("op %d: p%d send: %v", k, from, err)
+			}
+			c.Quiesce()
+		}
+		c.HealAll()
+		c.Quiesce()
+		return c.History()
+	}
+
+	plain := drive(false)
+	healed := drive(true)
+
+	if err := healed.Validate(); err != nil {
+		t.Fatalf("healed history invalid: %v", err)
+	}
+	ps, pr := counts(plain)
+	hs, hr := counts(healed)
+	if ps != hs || pr != hr || pr != ps {
+		t.Fatalf("op streams diverged: plain %d/%d sends/recvs, healed %d/%d", ps, pr, hs, hr)
+	}
+	want := pairStreams(plain)
+	got := pairStreams(healed)
+	if len(want) != len(got) {
+		t.Fatalf("pair sets diverged: plain %d pairs, healed %d", len(want), len(got))
+	}
+	for pair, w := range want {
+		g := got[pair]
+		if len(g) != len(w) {
+			t.Fatalf("pair %v: plain delivered %d, healed %d", pair, len(w), len(g))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("pair %v diverges at position %d: plain %v, healed %v", pair, i, w, g)
+			}
+		}
+	}
+}

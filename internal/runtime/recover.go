@@ -107,6 +107,11 @@ func (c *Cluster) session(faulty []int, globalLI bool, restart bool) (Report, er
 		c.stateMu.Unlock()
 	}()
 	c.Quiesce()
+	// Frames parked behind a broken link carry the pre-session epoch: the
+	// advance above already declared them lost, so drop them now rather
+	// than letting a later heal retransmit traffic the epoch filter would
+	// discard anyway.
+	c.purgeParked()
 
 	// All activity has ceased; it is now safe to read node state directly.
 	for i := range c.nodes {

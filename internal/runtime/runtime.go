@@ -24,6 +24,7 @@ import (
 	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/app"
@@ -91,6 +92,14 @@ type Config struct {
 	// against (cmd/bench -throughput benchmarks both). Production
 	// configurations leave it false.
 	Spawn bool
+	// Link tunes the self-healing machinery of a TCP cluster: redial
+	// backoff, socket deadlines, and the per-pair retransmit window that
+	// replays frames stranded by a severed or partitioned link after it
+	// heals. Ignored (zero-value defaults applied) unless TCP is set; the
+	// retransmit layer is active on pooled TCP clusters (Spawn keeps the
+	// baseline lose-on-break semantics, matching its role as the
+	// pre-pool reference path).
+	Link LinkOptions
 	// Obs attaches live telemetry: a metrics registry instrumenting the
 	// kernel, sender pool, mesh and stores, and a flight recorder capturing
 	// the protocol event stream. The zero value (both nil) is the default
@@ -103,7 +112,8 @@ type Cluster struct {
 	cfg   Config
 	nodes []*Node
 
-	inflight sync.WaitGroup
+	inflight inflight
+	closed   atomic.Bool // set by Close; retry timers and parks observe it
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -156,6 +166,26 @@ type Cluster struct {
 	flight *obs.Recorder      // nil unless Config.Obs named a recorder
 
 	mesh *transport.TCP // nil for direct in-process delivery
+
+	// reliable marks a pooled TCP cluster, where the link.go retransmit
+	// layer runs: links/linkOpts hold its per-pair state, wireDeliv the
+	// cumulative frames handed to onWire per (from,to) pair (duplicates
+	// included — it prunes the retransmit window, whose entries are wire
+	// acceptances), and recvSeq the next expected wire seq per pair (the
+	// receiver-side dedup cursor).
+	reliable  bool
+	linkOpts  LinkOptions
+	links     []atomic.Pointer[pairLink]
+	wireDeliv []atomic.Int64
+	recvSeq   []atomic.Uint64
+
+	// jit feeds the retry-backoff jitter. It is deliberately NOT c.rng:
+	// retry attempts are wall-clock paced, so their draw count is
+	// nondeterministic, and sharing the stream that decides message loss
+	// would let an open partition perturb the loss sequence — breaking
+	// the deterministic engine's byte-identical-table contract.
+	jitMu sync.Mutex
+	jit   *rand.Rand
 }
 
 // Node is one process's middleware endpoint: a kernel behind a lock. All
@@ -204,6 +234,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		flight: cfg.Obs.Recorder,
 	}
 	cfg.Obs.Registry.RegisterCounter(obs.RuntimeWireErrors, &c.wireErrs)
+	c.inflight.init()
+	c.reliable = cfg.TCP && !cfg.Spawn
 	c.queues = make([]destQueue, cfg.N)
 	for i := range c.queues {
 		c.queues[i].to = i
@@ -218,8 +250,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.queues[i].batch = make([]pending, 0, 4)
 		c.queues[i].timer = time.NewTimer(workerIdle)
 	}
-	if cfg.Compress {
+	if cfg.Compress || c.reliable {
+		// Compressed piggybacking needs strict per-pair send-order FIFO; so
+		// does the retransmit layer (wire seqs are stamped in dispatch
+		// order, so dispatch order must equal send order).
 		c.pairDue = make([]time.Time, cfg.N*cfg.N)
+	}
+	if cfg.Compress {
 		if cfg.Spawn {
 			c.pairs = make([]pairSeq, cfg.N*cfg.N)
 			for i := range c.pairs {
@@ -228,15 +265,27 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	}
 	if cfg.TCP {
-		mesh, err := transport.NewTCP(cfg.N)
+		c.linkOpts = cfg.Link.withDefaults()
+		mesh, err := transport.NewTCPWith(cfg.N, transport.Options{
+			DialTimeout:  c.linkOpts.DialTimeout,
+			WriteTimeout: c.linkOpts.WriteTimeout,
+		})
 		if err != nil {
 			return nil, err
 		}
 		// Frames written to a stream that dies before delivering them are
-		// reconciled here, so Quiesce cannot hang on a torn-down link.
-		mesh.OnLinkDown = func(from, to, lost int) {
-			for i := 0; i < lost; i++ {
-				c.inflight.Done()
+		// reconciled here, so Quiesce cannot hang on a torn-down link. On a
+		// reliable cluster the reconciliation parks them for retransmit; in
+		// spawn mode they are simply released as lost.
+		if c.reliable {
+			c.links = make([]atomic.Pointer[pairLink], cfg.N*cfg.N)
+			c.wireDeliv = make([]atomic.Int64, cfg.N*cfg.N)
+			c.recvSeq = make([]atomic.Uint64, cfg.N*cfg.N)
+			c.jit = rand.New(rand.NewSource(cfg.Net.Seed ^ 0x6a09e667f3bcc908))
+			mesh.OnLinkDown = c.onLinkDown
+		} else {
+			mesh.OnLinkDown = func(from, to, lost int) {
+				c.inflight.Add(-lost)
 			}
 		}
 		mesh.OnFrameError = func(from, to int, err error) {
@@ -302,7 +351,30 @@ func NewCluster(cfg Config) (*Cluster, error) {
 func (c *Cluster) onWire(ms []transport.Message) {
 	defer c.inflight.Add(-len(ms))
 	batch := c.getPending(len(ms))
+	var seqCur *atomic.Uint64
+	if c.reliable && len(ms) > 0 {
+		pair := ms[0].From*c.cfg.N + ms[0].To
+		// Count every frame the wire handed over, duplicates included: the
+		// sender's retransmit window tracks wire acceptances, so its prune
+		// cursor must advance one-for-one with them.
+		c.wireDeliv[pair].Add(int64(len(ms)))
+		seqCur = &c.recvSeq[pair]
+	}
 	for _, m := range ms {
+		if seqCur != nil {
+			// Receiver-side dedup: a frame below the pair's expected wire seq
+			// is a retransmit that raced its own original delivery — drop it.
+			// A gap above it is a permanent loss (the frame fell past the
+			// sender's retransmit coverage); advance over it, and let the
+			// compressed-piggyback Ord verification fail loudly if the
+			// configuration promised lossless FIFO. Same-pair deliveries are
+			// serialized by the transport, so load-then-store is race-free.
+			if exp := seqCur.Load(); m.Seq < exp {
+				c.obs.LinkDups.Inc()
+				continue
+			}
+			seqCur.Store(m.Seq + 1)
+		}
 		if err := m.Validate(c.cfg.N); err != nil {
 			// Structurally sound but semantically damaged — an entry index
 			// outside the cluster, a wrong-size vector: the frame is
@@ -356,19 +428,34 @@ func (c *Cluster) putPending(b []pending) {
 
 // Close releases the network resources of a TCP-backed cluster. Clusters
 // with direct delivery need no Close: their sender-pool workers retire on
-// their own once the queues drain.
+// their own once the queues drain. Close during an open partition returns
+// promptly: the dead flag is set first, so retry timers, redial loops and
+// parked backlogs observe it and abandon their work instead of waiting
+// out a backoff schedule.
 func (c *Cluster) Close() error {
+	c.closed.Store(true)
+	if c.links != nil {
+		for i := range c.links {
+			if pl := c.links[i].Load(); pl != nil {
+				pl.mu.Lock()
+				c.dropParkedLocked(pl)
+				pl.mu.Unlock()
+			}
+		}
+	}
 	if c.mesh != nil {
 		return c.mesh.Close()
 	}
 	return nil
 }
 
-// BreakLink severs the mesh stream from "from" to "to", modeling a link
-// failure on a TCP cluster: messages already on the stream may still
-// arrive, everything else on that link is lost — and accounted, so Quiesce
-// still returns. It reports whether there was a live link to break (false
-// on non-TCP clusters).
+// BreakLink severs the mesh stream from "from" to "to" and blocks the
+// pair until HealLink (or HealAll), modeling a link failure on a TCP
+// cluster: messages already on the stream may still arrive. On a reliable
+// (pooled) cluster the undelivered remainder parks for retransmit and is
+// replayed after the heal; in spawn mode it is lost — either way it is
+// accounted, so Quiesce still returns. Reports whether there was a live
+// link to break (false on non-TCP clusters).
 func (c *Cluster) BreakLink(from, to int) bool {
 	if c.mesh == nil {
 		return false

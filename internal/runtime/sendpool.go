@@ -55,6 +55,7 @@ type pending struct {
 	from int
 	at   time.Time // due time: enqueue time + simulated network delay
 	seq  uint64    // queue-local tiebreak, monotone in enqueue order
+	wseq uint64    // per-(from,to) wire seq, stamped by the pair's link (reliable mesh)
 }
 
 // before is the heap order: due time, then enqueue order.
@@ -81,9 +82,8 @@ type destQueue struct {
 	// and respawning a worker (idle queues shed their goroutine) does not
 	// re-allocate the timer and scratch buffers each time — at large n
 	// most destinations see sparse traffic and churn workers constantly.
-	timer   *time.Timer
-	batch   []pending
-	wireBuf []transport.Message // mesh clusters: reused frame batch
+	timer *time.Timer
+	batch []pending
 }
 
 // push inserts a message, maintaining the (at, seq) heap order.
@@ -141,7 +141,10 @@ func (c *Cluster) enqueue(from, to int, d delivery, delay time.Duration) {
 		at = time.Now().Add(delay)
 	}
 	q.mu.Lock()
-	if c.cfg.Compress {
+	// The monotone due-time clamp runs whenever strict per-pair FIFO is
+	// load-bearing: compressed piggybacking (delta decode order) and the
+	// reliable mesh (wire seqs are stamped in dispatch order).
+	if c.pairDue != nil {
 		if last := c.pairDue[from*c.cfg.N+to]; at.Before(last) {
 			at = last
 		}
@@ -241,38 +244,27 @@ func (c *Cluster) dispatch(to int, batch []pending) {
 		}
 		return
 	}
-	wire := c.wireScratch(to)
+	// Every pooled TCP cluster runs the reliability layer (spawn mode keeps
+	// its own per-message path), so each (sender, destination) run routes
+	// through the pair's link: wire seqs stamped there, accepted frames
+	// entering the retransmit window — the piggyback snapshots now recycle
+	// when the window prunes them, not here — and refused frames parking
+	// for the reconnect instead of dropping.
 	for i := 0; i < len(batch); {
 		j := i
 		for j < len(batch) && batch[j].from == batch[i].from {
 			j++
 		}
-		run := batch[i:j]
-		msgs := wire[:0]
-		for k := range run {
-			msgs = append(msgs, wireMessage(run[k].from, to, run[k]))
-		}
-		accepted, _ := c.mesh.SendBatch(batch[i].from, to, msgs)
-		// Frames accepted onto the stream complete at delivery or via
-		// OnLinkDown; the rest are lost right here and the model permits
-		// it — the mesh is closing or the link is down.
-		for k := range run {
-			c.recycleDV(run[k].pb.DV)
-			if k >= accepted {
-				c.inflight.Done()
-			}
-		}
-		wire = msgs
+		c.sendRun(batch[i].from, to, batch[i:j])
 		i = j
 	}
-	c.storeWireScratch(to, wire)
 }
 
 // wireMessage frames one pending message for the mesh.
 func wireMessage(from, to int, p pending) transport.Message {
 	w := transport.Message{
 		From: from, To: to, Msg: p.msg, Epoch: p.epoch,
-		Index: p.pb.Index, Payload: p.payload,
+		Index: p.pb.Index, Payload: p.payload, Seq: p.wseq,
 	}
 	if p.pb.Compressed {
 		w.Sparse = true
@@ -282,16 +274,4 @@ func wireMessage(from, to int, p pending) transport.Message {
 		w.DV = p.pb.DV
 	}
 	return w
-}
-
-// wireScratch hands out the destination's reused wire-message buffer (each
-// destination has exactly one worker, so a plain per-destination slot
-// suffices).
-func (c *Cluster) wireScratch(to int) []transport.Message {
-	return c.queues[to].wireBuf
-}
-
-func (c *Cluster) storeWireScratch(to int, buf []transport.Message) {
-	clear(buf) // drop payload/entry references before parking the buffer
-	c.queues[to].wireBuf = buf[:0]
 }

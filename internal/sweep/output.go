@@ -39,11 +39,12 @@ func WriteText(w io.Writer, table Table, results []Result) error {
 		// No wall-clock column here: the text table must be byte-identical
 		// for every worker count and run; recovery latency lives in the
 		// JSON and bench outputs.
-		fmt.Fprintln(tw, "pattern\tn\tstack\tcrashes\trecoveries\tmean rolled\tmax rolled\torphans\treplayed\tretained max")
+		fmt.Fprintln(tw, "pattern\tn\tstack\tcrashes\trecoveries\tpartitions\theals\tmean rolled\tmax rolled\torphans\treplayed\tretained max")
 		for _, r := range results {
-			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\n",
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\n",
 				r.Cell.Pattern, r.Cell.N, r.Cell.Variant(),
-				r.Crashes, r.Recoveries, r.MeanRolled, r.MaxRolled,
+				r.Crashes, r.Recoveries, r.Partitions, r.Heals,
+				r.MeanRolled, r.MaxRolled,
 				r.Orphans, r.Replayed, r.RetainedAfterMax)
 		}
 	case Compression:
@@ -109,6 +110,9 @@ type RowDoc struct {
 	Replayed         *int     `json:"replayed,omitempty"`
 	RetainedAfterMax *int     `json:"retained_after_max,omitempty"`
 	RecoverySecs     *float64 `json:"recovery_latency_seconds,omitempty"`
+	Partitions       *int     `json:"partitions,omitempty"`
+	Heals            *int     `json:"heals,omitempty"`
+	HealSecs         *float64 `json:"heal_latency_seconds,omitempty"`
 
 	Sends         *int     `json:"sends,omitempty"`
 	PBEntries     *int     `json:"pb_entries,omitempty"`
@@ -197,6 +201,11 @@ func Doc(g Grid, results []Result, wall time.Duration) RunDoc {
 			row.Replayed = ptr(r.Replayed)
 			row.RetainedAfterMax = ptr(r.RetainedAfterMax)
 			row.RecoverySecs = ptr(r.RecoverySecs)
+			if r.Cell.Pattern.UsesPartitions() {
+				row.Partitions = ptr(r.Partitions)
+				row.Heals = ptr(r.Heals)
+				row.HealSecs = ptr(r.HealSecs)
+			}
 		case Compression:
 			row.Sends = ptr(r.Sends)
 			row.PBEntries = ptr(r.PBEntries)

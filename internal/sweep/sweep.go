@@ -362,6 +362,9 @@ type Result struct {
 	Replayed         int     // checkpoints reloaded from stable storage per run (mean)
 	RetainedAfterMax int     // worst per-process retention right after a recovery
 	RecoverySecs     float64 // mean wall clock per recovery session (JSON only)
+	Partitions       int     // partition/link faults injected per run (mean; partition patterns)
+	Heals            int     // verified heal steps per run (mean; partition patterns)
+	HealSecs         float64 // mean wall clock per heal-and-drain (JSON only)
 
 	// Compression table.
 	Sends         int     // messages sent per run (mean over seeds)
@@ -518,8 +521,8 @@ func (c Cell) runRollback(res *Result) error {
 func (c Cell) runChaos(res *Result) error {
 	v := c.ChaosVariant
 	var depth float64
-	var crashes, recoveries, orphans, replayed int
-	var latency time.Duration
+	var crashes, recoveries, orphans, replayed, partitions, heals int
+	var latency, healLatency time.Duration
 	for s := 0; s < c.Seeds; s++ {
 		plan, err := chaos.NewPlan(chaos.PlanOptions{
 			N: c.N, Pattern: c.Pattern, Cycles: c.Cycles, Ops: c.Ops,
@@ -536,6 +539,9 @@ func (c Cell) runChaos(res *Result) error {
 			Deterministic: true,
 			PCheckpoint:   c.PCheckpoint,
 			RDT:           v.Protocol.RDT,
+			// Partition patterns sever and heal real links; they run over
+			// the loopback TCP mesh, retransmit path and all.
+			TCP: c.Pattern.UsesPartitions(),
 		}
 		switch v.Collector {
 		case metrics.RDTLGC:
@@ -561,6 +567,9 @@ func (c Cell) runChaos(res *Result) error {
 			res.RetainedAfterMax = r.RetainedAfterMax
 		}
 		latency += r.Latency
+		partitions += r.Partitions
+		heals += r.Heals
+		healLatency += r.HealLatency
 	}
 	res.Crashes = crashes / c.Seeds
 	res.Recoveries = recoveries / c.Seeds
@@ -569,6 +578,11 @@ func (c Cell) runChaos(res *Result) error {
 	res.MeanRolled = depth / float64(c.Seeds)
 	if recoveries > 0 {
 		res.RecoverySecs = (latency / time.Duration(recoveries)).Seconds()
+	}
+	res.Partitions = partitions / c.Seeds
+	res.Heals = heals / c.Seeds
+	if heals > 0 {
+		res.HealSecs = (healLatency / time.Duration(heals)).Seconds()
 	}
 	return nil
 }

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// sendUntilUp retries a Send past the pair's redial backoff window.
+func sendUntilUp(t *testing.T, mesh *TCP, m Message) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := mesh.Send(m)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrLinkDown) || time.Now().After(deadline) {
+			t.Fatalf("send %d->%d never came back up: %v", m.From, m.To, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTCPPartitionSeversAndHeals checks the atomic group cut: every
+// cross-group directed pair refuses sends, every in-group pair keeps
+// flowing, and HealAll restores the full mesh.
+func TestTCPPartitionSeversAndHeals(t *testing.T) {
+	mesh, err := NewTCP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	got := make(chan Message, 64)
+	if err := mesh.Start(func(m Message) { got <- cloneMessage(m) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mesh.Partition([][]int{{0, 1}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := mesh.PartitionedPairs(); n != 8 {
+		t.Fatalf("PartitionedPairs = %d, want 8 (2 groups x 2x2 directed cross pairs)", n)
+	}
+	if err := mesh.Send(Message{From: 0, To: 2, DV: []int{1, 0, 0, 0}}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("cross-group send: err = %v, want ErrLinkDown", err)
+	}
+	if err := mesh.Send(Message{From: 3, To: 1, DV: []int{0, 0, 0, 1}}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("cross-group send: err = %v, want ErrLinkDown", err)
+	}
+	if err := mesh.Send(Message{From: 0, To: 1, Msg: 1, DV: []int{1, 0, 0, 0}}); err != nil {
+		t.Fatalf("in-group send refused during partition: %v", err)
+	}
+	select {
+	case m := <-got:
+		if m.Msg != 1 {
+			t.Fatalf("unexpected delivery %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-group message never arrived during partition")
+	}
+
+	if healed := mesh.HealAll(); healed != 8 {
+		t.Fatalf("HealAll = %d, want 8", healed)
+	}
+	if n := mesh.PartitionedPairs(); n != 0 {
+		t.Fatalf("PartitionedPairs = %d after HealAll, want 0", n)
+	}
+	sendUntilUp(t, mesh, Message{From: 0, To: 2, Msg: 2, DV: []int{2, 0, 0, 0}})
+	select {
+	case m := <-got:
+		if m.Msg != 2 {
+			t.Fatalf("unexpected delivery %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cross-group message never arrived after heal")
+	}
+}
+
+// TestTCPPartitionImplicitGroup checks the isolation shorthand: processes
+// named in no group form one implicit side, so a single one-element group
+// cuts that process off in both directions and leaves the rest connected.
+func TestTCPPartitionImplicitGroup(t *testing.T) {
+	mesh, err := NewTCP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	got := make(chan Message, 16)
+	if err := mesh.Start(func(m Message) { got <- cloneMessage(m) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mesh.Partition([][]int{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := mesh.PartitionedPairs(); n != 4 {
+		t.Fatalf("PartitionedPairs = %d isolating one of three, want 4", n)
+	}
+	if err := mesh.Send(Message{From: 1, To: 0, DV: []int{0, 1, 0}}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send out of the isolated process: err = %v, want ErrLinkDown", err)
+	}
+	if err := mesh.Send(Message{From: 2, To: 1, DV: []int{0, 0, 1}}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send into the isolated process: err = %v, want ErrLinkDown", err)
+	}
+	if err := mesh.Send(Message{From: 0, To: 2, Msg: 9, DV: []int{1, 0, 0}}); err != nil {
+		t.Fatalf("send between connected survivors: %v", err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor message never arrived")
+	}
+
+	// HealLink restores one direction only; the reverse stays severed.
+	if !mesh.HealLink(1, 0) {
+		t.Fatal("HealLink(1,0) found nothing to heal")
+	}
+	sendUntilUp(t, mesh, Message{From: 1, To: 0, Msg: 10, DV: []int{0, 2, 0}})
+	if err := mesh.Send(Message{From: 0, To: 1, DV: []int{2, 0, 0}}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("reverse direction should still be severed: err = %v", err)
+	}
+	if n := mesh.PartitionedPairs(); n != 3 {
+		t.Fatalf("PartitionedPairs = %d after one directed heal, want 3", n)
+	}
+	mesh.HealAll()
+	if n := mesh.PartitionedPairs(); n != 0 {
+		t.Fatalf("PartitionedPairs = %d after HealAll, want 0", n)
+	}
+}
+
+// TestTCPPartitionValidates checks malformed group sets fail loudly and
+// atomically: nothing is severed on error.
+func TestTCPPartitionValidates(t *testing.T) {
+	mesh, err := NewTCP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mesh.Close() }()
+	if err := mesh.Start(func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Partition([][]int{{0, 3}}); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+	if err := mesh.Partition([][]int{{0, 1}, {1, 2}}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if n := mesh.PartitionedPairs(); n != 0 {
+		t.Fatalf("failed Partition left %d pairs severed", n)
+	}
+}

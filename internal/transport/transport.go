@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/vclock"
@@ -34,6 +36,7 @@ type Message struct {
 	Epoch   uint64       // network epoch; stale messages are dropped as lost
 	Index   int          // protocol-specific index (BCS)
 	Ord     int          // per-(From,To) send order (compressed piggybacks)
+	Seq     uint64       // per-(From,To) wire sequence (retransmit dedup)
 	Sparse  bool         // Entries, not DV, carry the piggyback
 	DV      []int        // piggybacked dependency vector (full frames)
 	Entries vclock.Delta // changed entries (sparse frames), carried natively
@@ -78,9 +81,9 @@ func Decode(b []byte) (Message, error) { return decode(b) }
 // instead of one per process — the wire cost is O(changed), not O(n).
 func encodedSize(m Message) int {
 	if m.Sparse {
-		return 8*(10+2*len(m.Entries)) + len(m.Payload)
+		return 8*(11+2*len(m.Entries)) + len(m.Payload)
 	}
-	return 8*(10+len(m.DV)) + len(m.Payload)
+	return 8*(11+len(m.DV)) + len(m.Payload)
 }
 
 // appendEncode frames a message — magic, fixed header, vector length,
@@ -100,6 +103,7 @@ func appendEncode(buf []byte, m Message) []byte {
 	w(int64(m.Epoch))
 	w(int64(m.Index))
 	w(int64(m.Ord))
+	w(int64(m.Seq))
 	if m.Sparse {
 		w(1)
 		w(int64(len(m.Entries)))
@@ -169,6 +173,11 @@ func decodeFrame(b []byte, view bool) (Message, error) {
 		return Message{}, fmt.Errorf("transport: short frame: %w", io.ErrUnexpectedEOF)
 	}
 	m.Ord = int(ord)
+	seq, ok := rd()
+	if !ok {
+		return Message{}, fmt.Errorf("transport: short frame: %w", io.ErrUnexpectedEOF)
+	}
+	m.Seq = uint64(seq)
 	kind, ok := rd()
 	if !ok || (kind != 0 && kind != 1) {
 		return Message{}, errors.New("transport: bad piggyback kind")
@@ -226,11 +235,57 @@ func decodeFrame(b []byte, view bool) (Message, error) {
 	return m, nil
 }
 
-// ErrLinkDown is returned by Send and SendBatch once a pair's connection
-// has failed (dial error, write error, peer teardown, or mesh close). Links
-// are not redialed: a frame refused with ErrLinkDown is lost, which the
-// model permits, and the sender is told so immediately.
+// ErrLinkDown is returned by Send and SendBatch while a pair's connection
+// is unavailable: the pair is administratively blocked (BreakLink or
+// Partition, until the matching heal), a previous stream died and its
+// accounting has not been reaped yet, the redial backoff window is still
+// open, a fresh dial failed, or the mesh is closed. The refusal is
+// immediate — callers that want reliability retry after the backoff (the
+// runtime's reliability layer does); callers that treat it as loss lose
+// the frame, which the model permits.
 var ErrLinkDown = errors.New("transport: link is down")
+
+// Options tunes the mesh's failure behavior. The zero value selects the
+// defaults below; NewTCP uses them.
+type Options struct {
+	// DialTimeout bounds each connection attempt (default 3s): a hung
+	// listener costs one sender a bounded stall, never an unbounded one.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each batch write (default 5s). A peer that
+	// accepts the connection but stops reading eventually fills the socket;
+	// the deadline errors the write out and the link dies — the reliability
+	// layer above redials and retransmits, so a hung peer costs a
+	// reconnect, not a wedged sender.
+	WriteTimeout time.Duration
+	// RedialBase and RedialCap shape the exponential redial backoff
+	// (defaults 20ms and 1s): after the k-th consecutive dial failure the
+	// pair refuses sends for about base<<k, jittered ±50%, capped.
+	RedialBase time.Duration
+	RedialCap  time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.RedialBase <= 0 {
+		o.RedialBase = 20 * time.Millisecond
+	}
+	if o.RedialCap <= 0 {
+		o.RedialCap = time.Second
+	}
+	return o
+}
+
+// redial is one pair's dial-backoff state: consecutive failures and the
+// earliest instant the next attempt may go out.
+type redial struct {
+	attempts int
+	next     time.Time
+}
 
 // helloMagic opens every connection: the dialer announces which (from, to)
 // pair the stream carries, so the reader side can account delivered frames
@@ -254,10 +309,23 @@ const maxInboundBatch = 64
 // against it, so a torn-down link cannot strand their accounting.
 type TCP struct {
 	n         int
+	opts      Options
 	listeners []net.Listener
 
 	mu    sync.Mutex
 	conns map[[2]int]*sendConn // (from, to) -> connection
+
+	// blocked marks administratively severed directed pairs
+	// (BreakLink/Partition): sends refuse with ErrLinkDown until the
+	// matching HealLink/HealAll. Atomic so the send path checks it without
+	// the mesh lock. partPairs mirrors the count for PartitionedPairs and
+	// the gauge.
+	blocked   []atomic.Bool
+	partPairs atomic.Int64
+
+	// dialMu guards dialBack, the per-pair redial backoff state.
+	dialMu   sync.Mutex
+	dialBack map[[2]int]redial
 
 	accMu    sync.Mutex
 	accepted map[net.Conn]struct{} // live accepted conns, closed by Close
@@ -303,6 +371,18 @@ type sendConn struct {
 	sent   int64    // frames fully written to the stream
 	reaped bool     // lost-frame reconciliation has run (at most once)
 
+	// delivBase is the pair's cumulative delivered count when this
+	// incarnation dialed: t.delivered is cumulative across reconnects while
+	// sent is per-stream, so the reap subtracts the baseline. Written once
+	// under mu before the first send; read by reap.
+	delivBase int64
+
+	// reapDone closes when the lost-frame reconciliation for this
+	// incarnation has completed (OnLinkDown included). A redial of the pair
+	// is gated on it: dialing earlier could deliver new frames before the
+	// old stream's tail is accounted, reordering the pair.
+	reapDone chan struct{}
+
 	// dead and live are deliberately outside mu: a writer blocked on a
 	// full socket holds mu for the whole Write, and the only thing that
 	// unblocks it is closing the socket — so BreakLink, reap and Close
@@ -320,16 +400,25 @@ func (sc *sendConn) closeConn() {
 	}
 }
 
-// NewTCP opens one loopback listener per node. Call Start to begin
-// delivering, then Send at will, then Close.
-func NewTCP(n int) (*TCP, error) {
+// NewTCP opens one loopback listener per node with default Options. Call
+// Start to begin delivering, then Send at will, then Close.
+func NewTCP(n int) (*TCP, error) { return NewTCPWith(n, Options{}) }
+
+// NewTCPWith is NewTCP with explicit failure-behavior options.
+func NewTCPWith(n int, opts Options) (*TCP, error) {
+	opts = opts.withDefaults()
 	t := &TCP{
 		n:         n,
+		opts:      opts,
 		conns:     make(map[[2]int]*sendConn),
 		accepted:  make(map[net.Conn]struct{}),
 		closed:    make(chan struct{}),
 		delivered: make([]atomic.Int64, n*n),
-		dial:      func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+		blocked:   make([]atomic.Bool, n*n),
+		dialBack:  make(map[[2]int]redial),
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, opts.DialTimeout)
+		},
 	}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -528,67 +617,149 @@ func (t *TCP) deliverBatch(from, to int, batch []Message) {
 // conn returns the pair's connection with its lock held, dialing on first
 // use. The dial happens under the per-pair lock only — never the mesh-wide
 // one — so a slow or hung dial to one peer stalls only senders to that
-// peer, not every sender on the mesh. A failed dial poisons nothing: the
-// placeholder is removed so a later Send retries.
+// peer, not every sender on the mesh.
+//
+// Unlike the pre-partition mesh, a dead pair is not permanent: once the
+// dead incarnation's accounting has been reaped (and the pair is neither
+// blocked nor inside its redial backoff window), the placeholder is
+// replaced and the pair redials. Every refusal is immediate — conn never
+// blocks on a reap or a backoff — so a caller holding higher-level locks
+// (the runtime's per-pair reliability lock, whose OnLinkDown callback the
+// reap itself runs) cannot deadlock against the teardown.
 func (t *TCP) conn(from, to int) (*sendConn, error) {
 	key := [2]int{from, to}
-	t.mu.Lock()
-	sc, ok := t.conns[key]
-	if !ok {
-		select {
-		case <-t.closed:
-			t.mu.Unlock()
+	for {
+		if t.blocked[from*t.n+to].Load() {
 			return nil, ErrLinkDown
-		default:
 		}
-		sc = &sendConn{}
-		t.conns[key] = sc
-	}
-	t.mu.Unlock()
-
-	sc.mu.Lock()
-	if sc.dead.Load() {
-		sc.mu.Unlock()
-		return nil, ErrLinkDown
-	}
-	if sc.c == nil {
-		t.obs.Dials.Inc()
-		conn, err := t.dial(t.Addr(to))
-		if err == nil {
-			var hello [24]byte
-			binary.LittleEndian.PutUint64(hello[:], uint64(helloMagic))
-			binary.LittleEndian.PutUint64(hello[8:], uint64(from))
-			binary.LittleEndian.PutUint64(hello[16:], uint64(to))
-			if _, werr := conn.Write(hello[:]); werr != nil {
-				_ = conn.Close()
-				err = werr
+		t.mu.Lock()
+		sc, ok := t.conns[key]
+		if !ok {
+			select {
+			case <-t.closed:
+				t.mu.Unlock()
+				return nil, ErrLinkDown
+			default:
 			}
+			if t.inBackoff(key) {
+				t.mu.Unlock()
+				return nil, ErrLinkDown
+			}
+			sc = &sendConn{reapDone: make(chan struct{})}
+			t.conns[key] = sc
 		}
-		if err != nil {
-			// This attempt is dead for any sender already queued on sc.mu,
-			// but the pair is not: dropping the placeholder lets the next
-			// Send dial afresh.
-			t.obs.DialFailures.Inc()
-			sc.dead.Store(true)
+		t.mu.Unlock()
+
+		if sc.dead.Load() {
+			// A previous incarnation died. It may be redialed only after its
+			// reap has run (reader exited, lost frames reported): dialing
+			// earlier could land new frames at the receiver before the old
+			// stream's tail is accounted, reordering the pair.
+			sc.mu.Lock()
+			undialed := sc.c == nil
 			sc.mu.Unlock()
+			if undialed {
+				// No socket ever existed, so no reader will reap it.
+				t.reap(sc, from, to)
+			}
+			select {
+			case <-sc.reapDone:
+			default:
+				return nil, ErrLinkDown
+			}
 			t.mu.Lock()
 			if t.conns[key] == sc {
 				delete(t.conns, key)
 			}
 			t.mu.Unlock()
-			return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+			continue
 		}
-		sc.c = conn
-		sc.live.Store(&conn)
+
+		sc.mu.Lock()
 		if sc.dead.Load() {
-			// A BreakLink raced the dial: it marked the pair dead while
-			// the socket did not exist yet, so closing it falls to us.
-			_ = conn.Close()
 			sc.mu.Unlock()
-			return nil, ErrLinkDown
+			continue // died while we queued; take the dead path above
 		}
+		if sc.c == nil {
+			t.obs.Dials.Inc()
+			conn, err := t.dial(t.Addr(to))
+			if err == nil {
+				var hello [24]byte
+				binary.LittleEndian.PutUint64(hello[:], uint64(helloMagic))
+				binary.LittleEndian.PutUint64(hello[8:], uint64(from))
+				binary.LittleEndian.PutUint64(hello[16:], uint64(to))
+				if _, werr := conn.Write(hello[:]); werr != nil {
+					_ = conn.Close()
+					err = werr
+				}
+			}
+			if err != nil {
+				// This attempt is dead for any sender already queued on
+				// sc.mu, but the pair is not: dropping the placeholder lets
+				// the next Send dial afresh, after the backoff.
+				t.obs.DialFailures.Inc()
+				t.dialFailed(key)
+				sc.dead.Store(true)
+				sc.mu.Unlock()
+				t.reap(sc, from, to) // nothing was sent; closes reapDone
+				t.mu.Lock()
+				if t.conns[key] == sc {
+					delete(t.conns, key)
+				}
+				t.mu.Unlock()
+				return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+			}
+			sc.c = conn
+			sc.delivBase = t.delivered[from*t.n+to].Load()
+			sc.live.Store(&conn)
+			t.dialOK(key)
+			if sc.dead.Load() {
+				// A BreakLink raced the dial: it marked the pair dead while
+				// the socket did not exist yet, so closing it falls to us.
+				// The reader may or may not have registered; reaping here is
+				// safe (nothing was sent) and idempotent against its reap.
+				_ = conn.Close()
+				sc.mu.Unlock()
+				t.reap(sc, from, to)
+				return nil, ErrLinkDown
+			}
+		}
+		return sc, nil
 	}
-	return sc, nil
+}
+
+// inBackoff reports whether the pair's redial backoff window is still open.
+func (t *TCP) inBackoff(key [2]int) bool {
+	t.dialMu.Lock()
+	defer t.dialMu.Unlock()
+	st, ok := t.dialBack[key]
+	return ok && time.Now().Before(st.next)
+}
+
+// dialFailed records a failed attempt and arms the next backoff window:
+// exponential in the failure count, jittered ±50%, capped.
+func (t *TCP) dialFailed(key [2]int) {
+	t.dialMu.Lock()
+	defer t.dialMu.Unlock()
+	st := t.dialBack[key]
+	st.attempts++
+	d := t.opts.RedialBase
+	for i := 1; i < st.attempts && d < t.opts.RedialCap; i++ {
+		d *= 2
+	}
+	if d > t.opts.RedialCap {
+		d = t.opts.RedialCap
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	st.next = time.Now().Add(d)
+	t.dialBack[key] = st
+}
+
+// dialOK clears the pair's backoff state after a successful dial.
+func (t *TCP) dialOK(key [2]int) {
+	t.dialMu.Lock()
+	delete(t.dialBack, key)
+	t.dialMu.Unlock()
 }
 
 // Send transmits a message to m.To over the mesh, dialing the peer's
@@ -621,6 +792,10 @@ func (t *TCP) SendBatch(from, to int, msgs []Message) (int, error) {
 		ends = append(ends, len(buf))
 	}
 	sc.buf, sc.ends = buf, ends
+	// A peer that stops reading eventually fills the socket; the deadline
+	// turns the resulting indefinite block into a dead link the layers
+	// above can heal, instead of a wedged sender holding the pair lock.
+	_ = sc.c.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
 	nw, werr := sc.c.Write(buf)
 	if werr != nil {
 		// Frames entirely inside the written prefix may still be
@@ -647,12 +822,19 @@ func (t *TCP) SendBatch(from, to int, msgs []Message) (int, error) {
 	return len(msgs), nil
 }
 
-// BreakLink severs the (from, to) stream, modeling a link failure: the
-// sender side refuses further frames with ErrLinkDown, the reader drains
-// what the stream already carried and then reconciles the rest through
-// OnLinkDown. It reports whether there was a link (live, or mid-dial) to
-// break.
+// BreakLink blocks and severs the (from, to) stream, modeling a link
+// failure: the sender side refuses further frames with ErrLinkDown, the
+// reader drains what the stream already carried and then reconciles the
+// rest through OnLinkDown. The block persists — the pair will not redial —
+// until HealLink (or HealAll) lifts it. It reports whether there was a
+// link (live, or mid-dial) to break; the block is installed either way.
 func (t *TCP) BreakLink(from, to int) bool {
+	t.setBlocked(from, to, true)
+	return t.sever(from, to)
+}
+
+// sever kills the pair's current stream incarnation, if any.
+func (t *TCP) sever(from, to int) bool {
 	t.mu.Lock()
 	sc := t.conns[[2]int{from, to}]
 	t.mu.Unlock()
@@ -671,6 +853,127 @@ func (t *TCP) BreakLink(from, to int) bool {
 	return true
 }
 
+// setBlocked flips the pair's administrative block, keeping the
+// partitioned-pairs gauge in step. Reports whether the state changed.
+func (t *TCP) setBlocked(from, to int, v bool) bool {
+	if t.blocked[from*t.n+to].Swap(v) == v {
+		return false
+	}
+	if v {
+		t.partPairs.Add(1)
+		t.obs.PartitionedPairs.Add(1)
+	} else {
+		t.partPairs.Add(-1)
+		t.obs.PartitionedPairs.Add(-1)
+	}
+	return true
+}
+
+// HealLink lifts the (from, to) block installed by BreakLink or Partition
+// and clears the pair's redial backoff, so the next send dials afresh. It
+// waits for the dead stream's reap (if one is pending) before returning:
+// when HealLink returns, every frame the old stream lost has been reported
+// through OnLinkDown, so a reliability layer can flush its retransmit
+// backlog immediately. Reports whether the pair was blocked.
+func (t *TCP) HealLink(from, to int) bool {
+	healed := t.setBlocked(from, to, false)
+	t.dialOK([2]int{from, to})
+	t.waitReap(from, to)
+	return healed
+}
+
+// Partition blocks and severs every directed pair that crosses the given
+// groups, atomically installing all blocks before killing any stream.
+// Nodes absent from every group form one implicit extra group: Partition
+// ([][]int{{3}}) isolates node 3 from everyone else, and two halves
+// split-brain the mesh. Group members must be valid and distinct.
+func (t *TCP) Partition(groups [][]int) error {
+	member := make([]int, t.n)
+	for i := range member {
+		member[i] = -1
+	}
+	for g, group := range groups {
+		for _, p := range group {
+			if p < 0 || p >= t.n {
+				return fmt.Errorf("transport: partition member %d outside %d-process mesh", p, t.n)
+			}
+			if member[p] != -1 {
+				return fmt.Errorf("transport: partition lists node %d twice", p)
+			}
+			member[p] = g
+		}
+	}
+	var cross [][2]int
+	for from := 0; from < t.n; from++ {
+		for to := 0; to < t.n; to++ {
+			if from == to || member[from] == member[to] {
+				continue
+			}
+			t.setBlocked(from, to, true)
+			cross = append(cross, [2]int{from, to})
+		}
+	}
+	// Blocks are all installed; no new stream can form across the cut.
+	// Killing the existing streams afterwards severs every cross-group
+	// pair without a window where a severed pair could redial.
+	for _, pair := range cross {
+		t.sever(pair[0], pair[1])
+	}
+	return nil
+}
+
+// HealAll lifts every administrative block and redial backoff, then waits
+// for the reaps of all dead streams, so that when it returns every lost
+// frame has been reported through OnLinkDown and the whole mesh is free to
+// redial. Returns how many directed pairs were unblocked.
+func (t *TCP) HealAll() int {
+	healed := 0
+	for from := 0; from < t.n; from++ {
+		for to := 0; to < t.n; to++ {
+			if from != to && t.setBlocked(from, to, false) {
+				healed++
+			}
+		}
+	}
+	t.dialMu.Lock()
+	clear(t.dialBack)
+	t.dialMu.Unlock()
+	t.mu.Lock()
+	pairs := make([][2]int, 0, len(t.conns))
+	for k, sc := range t.conns {
+		if sc.dead.Load() {
+			pairs = append(pairs, k)
+		}
+	}
+	t.mu.Unlock()
+	for _, p := range pairs {
+		t.waitReap(p[0], p[1])
+	}
+	return healed
+}
+
+// PartitionedPairs reports how many directed pairs are currently blocked.
+func (t *TCP) PartitionedPairs() int { return int(t.partPairs.Load()) }
+
+// waitReap blocks until the pair's dead incarnation (if any) has been
+// reaped. An undialed dead placeholder has no reader to reap it, so it is
+// reaped here; a mesh Close reaps everything, so the wait always ends.
+func (t *TCP) waitReap(from, to int) {
+	t.mu.Lock()
+	sc := t.conns[[2]int{from, to}]
+	t.mu.Unlock()
+	if sc == nil || !sc.dead.Load() {
+		return
+	}
+	sc.mu.Lock()
+	undialed := sc.c == nil
+	sc.mu.Unlock()
+	if undialed {
+		t.reap(sc, from, to)
+	}
+	<-sc.reapDone
+}
+
 // reapPair runs the lost-frame reconciliation for a pair whose reader has
 // exited (it is called from the reader goroutine itself, and from Close
 // after every reader has been waited out).
@@ -687,7 +990,12 @@ func (t *TCP) reapPair(from, to int) {
 // the stream but never handed to the deliver callback — through
 // OnLinkDown, exactly once. The sent counter is read under the pair lock,
 // so a write racing the teardown is either refused (dead was seen) or
-// counted here (the write finished first).
+// counted here (the write finished first). The delivered counter is
+// cumulative across the pair's reconnects, so the incarnation's dial-time
+// baseline is subtracted. reapDone closes only after OnLinkDown has
+// returned: a redial gated on it therefore starts with the old stream's
+// losses fully reported, which is what keeps the pair's wire sequence
+// gap-free across a reconnect.
 func (t *TCP) reap(sc *sendConn, from, to int) {
 	// Kill the socket before queueing on the pair lock: a writer blocked
 	// on a full stream holds the lock until the close errors it out, and
@@ -701,13 +1009,15 @@ func (t *TCP) reap(sc *sendConn, from, to int) {
 	}
 	sc.reaped = true
 	sent := sc.sent
+	base := sc.delivBase
 	sc.mu.Unlock()
-	if lost := sent - t.delivered[from*t.n+to].Load(); lost > 0 {
+	if lost := sent - (t.delivered[from*t.n+to].Load() - base); lost > 0 {
 		t.obs.FramesLost.Add(uint64(lost))
 		if t.OnLinkDown != nil {
 			t.OnLinkDown(from, to, int(lost))
 		}
 	}
+	close(sc.reapDone)
 }
 
 // Close shuts down listeners and connections, waits for reader goroutines

@@ -301,8 +301,8 @@ func TestTCPDialDoesNotHoldMeshLock(t *testing.T) {
 	}
 }
 
-// TestTCPDialFailureAllowsRetry checks a failed dial poisons nothing: the
-// next Send to the same peer dials afresh.
+// TestTCPDialFailureAllowsRetry checks a failed dial poisons nothing: once
+// the pair's redial backoff elapses, a Send to the same peer dials afresh.
 func TestTCPDialFailureAllowsRetry(t *testing.T) {
 	mesh, err := NewTCP(2)
 	if err != nil {
@@ -326,8 +326,18 @@ func TestTCPDialFailureAllowsRetry(t *testing.T) {
 		t.Fatal("send over a failing dial should error")
 	}
 	fail = false
-	if err := mesh.Send(Message{From: 0, To: 1, Msg: 7, DV: []int{1, 0}}); err != nil {
-		t.Fatalf("retry after dial failure: %v", err)
+	// The failed dial armed the pair's redial backoff; retries inside the
+	// window refuse with ErrLinkDown, then the next attempt dials afresh.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := mesh.Send(Message{From: 0, To: 1, Msg: 7, DV: []int{1, 0}})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrLinkDown) || time.Now().After(deadline) {
+			t.Fatalf("retry after dial failure: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	select {
 	case m := <-got:

@@ -115,6 +115,29 @@ func (c *Cluster) Restart(globalLI bool) (LiveReport, error) {
 // the concurrent execution.
 func (c *Cluster) Oracle() *CCP { return c.c.Oracle() }
 
+// BreakLink severs the directed mesh stream from "from" to "to" and blocks
+// the pair until HealLink or HealAll. Frames in the cut park for
+// retransmit and are replayed after the heal (TCP clusters; reports false
+// otherwise).
+func (c *Cluster) BreakLink(from, to int) bool { return c.c.BreakLink(from, to) }
+
+// HealLink lifts one directed break and synchronously flushes the pair's
+// parked frames back onto the wire. Reports whether the pair was blocked.
+func (c *Cluster) HealLink(from, to int) bool { return c.c.HealLink(from, to) }
+
+// Partition severs every directed pair crossing the given groups
+// atomically; processes in no group form one implicit extra side, so
+// Partition([][]int{{3}}) isolates process 3. TCP clusters only.
+func (c *Cluster) Partition(groups [][]int) error { return c.c.Partition(groups) }
+
+// HealAll lifts every break and partition and flushes every pair's parked
+// backlog; HealAll followed by Quiesce observes the stranded traffic
+// delivered. Returns how many directed pairs healed.
+func (c *Cluster) HealAll() int { return c.c.HealAll() }
+
+// PartitionedPairs reports how many directed pairs are currently severed.
+func (c *Cluster) PartitionedPairs() int { return c.c.PartitionedPairs() }
+
 // Close releases network resources (the TCP mesh, when enabled).
 func (c *Cluster) Close() error { return c.c.Close() }
 
